@@ -1,0 +1,413 @@
+// Benchmarks regenerating every table and figure of the paper (via the
+// simulated multicore machine — see DESIGN.md for the substitution
+// rationale) plus real-execution benchmarks of the primitives, the
+// compilation pipeline and every scheduler on host-scale junction trees.
+//
+//	go test -bench=. -benchmem
+package evprop
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"evprop/internal/baseline"
+	"evprop/internal/bayesnet"
+	"evprop/internal/bif"
+	"evprop/internal/experiments"
+	"evprop/internal/jtree"
+	"evprop/internal/machine"
+	"evprop/internal/potential"
+	"evprop/internal/sched"
+	"evprop/internal/taskgraph"
+)
+
+// --- Figure regenerators (one per table/figure) ---------------------------
+
+// BenchmarkFig5Rerooting regenerates Fig. 5 and reports the 8-core
+// rerooting speedup of the widest template (b=8).
+func BenchmarkFig5Rerooting(b *testing.B) {
+	cm := machine.Default()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := r.Series[len(r.Series)-1]
+		last = s.Speedup[len(s.Speedup)-1]
+	}
+	b.ReportMetric(last, "speedup@8cores")
+}
+
+// BenchmarkRerootingAlgorithm1 measures the real wall-clock cost of root
+// selection plus rerooting on a 512-clique junction tree — the paper
+// reports 24 µs against ~1e5 µs of propagation.
+func BenchmarkRerootingAlgorithm1(b *testing.B) {
+	tr, err := jtree.Random(jtree.RandomConfig{N: 512, Width: 15, States: 2, Degree: 4, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := tr.SelectRoot()
+		if _, err := tr.Reroot(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6PNLBaseline regenerates Fig. 6 and reports the collapse
+// ratio t(16)/t(4) of Junction tree 1 (must exceed 1: the distributed
+// baseline slows down beyond 4 processors).
+func BenchmarkFig6PNLBaseline(b *testing.B) {
+	cm := machine.Default()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := r.Series[0]
+		ratio = s.Seconds[len(s.Seconds)-1] / s.Seconds[2]
+	}
+	b.ReportMetric(ratio, "t16/t4")
+}
+
+// BenchmarkFig7Methods regenerates Fig. 7 and reports the three 8-core
+// speedups for Junction tree 1.
+func BenchmarkFig7Methods(b *testing.B) {
+	cm := machine.Default()
+	at8 := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range r.Series {
+			if s.Tree == "JT1" {
+				at8[s.Method] = s.Speedup[len(s.Speedup)-1]
+			}
+		}
+	}
+	b.ReportMetric(at8["collaborative"], "collaborative@8")
+	b.ReportMetric(at8["dataparallel"], "dataparallel@8")
+	b.ReportMetric(at8["openmp"], "openmp@8")
+}
+
+// BenchmarkFig8LoadBalance regenerates Fig. 8 and reports the worst
+// per-thread scheduling-overhead percentage at 8 threads (paper: ≤ 0.9 %).
+func BenchmarkFig8LoadBalance(b *testing.B) {
+	cm := machine.Default()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		pt := r.Points[len(r.Points)-1]
+		for _, o := range pt.OverheadPct {
+			if o > worst {
+				worst = o
+			}
+		}
+	}
+	b.ReportMetric(worst, "maxSchedPct@8")
+}
+
+// BenchmarkFig9Parameters regenerates Fig. 9 and reports the minimum
+// 8-core speedup over all parameter settings except the small-table
+// (wC=10, r=2) case the paper also excludes.
+func BenchmarkFig9Parameters(b *testing.B) {
+	cm := machine.Default()
+	var minSp float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minSp = 1e9
+		for _, s := range r.Series {
+			if s.Label == "wC=10" {
+				continue
+			}
+			if sp := s.Speedup[len(s.Speedup)-1]; sp < minSp {
+				minSp = sp
+			}
+		}
+	}
+	b.ReportMetric(minSp, "minSpeedup@8")
+}
+
+// --- Real-execution benchmarks (host-scale tables) -------------------------
+
+// benchTree builds a materialized junction tree small enough to execute on
+// the host but large enough that primitive work dominates.
+func benchTree(b *testing.B) *jtree.Tree {
+	b.Helper()
+	tr, err := jtree.Random(jtree.RandomConfig{N: 64, Width: 10, States: 2, Degree: 4, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.MaterializeRandom(9); err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkPrimitiveMarginalize measures the marginalization primitive on a
+// 2^14-entry table.
+func BenchmarkPrimitiveMarginalize(b *testing.B) {
+	vars := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	card := make([]int, len(vars))
+	for i := range card {
+		card[i] = 2
+	}
+	p, err := potential.NewConstant(vars, card, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(p.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Marginal(vars[:7]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrimitiveMultiply measures the aligned table multiplication
+// primitive.
+func BenchmarkPrimitiveMultiply(b *testing.B) {
+	vars := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	card := make([]int, len(vars))
+	for i := range card {
+		card[i] = 2
+	}
+	p, err := potential.NewConstant(vars, card, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := potential.NewConstant(vars[:7], card[:7], 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(p.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.MulBy(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrimitiveExtend measures the extension primitive.
+func BenchmarkPrimitiveExtend(b *testing.B) {
+	vars := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	card := make([]int, len(vars))
+	for i := range card {
+		card[i] = 2
+	}
+	q, err := potential.NewConstant(vars[:7], card[:7], 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := potential.New(vars, card)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(dst.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.ExtendInto(dst, 0, dst.Len()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileAsia measures the full Bayesian-network-to-junction-tree
+// compilation pipeline.
+func BenchmarkCompileAsia(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, _ := bayesnet.Asia()
+		if _, err := net.Compile(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialPropagation measures one full two-pass evidence
+// propagation executed serially.
+func BenchmarkSerialPropagation(b *testing.B) {
+	tr := benchTree(b)
+	g := taskgraph.Build(tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := g.NewState()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := baseline.Serial(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollaborative measures the collaborative scheduler end to end at
+// several worker counts (wall-clock speedup requires a multicore host; on
+// one core this measures scheduling overhead).
+func BenchmarkCollaborative(b *testing.B) {
+	tr := benchTree(b)
+	g := taskgraph.Build(tr)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(benchName("P", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := g.NewState()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sched.Run(st, sched.Options{Workers: p, Threshold: 256}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaselineSchedulers measures the comparison executors end to end.
+func BenchmarkBaselineSchedulers(b *testing.B) {
+	tr := benchTree(b)
+	g := taskgraph.Build(tr)
+	run := func(name string, f func(st *taskgraph.State) error) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := g.NewState()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := f(st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("levelsync", func(st *taskgraph.State) error { _, err := baseline.LevelSync(st, 4); return err })
+	run("dataparallel", func(st *taskgraph.State) error { _, err := baseline.DataParallel(st, 4); return err })
+	run("centralized", func(st *taskgraph.State) error { _, err := baseline.Centralized(st, 4); return err })
+	run("distributed", func(st *taskgraph.State) error { _, err := baseline.DistributedEmu(st, 4); return err })
+}
+
+// BenchmarkEndToEndQuery measures a public-API query on the Asia network,
+// the library's headline use case.
+func BenchmarkEndToEndQuery(b *testing.B) {
+	eng, err := Asia().Compile(Options{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := Evidence{"XRay": 1, "Smoke": 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(ev, "Lung", "Tub", "Bronc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, p int) string {
+	return fmt.Sprintf("%s=%d", prefix, p)
+}
+
+// BenchmarkBIFParse measures parsing a written BIF file of a mid-size
+// random network.
+func BenchmarkBIFParse(b *testing.B) {
+	net := bayesnet.RandomNetwork(40, 2, 3, 3)
+	var buf bytes.Buffer
+	if err := bif.Write(&buf, net, "bench", nil); err != nil {
+		b.Fatal(err)
+	}
+	src := buf.String()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc, err := bif.ParseString(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := doc.ToNetwork(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMPE measures max-product propagation plus MPE extraction.
+func BenchmarkMPE(b *testing.B) {
+	eng, err := Asia().Compile(Options{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := Evidence{"Dysp": 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.MostProbableExplanation(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryOne measures the collection-only fast path against the
+// full two-pass query (see BenchmarkEndToEndQuery).
+func BenchmarkQueryOne(b *testing.B) {
+	eng, err := Asia().Compile(Options{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := Evidence{"XRay": 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.QueryOne(ev, "Lung"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryJoint measures an out-of-clique joint posterior.
+func BenchmarkQueryJoint(b *testing.B) {
+	eng, err := Asia().Compile(Options{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.QueryJoint(nil, "Asia", "XRay", "Dysp"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDSeparation measures Bayes-Ball reachability on a larger
+// network.
+func BenchmarkDSeparation(b *testing.B) {
+	net := RandomNetwork(200, 2, 3, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.DSeparated([]string{"A"}, []string{"GR"}, []string{"Z", "BA"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRerootSelectOnly isolates Algorithm 1's root selection from the
+// tree copy.
+func BenchmarkRerootSelectOnly(b *testing.B) {
+	tr, err := jtree.Random(jtree.RandomConfig{N: 512, Width: 15, States: 2, Degree: 4, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr.SelectRoot() < 0 {
+			b.Fatal("no root")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseEvidence(t *testing.T) {
+	ev, err := parseEvidence("A=1, B=0,C=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 3 || ev["A"] != 1 || ev["B"] != 0 || ev["C"] != 2 {
+		t.Errorf("ev = %v", ev)
+	}
+	if ev, err := parseEvidence(""); err != nil || len(ev) != 0 {
+		t.Errorf("empty evidence: %v, %v", ev, err)
+	}
+	for _, bad := range []string{"A", "A=x", "=1", "A=1,B"} {
+		if _, err := parseEvidence(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestBuildNetwork(t *testing.T) {
+	for _, kind := range []string{"asia", "sprinkler", "student", "random"} {
+		n, err := buildNetwork(kind, 10, 2, 2, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", kind, err)
+		}
+	}
+	if _, err := buildNetwork("bogus", 0, 0, 0, 0); err == nil {
+		t.Error("accepted bogus network kind")
+	}
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"evprop"
+)
+
+// server wraps one compiled engine behind HTTP handlers. Propagations are
+// independent per request; the mutex only guards the engine's lazily built
+// per-target caches against the CLI's unknown concurrency expectations.
+type server struct {
+	net *evprop.Network
+	eng *evprop.Engine
+	mu  sync.Mutex
+}
+
+func newServer(net *evprop.Network, opts evprop.Options) (*server, error) {
+	eng, err := net.Compile(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &server{net: net, eng: eng}, nil
+}
+
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/model", s.handleModel)
+	m.HandleFunc("/query", s.handleQuery)
+	m.HandleFunc("/mpe", s.handleMPE)
+	m.HandleFunc("/dsep", s.handleDSep)
+	return m
+}
+
+type modelResponse struct {
+	Variables []modelVariable `json:"variables"`
+}
+
+type modelVariable struct {
+	Name   string `json:"name"`
+	States int    `json:"states"`
+}
+
+func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := modelResponse{}
+	for _, name := range s.net.Variables() {
+		resp.Variables = append(resp.Variables, modelVariable{Name: name, States: s.net.States(name)})
+	}
+	writeJSON(w, resp)
+}
+
+type queryRequest struct {
+	Evidence evprop.Evidence `json:"evidence"`
+	Query    []string        `json:"query"`
+}
+
+type queryResponse struct {
+	PEvidence  float64              `json:"p_evidence"`
+	Posteriors map[string][]float64 `json:"posteriors"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pe, err := s.eng.ProbabilityOfEvidence(req.Evidence)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := queryResponse{PEvidence: pe, Posteriors: map[string][]float64{}}
+	if pe > 0 {
+		var post map[string][]float64
+		if len(req.Query) == 0 {
+			post, err = s.eng.QueryAll(req.Evidence)
+		} else {
+			post, err = s.eng.Query(req.Evidence, req.Query...)
+		}
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		resp.Posteriors = post
+	}
+	writeJSON(w, resp)
+}
+
+type mpeRequest struct {
+	Evidence evprop.Evidence `json:"evidence"`
+}
+
+type mpeResponse struct {
+	Assignment  map[string]int `json:"assignment"`
+	Probability float64        `json:"probability"`
+}
+
+func (s *server) handleMPE(w http.ResponseWriter, r *http.Request) {
+	var req mpeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	assignment, p, err := s.eng.MostProbableExplanation(req.Evidence)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, mpeResponse{Assignment: assignment, Probability: p})
+}
+
+type dsepRequest struct {
+	X []string `json:"x"`
+	Y []string `json:"y"`
+	Z []string `json:"z"`
+}
+
+type dsepResponse struct {
+	Separated bool `json:"separated"`
+}
+
+func (s *server) handleDSep(w http.ResponseWriter, r *http.Request) {
+	var req dsepRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	sep, err := s.net.DSeparated(req.X, req.Y, req.Z)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, dsepResponse{Separated: sep})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

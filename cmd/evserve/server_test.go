@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"evprop"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := newServer(evprop.Asia(), evprop.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decode(t *testing.T, resp *http.Response, dst any) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var m modelResponse
+	decode(t, resp, &m)
+	if len(m.Variables) != 8 {
+		t.Errorf("%d variables", len(m.Variables))
+	}
+	for _, v := range m.Variables {
+		if v.States != 2 {
+			t.Errorf("variable %s has %d states", v.Name, v.States)
+		}
+	}
+	// POST to /model is rejected.
+	r2 := post(t, ts.URL+"/model", map[string]any{})
+	if r2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /model status %d", r2.StatusCode)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp := post(t, ts.URL+"/query", queryRequest{
+		Evidence: evprop.Evidence{"XRay": 1},
+		Query:    []string{"Lung"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var q queryResponse
+	decode(t, resp, &q)
+	if math.Abs(q.PEvidence-0.11029) > 1e-4 {
+		t.Errorf("p_evidence = %v", q.PEvidence)
+	}
+	want, err := evprop.Asia().ExactMarginal("Lung", evprop.Evidence{"XRay": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.Posteriors["Lung"][1]-want[1]) > 1e-9 {
+		t.Errorf("posterior = %v, oracle %v", q.Posteriors["Lung"], want)
+	}
+}
+
+func TestQueryAllEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp := post(t, ts.URL+"/query", queryRequest{Evidence: evprop.Evidence{"Dysp": 1}})
+	var q queryResponse
+	decode(t, resp, &q)
+	if len(q.Posteriors) != 7 {
+		t.Errorf("%d posteriors, want 7", len(q.Posteriors))
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts := testServer(t)
+	// Unknown variable.
+	resp := post(t, ts.URL+"/query", queryRequest{Query: []string{"nope"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown variable status %d", resp.StatusCode)
+	}
+	// Malformed JSON.
+	r, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte("{oops")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON status %d", r.StatusCode)
+	}
+	// Wrong method.
+	g, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Body.Close()
+	if g.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query status %d", g.StatusCode)
+	}
+}
+
+func TestMPEEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp := post(t, ts.URL+"/mpe", mpeRequest{Evidence: evprop.Evidence{"XRay": 1, "Dysp": 1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var m mpeResponse
+	decode(t, resp, &m)
+	if len(m.Assignment) != 8 {
+		t.Errorf("assignment covers %d variables", len(m.Assignment))
+	}
+	if m.Assignment["XRay"] != 1 || m.Assignment["Dysp"] != 1 {
+		t.Error("MPE contradicts evidence")
+	}
+	if m.Probability <= 0 || m.Probability > 1 {
+		t.Errorf("probability %v", m.Probability)
+	}
+}
+
+func TestLoadNetwork(t *testing.T) {
+	for _, kind := range []string{"asia", "sprinkler", "student", "random"} {
+		n, err := loadNetwork(kind, "", 10, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if _, err := loadNetwork("bogus", "", 0, 0); err == nil {
+		t.Error("accepted bogus kind")
+	}
+	if _, err := loadNetwork("", "/does/not/exist.bif", 0, 0); err == nil {
+		t.Error("accepted missing BIF file")
+	}
+}
+
+func TestDSepEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp := post(t, ts.URL+"/dsep", dsepRequest{X: []string{"Asia"}, Y: []string{"Smoke"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var d dsepResponse
+	decode(t, resp, &d)
+	if !d.Separated {
+		t.Error("Asia and Smoke should be marginally d-separated")
+	}
+	resp = post(t, ts.URL+"/dsep", dsepRequest{X: []string{"Asia"}, Y: []string{"Smoke"}, Z: []string{"Dysp"}})
+	decode(t, resp, &d)
+	if d.Separated {
+		t.Error("Asia and Smoke should be d-connected given Dysp")
+	}
+	resp = post(t, ts.URL+"/dsep", dsepRequest{X: []string{"missing"}, Y: []string{"Smoke"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown variable status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,744 @@
+// Package evprop is a parallel exact-inference library for discrete
+// Bayesian networks, reproducing Xia, Feng & Prasanna, "Parallel Evidence
+// Propagation on Multicore Processors" (PACT 2009).
+//
+// A Bayesian network is compiled into a junction tree
+// (Lauritzen–Spiegelhalter), the tree is rerooted to minimize the parallel
+// critical path (the paper's Algorithm 1), evidence propagation is
+// decomposed into a DAG of node-level primitives, and a collaborative
+// work-sharing scheduler executes the DAG on P goroutines with dynamic
+// partitioning of large potential-table operations.
+//
+// Quick start:
+//
+//	net := evprop.NewNetwork()
+//	net.AddVariable("Rain", 2, nil, []float64{0.8, 0.2})
+//	net.AddVariable("Wet", 2, []string{"Rain"}, []float64{
+//		0.9, 0.1, // Rain = 0
+//		0.2, 0.8, // Rain = 1
+//	})
+//	eng, _ := net.Compile(evprop.Options{})
+//	post, _ := eng.Query(evprop.Evidence{"Wet": 1}, "Rain")
+//	fmt.Println(post["Rain"]) // posterior distribution of Rain
+package evprop
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"evprop/internal/approx"
+	"evprop/internal/bayesnet"
+	"evprop/internal/bif"
+	"evprop/internal/core"
+	"evprop/internal/potential"
+)
+
+// Evidence maps observed variable names to their observed state indices.
+type Evidence map[string]int
+
+// Network is a discrete Bayesian network under construction.
+type Network struct {
+	inner *bayesnet.Network
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network { return &Network{inner: bayesnet.New()} }
+
+// AddVariable appends a random variable with the given number of states.
+// parents names previously added variables; cpt is the flattened
+// conditional probability table with the parents' states (in the order
+// given) as the slow indices and this variable's own state as the fastest
+// index. Each conditional row must sum to 1.
+func (n *Network) AddVariable(name string, states int, parents []string, cpt []float64) error {
+	ids := make([]int, len(parents))
+	for i, p := range parents {
+		id := n.inner.ID(p)
+		if id < 0 {
+			return fmt.Errorf("evprop: unknown parent %q of %q", p, name)
+		}
+		ids[i] = id
+	}
+	_, err := n.inner.AddNode(name, states, ids, cpt)
+	return err
+}
+
+// MustAddVariable is AddVariable panicking on error, for example programs
+// with literal networks.
+func (n *Network) MustAddVariable(name string, states int, parents []string, cpt []float64) {
+	if err := n.AddVariable(name, states, parents, cpt); err != nil {
+		panic(err)
+	}
+}
+
+// Variables returns the variable names in insertion order.
+func (n *Network) Variables() []string {
+	out := make([]string, n.inner.N())
+	for i := range out {
+		out[i] = n.inner.Name(i)
+	}
+	return out
+}
+
+// States returns the number of states of the named variable, or 0 if it
+// does not exist.
+func (n *Network) States(name string) int {
+	id := n.inner.ID(name)
+	if id < 0 {
+		return 0
+	}
+	return n.inner.Nodes[id].Card
+}
+
+// Validate checks that the network is a well-formed DAG with normalized
+// CPTs.
+func (n *Network) Validate() error { return n.inner.Validate() }
+
+// ExactMarginal computes P(name | ev) by brute-force joint enumeration. It
+// is exponential in the network size and exists as a reference oracle for
+// small networks.
+func (n *Network) ExactMarginal(name string, ev Evidence) ([]float64, error) {
+	id := n.inner.ID(name)
+	if id < 0 {
+		return nil, fmt.Errorf("evprop: unknown variable %q", name)
+	}
+	iev, err := n.evidence(ev)
+	if err != nil {
+		return nil, err
+	}
+	m, err := n.inner.ExactMarginal(id, iev)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), m.Data...), nil
+}
+
+func (n *Network) evidence(ev Evidence) (potential.Evidence, error) {
+	iev := potential.Evidence{}
+	for name, state := range ev {
+		id := n.inner.ID(name)
+		if id < 0 {
+			return nil, fmt.Errorf("evprop: evidence on unknown variable %q", name)
+		}
+		iev[id] = state
+	}
+	return iev, nil
+}
+
+// Scheduler names accepted by Options.Scheduler.
+const (
+	SchedulerCollaborative = "collaborative"
+	SchedulerSerial        = "serial"
+	SchedulerLevelSync     = "levelsync"
+	SchedulerDataParallel  = "dataparallel"
+	SchedulerCentralized   = "centralized"
+	SchedulerWorkStealing  = "stealing"
+)
+
+// Options configures compilation of a network into an inference engine.
+type Options struct {
+	// Workers is the number of propagation goroutines (0 = GOMAXPROCS).
+	Workers int
+	// Scheduler is one of the Scheduler* constants (default
+	// "collaborative").
+	Scheduler string
+	// Reroot applies the paper's Algorithm 1 to minimize the parallel
+	// critical path (default true; set DisableReroot to turn off).
+	DisableReroot bool
+	// PartitionThreshold is δ: potential-table operations over more
+	// entries than this are split across workers. 0 selects an automatic
+	// threshold; negative disables partitioning.
+	PartitionThreshold int
+}
+
+// Engine answers posterior queries over a compiled network.
+type Engine struct {
+	net   *Network
+	inner *core.Engine
+}
+
+// Compile converts the network into a junction tree and prepares the
+// propagation engine.
+func (n *Network) Compile(opts Options) (*Engine, error) {
+	if err := n.inner.Validate(); err != nil {
+		return nil, err
+	}
+	tree, err := n.inner.Compile()
+	if err != nil {
+		return nil, err
+	}
+	name := opts.Scheduler
+	if name == "" {
+		name = SchedulerCollaborative
+	}
+	s, err := core.ParseScheduler(name)
+	if err != nil {
+		return nil, err
+	}
+	threshold := opts.PartitionThreshold
+	switch {
+	case threshold < 0:
+		threshold = 0 // disabled
+	case threshold == 0:
+		// Automatic δ: twice the mean clique table size, so only the
+		// heavyweight operations split.
+		total := 0
+		for i := range tree.Cliques {
+			total += tree.Cliques[i].TableSize()
+		}
+		threshold = 2 * total / tree.N()
+	}
+	eng, err := core.NewEngine(tree, core.Options{
+		Workers:            opts.Workers,
+		Scheduler:          s,
+		Reroot:             !opts.DisableReroot,
+		PartitionThreshold: threshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{net: n, inner: eng}, nil
+}
+
+// Query runs one evidence propagation and returns the posterior
+// distribution of each requested variable given the evidence.
+func (e *Engine) Query(ev Evidence, vars ...string) (map[string][]float64, error) {
+	res, err := e.propagate(ev)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]float64, len(vars))
+	for _, name := range vars {
+		id := e.net.inner.ID(name)
+		if id < 0 {
+			return nil, fmt.Errorf("evprop: unknown variable %q", name)
+		}
+		m, err := res.Marginal(id)
+		if err != nil {
+			return nil, fmt.Errorf("evprop: %q: %w", name, err)
+		}
+		out[name] = append([]float64(nil), m.Data...)
+	}
+	return out, nil
+}
+
+// SoftEvidence maps variable names to per-state likelihood weights (soft
+// or "virtual" evidence): instead of fixing a state, observation noise
+// scales each state's probability. Weights need not sum to 1; a one-hot
+// vector reproduces hard evidence.
+type SoftEvidence map[string][]float64
+
+// QuerySoft runs one propagation with both hard and soft evidence and
+// returns posteriors for the requested variables.
+func (e *Engine) QuerySoft(ev Evidence, soft SoftEvidence, vars ...string) (map[string][]float64, error) {
+	iev, err := e.net.evidence(ev)
+	if err != nil {
+		return nil, err
+	}
+	like := potential.Likelihood{}
+	for name, weights := range soft {
+		id := e.net.inner.ID(name)
+		if id < 0 {
+			return nil, fmt.Errorf("evprop: soft evidence on unknown variable %q", name)
+		}
+		like[id] = append([]float64(nil), weights...)
+	}
+	res, err := e.inner.PropagateSoft(iev, like)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]float64, len(vars))
+	for _, name := range vars {
+		id := e.net.inner.ID(name)
+		if id < 0 {
+			return nil, fmt.Errorf("evprop: unknown variable %q", name)
+		}
+		m, err := res.Marginal(id)
+		if err != nil {
+			return nil, fmt.Errorf("evprop: %q: %w", name, err)
+		}
+		out[name] = append([]float64(nil), m.Data...)
+	}
+	return out, nil
+}
+
+// QueryAll returns the posterior of every non-evidence variable.
+func (e *Engine) QueryAll(ev Evidence) (map[string][]float64, error) {
+	var vars []string
+	for _, name := range e.net.Variables() {
+		if _, fixed := ev[name]; !fixed {
+			vars = append(vars, name)
+		}
+	}
+	return e.Query(ev, vars...)
+}
+
+// QueryOne answers a single-variable query using a collection-only
+// propagation toward the clique containing the variable — roughly half the
+// work of a full Query, useful when only one posterior is needed.
+func (e *Engine) QueryOne(ev Evidence, name string) ([]float64, error) {
+	id := e.net.inner.ID(name)
+	if id < 0 {
+		return nil, fmt.Errorf("evprop: unknown variable %q", name)
+	}
+	iev, err := e.net.evidence(ev)
+	if err != nil {
+		return nil, err
+	}
+	m, err := e.inner.CollectMarginal(iev, id)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), m.Data...), nil
+}
+
+// Joint is a posterior distribution over several variables. Vars lists the
+// variable names in the table's dimension order (ascending internal id) and
+// Card their state counts; P is row-major with the last variable fastest.
+type Joint struct {
+	Vars []string
+	Card []int
+	P    []float64
+}
+
+// At returns the probability of one joint state (parallel to Vars).
+func (j *Joint) At(states ...int) float64 {
+	idx := 0
+	for i, s := range states {
+		idx = idx*j.Card[i] + s
+	}
+	return j.P[idx]
+}
+
+// QueryJoint computes the posterior over an arbitrary set of variables,
+// even when they do not share a clique (the engine folds the minimal
+// subtree of calibrated cliques spanning them). Cost grows exponentially
+// with the number of requested variables.
+func (e *Engine) QueryJoint(ev Evidence, vars ...string) (*Joint, error) {
+	ids := make([]int, len(vars))
+	for i, name := range vars {
+		id := e.net.inner.ID(name)
+		if id < 0 {
+			return nil, fmt.Errorf("evprop: unknown variable %q", name)
+		}
+		ids[i] = id
+	}
+	res, err := e.propagate(ev)
+	if err != nil {
+		return nil, err
+	}
+	m, err := res.JointMarginalAny(ids)
+	if err != nil {
+		return nil, err
+	}
+	out := &Joint{
+		Card: append([]int(nil), m.Card...),
+		P:    append([]float64(nil), m.Data...),
+	}
+	for _, id := range m.Vars {
+		out.Vars = append(out.Vars, e.net.inner.Name(id))
+	}
+	return out, nil
+}
+
+// MutualInformation returns I(x; y | evidence) in bits: how much observing
+// one variable is expected to tell us about the other, given what is
+// already known. It is the value-of-information measure behind
+// BestObservation.
+func (e *Engine) MutualInformation(ev Evidence, x, y string) (float64, error) {
+	ids, err := e.net.names([]string{x, y})
+	if err != nil {
+		return 0, err
+	}
+	if ids[0] == ids[1] {
+		return 0, fmt.Errorf("evprop: mutual information of %q with itself", x)
+	}
+	res, err := e.propagate(ev)
+	if err != nil {
+		return 0, err
+	}
+	joint, err := res.JointMarginalAny(ids)
+	if err != nil {
+		return 0, err
+	}
+	return joint.MutualInformation()
+}
+
+// BestObservation ranks candidate variables by how informative observing
+// each would be about the target, given the current evidence — the classic
+// "which test should we run next" query. It returns the candidates sorted
+// by decreasing mutual information with the target.
+func (e *Engine) BestObservation(ev Evidence, target string, candidates ...string) ([]string, []float64, error) {
+	type scored struct {
+		name string
+		mi   float64
+	}
+	ranked := make([]scored, 0, len(candidates))
+	for _, c := range candidates {
+		if _, observed := ev[c]; observed || c == target {
+			continue
+		}
+		mi, err := e.MutualInformation(ev, target, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		ranked = append(ranked, scored{c, mi})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].mi > ranked[j].mi })
+	names := make([]string, len(ranked))
+	mis := make([]float64, len(ranked))
+	for i, r := range ranked {
+		names[i] = r.name
+		mis[i] = r.mi
+	}
+	return names, mis, nil
+}
+
+// ProbabilityOfEvidence returns P(e), the likelihood of the observation.
+func (e *Engine) ProbabilityOfEvidence(ev Evidence) (float64, error) {
+	res, err := e.propagate(ev)
+	if err != nil {
+		return 0, err
+	}
+	return res.ProbabilityOfEvidence(), nil
+}
+
+// MostProbableState returns the argmax state and its posterior probability
+// for the named variable given the evidence.
+func (e *Engine) MostProbableState(ev Evidence, name string) (int, float64, error) {
+	post, err := e.Query(ev, name)
+	if err != nil {
+		return 0, 0, err
+	}
+	dist := post[name]
+	best, bestP := 0, dist[0]
+	for s, p := range dist {
+		if p > bestP {
+			best, bestP = s, p
+		}
+	}
+	return best, bestP, nil
+}
+
+func (e *Engine) propagate(ev Evidence) (*core.Result, error) {
+	iev, err := e.net.evidence(ev)
+	if err != nil {
+		return nil, err
+	}
+	return e.inner.Propagate(iev)
+}
+
+// MostProbableExplanation computes the jointly most probable assignment of
+// all variables given the evidence (MPE / Viterbi decoding), via
+// max-product evidence propagation over the same task graph and scheduler.
+// It returns the assignment by variable name and its conditional
+// probability P(assignment | evidence).
+func (e *Engine) MostProbableExplanation(ev Evidence) (map[string]int, float64, error) {
+	iev, err := e.net.evidence(ev)
+	if err != nil {
+		return nil, 0, err
+	}
+	maxRes, err := e.inner.PropagateMax(iev)
+	if err != nil {
+		return nil, 0, err
+	}
+	assignment, joint, err := maxRes.MostProbableExplanation()
+	if err != nil {
+		return nil, 0, err
+	}
+	sumRes, err := e.inner.Propagate(iev)
+	if err != nil {
+		return nil, 0, err
+	}
+	pe := sumRes.ProbabilityOfEvidence()
+	if pe <= 0 {
+		return nil, 0, fmt.Errorf("evprop: evidence has zero probability")
+	}
+	named := make(map[string]int, len(assignment))
+	for id, state := range assignment {
+		named[e.net.inner.Name(id)] = state
+	}
+	return named, joint / pe, nil
+}
+
+// Cliques reports the compiled junction tree's size (number of cliques and
+// the largest clique width), useful for judging tractability.
+func (e *Engine) Cliques() (n, maxWidth int) {
+	t := e.inner.Tree()
+	for i := range t.Cliques {
+		if w := t.Cliques[i].Width(); w > maxWidth {
+			maxWidth = w
+		}
+	}
+	return t.N(), maxWidth
+}
+
+// RandomNetwork generates a synthetic layered Bayesian network with the
+// given node count, states per node and maximum parents per node — the
+// workload generator used by the scheduling examples and benchmarks.
+func RandomNetwork(nodes, states, maxParents int, seed int64) *Network {
+	return &Network{inner: bayesnet.RandomNetwork(nodes, states, maxParents, seed)}
+}
+
+// names resolves variable names to internal ids.
+func (n *Network) names(vars []string) ([]int, error) {
+	out := make([]int, len(vars))
+	for i, name := range vars {
+		id := n.inner.ID(name)
+		if id < 0 {
+			return nil, fmt.Errorf("evprop: unknown variable %q", name)
+		}
+		out[i] = id
+	}
+	return out, nil
+}
+
+// Approximate-inference method names for QueryApprox.
+const (
+	// MethodLikelihoodWeighting clamps evidence while forward-sampling and
+	// weights each draw by the evidence likelihood.
+	MethodLikelihoodWeighting = "lw"
+	// MethodGibbs runs single-site Gibbs sampling over the non-evidence
+	// variables (with a burn-in of one tenth of the samples).
+	MethodGibbs = "gibbs"
+)
+
+// QueryApprox estimates posteriors by sampling instead of exact
+// propagation — useful for sanity checks and for networks whose junction
+// trees are intractably wide. Estimates converge to the exact posteriors
+// as samples grows.
+func (n *Network) QueryApprox(method string, ev Evidence, samples int, seed int64, vars ...string) (map[string][]float64, error) {
+	iev, err := n.evidence(ev)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := n.names(vars)
+	if err != nil {
+		return nil, err
+	}
+	var est map[int][]float64
+	switch method {
+	case MethodLikelihoodWeighting:
+		est, err = approx.LikelihoodWeighting(n.inner, iev, ids, approx.Options{Samples: samples, Seed: seed})
+	case MethodGibbs:
+		est, err = approx.Gibbs(n.inner, iev, ids, approx.Options{Samples: samples, BurnIn: samples / 10, Seed: seed})
+	default:
+		return nil, fmt.Errorf("evprop: unknown approximation method %q", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]float64, len(vars))
+	for i, name := range vars {
+		out[name] = est[ids[i]]
+	}
+	return out, nil
+}
+
+// SampleN draws complete assignments by ancestral (forward) sampling,
+// returned as name→state maps. The seed makes runs reproducible.
+func (n *Network) SampleN(count int, seed int64) ([]map[string]int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	raw, err := n.inner.SampleN(rng, count)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[string]int, len(raw))
+	for i, sample := range raw {
+		m := make(map[string]int, len(sample))
+		for id, state := range sample {
+			m[n.inner.Name(id)] = state
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// FitParameters learns a new network with this network's structure from
+// complete data (name→state maps), using Laplace smoothing. It is the
+// sample → learn → infer loop: parameters fitted to enough samples of a
+// network converge to that network.
+func (n *Network) FitParameters(data []map[string]int, smoothing float64) (*Network, error) {
+	raw := make([][]int, len(data))
+	for i, sample := range data {
+		row := make([]int, n.inner.N())
+		for id := range row {
+			state, ok := sample[n.inner.Name(id)]
+			if !ok {
+				return nil, fmt.Errorf("evprop: sample %d missing variable %q", i, n.inner.Name(id))
+			}
+			row[id] = state
+		}
+		raw[i] = row
+	}
+	inner, err := bayesnet.LearnParameters(n.inner.StructureOf(), raw, smoothing)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{inner: inner}, nil
+}
+
+// LearnChowLiu learns the maximum-likelihood tree-structured network from
+// complete samples (Chow & Liu): pairwise mutual informations are estimated
+// from the data, a maximum spanning tree connects the variables, and CPTs
+// are fitted with Laplace smoothing. states gives each variable's state
+// count; every sample must assign all variables.
+func LearnChowLiu(data []map[string]int, states map[string]int, smoothing float64) (*Network, error) {
+	names := make([]string, 0, len(states))
+	for name := range states {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cards := make([]int, len(names))
+	for i, name := range names {
+		cards[i] = states[name]
+	}
+	raw := make([][]int, len(data))
+	for i, sample := range data {
+		row := make([]int, len(names))
+		for j, name := range names {
+			st, ok := sample[name]
+			if !ok {
+				return nil, fmt.Errorf("evprop: sample %d missing variable %q", i, name)
+			}
+			row[j] = st
+		}
+		raw[i] = row
+	}
+	inner, err := bayesnet.ChowLiu(names, cards, raw, 0, smoothing)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{inner: inner}, nil
+}
+
+// DSeparated reports whether the variable sets x and y are d-separated
+// given z: if true, x and y are conditionally independent given z for
+// every parameterization of the network, and a query can skip inference.
+func (n *Network) DSeparated(x, y, z []string) (bool, error) {
+	xi, err := n.names(x)
+	if err != nil {
+		return false, err
+	}
+	yi, err := n.names(y)
+	if err != nil {
+		return false, err
+	}
+	zi, err := n.names(z)
+	if err != nil {
+		return false, err
+	}
+	return n.inner.DSeparated(xi, yi, zi)
+}
+
+// MarkovBlanket returns the names of the variable's Markov blanket — its
+// parents, children and co-parents, the minimal set that shields it from
+// the rest of the network.
+func (n *Network) MarkovBlanket(name string) ([]string, error) {
+	id := n.inner.ID(name)
+	if id < 0 {
+		return nil, fmt.Errorf("evprop: unknown variable %q", name)
+	}
+	mb, err := n.inner.MarkovBlanket(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(mb))
+	for i, v := range mb {
+		out[i] = n.inner.Name(v)
+	}
+	return out, nil
+}
+
+// AddNoisyOr appends a binary variable whose CPT follows the canonical
+// noisy-OR model: the variable fires if any parent "cause" fires and is not
+// inhibited; inhibit[i] is the probability that parent i's influence is
+// suppressed, and leak is the probability the variable fires with no parent
+// active. All parents must be binary.
+func (n *Network) AddNoisyOr(name string, parents []string, inhibit []float64, leak float64) error {
+	if len(inhibit) != len(parents) {
+		return fmt.Errorf("evprop: noisy-or %q: %d parents but %d inhibitors", name, len(parents), len(inhibit))
+	}
+	if leak < 0 || leak > 1 {
+		return fmt.Errorf("evprop: noisy-or %q: leak %v out of [0,1]", name, leak)
+	}
+	for i, q := range inhibit {
+		if q < 0 || q > 1 {
+			return fmt.Errorf("evprop: noisy-or %q: inhibitor %d = %v out of [0,1]", name, i, q)
+		}
+	}
+	for _, p := range parents {
+		if n.States(p) != 2 {
+			return fmt.Errorf("evprop: noisy-or %q: parent %q is not binary", name, p)
+		}
+	}
+	rows := 1 << len(parents)
+	cpt := make([]float64, 0, rows*2)
+	for r := 0; r < rows; r++ {
+		pOff := 1 - leak
+		for i := range parents {
+			// Parent i is active when its bit (first parent slowest) is 1.
+			if r>>(len(parents)-1-i)&1 == 1 {
+				pOff *= inhibit[i]
+			}
+		}
+		cpt = append(cpt, pOff, 1-pOff)
+	}
+	return n.AddVariable(name, 2, parents, cpt)
+}
+
+// ParseBIF reads a Bayesian network in the textual Bayesian Interchange
+// Format (the format of the classic repository files such as asia.bif). It
+// returns the network and each variable's declared state names, which map
+// state indices (used in Evidence and posteriors) to their labels.
+func ParseBIF(r io.Reader) (*Network, map[string][]string, error) {
+	doc, err := bif.Parse(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	inner, states, err := doc.ToNetwork()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Network{inner: inner}, states, nil
+}
+
+// WriteBIF serializes the network in BIF text form. states optionally
+// labels each variable's states; omitted variables get synthetic labels.
+func (n *Network) WriteBIF(w io.Writer, name string, states map[string][]string) error {
+	return bif.Write(w, n.inner, name, states)
+}
+
+// ParseXMLBIF reads a network in XMLBIF 0.3 form (the XML interchange of
+// WEKA and SamIam), returning the network and per-variable state names.
+func ParseXMLBIF(r io.Reader) (*Network, map[string][]string, error) {
+	inner, states, err := bif.ParseXMLNetwork(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Network{inner: inner}, states, nil
+}
+
+// WriteXMLBIF serializes the network as XMLBIF 0.3.
+func (n *Network) WriteXMLBIF(w io.Writer, name string, states map[string][]string) error {
+	return bif.WriteXML(w, n.inner, name, states)
+}
+
+// Asia returns the classic Lauritzen–Spiegelhalter chest-clinic network.
+func Asia() *Network {
+	n, _ := bayesnet.Asia()
+	return &Network{inner: n}
+}
+
+// Sprinkler returns Murphy's four-node lawn network.
+func Sprinkler() *Network {
+	n, _ := bayesnet.Sprinkler()
+	return &Network{inner: n}
+}
+
+// Student returns the five-node student network of Koller & Friedman.
+func Student() *Network {
+	n, _ := bayesnet.Student()
+	return &Network{inner: n}
+}

@@ -1,0 +1,122 @@
+package evprop_test
+
+import (
+	"fmt"
+	"strings"
+
+	"evprop"
+)
+
+// ExampleNetwork_Compile builds a two-variable network and queries it.
+func ExampleNetwork_Compile() {
+	net := evprop.NewNetwork()
+	net.MustAddVariable("Rain", 2, nil, []float64{0.8, 0.2})
+	net.MustAddVariable("Wet", 2, []string{"Rain"}, []float64{
+		0.9, 0.1, // Rain = no
+		0.2, 0.8, // Rain = yes
+	})
+	eng, err := net.Compile(evprop.Options{})
+	if err != nil {
+		panic(err)
+	}
+	post, err := eng.Query(evprop.Evidence{"Wet": 1}, "Rain")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P(Rain | Wet) = %.4f\n", post["Rain"][1])
+	// Output: P(Rain | Wet) = 0.6667
+}
+
+// ExampleEngine_ProbabilityOfEvidence shows evidence likelihoods.
+func ExampleEngine_ProbabilityOfEvidence() {
+	eng, err := evprop.Sprinkler().Compile(evprop.Options{})
+	if err != nil {
+		panic(err)
+	}
+	p, err := eng.ProbabilityOfEvidence(evprop.Evidence{"WetGrass": 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P(WetGrass = 1) = %.4f\n", p)
+	// Output: P(WetGrass = 1) = 0.6471
+}
+
+// ExampleEngine_MostProbableExplanation decodes the most probable joint
+// state.
+func ExampleEngine_MostProbableExplanation() {
+	eng, err := evprop.Sprinkler().Compile(evprop.Options{})
+	if err != nil {
+		panic(err)
+	}
+	mpe, _, err := eng.MostProbableExplanation(evprop.Evidence{"WetGrass": 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Rain=%d Sprinkler=%d\n", mpe["Rain"], mpe["Sprinkler"])
+	// Output: Rain=1 Sprinkler=0
+}
+
+// ExampleParseBIF loads a network from the Bayesian Interchange Format.
+func ExampleParseBIF() {
+	src := `
+network coin { }
+variable Flip { type discrete [ 2 ] { heads, tails }; }
+probability ( Flip ) { table 0.5, 0.5; }
+`
+	net, states, err := evprop.ParseBIF(strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(net.Variables()[0], states["Flip"][0])
+	// Output: Flip heads
+}
+
+// ExampleEngine_QueryJoint computes a posterior over variables that share
+// no clique.
+func ExampleEngine_QueryJoint() {
+	eng, err := evprop.Asia().Compile(evprop.Options{})
+	if err != nil {
+		panic(err)
+	}
+	j, err := eng.QueryJoint(nil, "Asia", "XRay")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s %s: %d entries\n", j.Vars[0], j.Vars[1], len(j.P))
+	// Output: Asia XRay: 4 entries
+}
+
+// ExampleNetwork_DSeparated checks structural independence without
+// inference.
+func ExampleNetwork_DSeparated() {
+	net := evprop.Asia()
+	marginal, _ := net.DSeparated([]string{"Asia"}, []string{"Smoke"}, nil)
+	givenDysp, _ := net.DSeparated([]string{"Asia"}, []string{"Smoke"}, []string{"Dysp"})
+	fmt.Println(marginal, givenDysp)
+	// Output: true false
+}
+
+// ExampleEngine_BestObservation ranks candidate tests by expected
+// information.
+func ExampleEngine_BestObservation() {
+	eng, err := evprop.Asia().Compile(evprop.Options{})
+	if err != nil {
+		panic(err)
+	}
+	names, _, err := eng.BestObservation(nil, "TbOrCa", "Asia", "XRay")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(names[0])
+	// Output: XRay
+}
+
+// ExampleNetwork_SampleN draws reproducible synthetic data.
+func ExampleNetwork_SampleN() {
+	data, err := evprop.Sprinkler().SampleN(3, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(data), len(data[0]))
+	// Output: 3 4
+}

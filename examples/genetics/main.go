@@ -1,0 +1,143 @@
+// Pedigree analysis: genotype inference for a recessive disease across a
+// three-generation family — the genetics application the paper's
+// introduction cites (gene-expression / inheritance models).
+//
+// Each individual has a genotype variable with three states (0 = AA,
+// 1 = Aa carrier, 2 = aa affected). Founders follow Hardy–Weinberg priors;
+// children follow Mendelian inheritance from both parents; each individual
+// also has an observable phenotype (0 = healthy, 1 = affected) that is
+// deterministic in the genotype. Given one affected grandchild, we compute
+// carrier posteriors for the whole family and the most probable combined
+// explanation.
+//
+//	go run ./examples/genetics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"evprop"
+)
+
+// q is the disease-allele frequency.
+const q = 0.05
+
+func main() {
+	net := evprop.NewNetwork()
+
+	// Founders: two sets of grandparents and one married-in parent.
+	founders := []string{"GrandpaP", "GrandmaP", "GrandpaM", "GrandmaM", "FatherInLaw"}
+	for _, f := range founders {
+		net.MustAddVariable(gt(f), 3, nil, hardyWeinberg())
+		addPhenotype(net, f)
+	}
+	// Second generation.
+	addChild(net, "Father", "GrandpaP", "GrandmaP")
+	addChild(net, "Mother", "GrandpaM", "GrandmaM")
+	addChild(net, "Aunt", "GrandpaM", "GrandmaM")
+	// Third generation.
+	addChild(net, "Child1", "Father", "Mother")
+	addChild(net, "Child2", "Father", "Mother")
+	addChild(net, "Cousin", "FatherInLaw", "Aunt")
+
+	eng, err := net.Compile(evprop.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nc, w := eng.Cliques()
+	fmt.Printf("pedigree model: %d variables, %d cliques (max width %d)\n\n",
+		len(net.Variables()), nc, w)
+
+	// Observation: Child1 is affected; everyone else tested so far is
+	// healthy.
+	ev := evprop.Evidence{
+		ph("Child1"): 1,
+		ph("Father"): 0, ph("Mother"): 0,
+		ph("GrandpaP"): 0, ph("GrandmaP"): 0,
+		ph("GrandpaM"): 0, ph("GrandmaM"): 0,
+	}
+
+	members := []string{
+		"GrandpaP", "GrandmaP", "GrandpaM", "GrandmaM",
+		"Father", "Mother", "Aunt", "FatherInLaw", "Child2", "Cousin",
+	}
+	queries := make([]string, len(members))
+	for i, m := range members {
+		queries[i] = gt(m)
+	}
+	post, err := eng.Query(ev, queries...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("member       P(AA)    P(Aa)    P(aa)   carrier-or-affected")
+	for _, m := range members {
+		d := post[gt(m)]
+		fmt.Printf("%-11s %.4f   %.4f   %.4f   %.4f\n", m, d[0], d[1], d[2], d[1]+d[2])
+	}
+
+	// Both parents of an affected child must carry the allele.
+	if post[gt("Father")][0] > 1e-9 || post[gt("Mother")][0] > 1e-9 {
+		log.Fatal("inconsistent: a parent of an affected child cannot be AA")
+	}
+
+	// Most probable joint explanation of the observations.
+	mpe, p, err := eng.MostProbableExplanation(ev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	genotypes := []string{"AA", "Aa", "aa"}
+	fmt.Printf("\nmost probable joint explanation (P = %.4g):\n", p)
+	for _, m := range members {
+		fmt.Printf("  %-11s %s\n", m, genotypes[mpe[gt(m)]])
+	}
+}
+
+func gt(name string) string { return name + ".G" }
+func ph(name string) string { return name + ".Ph" }
+
+// hardyWeinberg is the founder genotype prior for allele frequency q.
+func hardyWeinberg() []float64 {
+	p := 1 - q
+	return []float64{p * p, 2 * p * q, q * q}
+}
+
+// addChild wires a child's genotype to both parents with the Mendelian CPT
+// plus its phenotype node.
+func addChild(net *evprop.Network, child, father, mother string) {
+	cpt := make([]float64, 0, 27)
+	for f := 0; f < 3; f++ {
+		for m := 0; m < 3; m++ {
+			fa := alleleProb(f)
+			ma := alleleProb(m)
+			paa := fa * ma               // child AA
+			pab := fa*(1-ma) + (1-fa)*ma // child Aa
+			pbb := (1 - fa) * (1 - ma)   // child aa
+			cpt = append(cpt, paa, pab, pbb)
+		}
+	}
+	net.MustAddVariable(gt(child), 3, []string{gt(father), gt(mother)}, cpt)
+	addPhenotype(net, child)
+}
+
+// alleleProb returns the probability that a parent with the given genotype
+// transmits the healthy allele A.
+func alleleProb(genotype int) float64 {
+	switch genotype {
+	case 0:
+		return 1
+	case 1:
+		return 0.5
+	default:
+		return 0
+	}
+}
+
+// addPhenotype adds the deterministic phenotype: affected iff genotype aa.
+func addPhenotype(net *evprop.Network, name string) {
+	net.MustAddVariable(ph(name), 2, []string{gt(name)}, []float64{
+		1, 0, // AA
+		1, 0, // Aa
+		0, 1, // aa
+	})
+}

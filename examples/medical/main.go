@@ -1,0 +1,83 @@
+// Medical diagnosis with the Asia ("chest clinic") network — the classic
+// Lauritzen–Spiegelhalter expert-system example, the same family of
+// workloads (medical diagnosis) the paper's introduction motivates.
+//
+// The program walks a clinical scenario: a smoker returns from Asia with
+// dyspnea, and we watch the differential diagnosis shift as test results
+// arrive.
+//
+//	go run ./examples/medical
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"evprop"
+)
+
+func main() {
+	net := evprop.Asia()
+	eng, err := net.Compile(evprop.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	diseases := []string{"Tub", "Lung", "Bronc", "TbOrCa"}
+	scenarios := []struct {
+		title    string
+		evidence evprop.Evidence
+	}{
+		{"no findings (population priors)", nil},
+		{"smoker with dyspnea", evprop.Evidence{"Smoke": 1, "Dysp": 1}},
+		{"… who recently visited Asia", evprop.Evidence{"Smoke": 1, "Dysp": 1, "Asia": 1}},
+		{"… and has a positive X-ray", evprop.Evidence{"Smoke": 1, "Dysp": 1, "Asia": 1, "XRay": 1}},
+		{"… but the X-ray came back clear", evprop.Evidence{"Smoke": 1, "Dysp": 1, "Asia": 1, "XRay": 0}},
+	}
+
+	for _, sc := range scenarios {
+		post, err := eng.Query(sc.evidence, diseases...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pe, err := eng.ProbabilityOfEvidence(sc.evidence)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", sc.title)
+		if len(sc.evidence) > 0 {
+			fmt.Printf("  likelihood of presentation: %.4f\n", pe)
+		}
+		for _, d := range diseases {
+			fmt.Printf("  P(%-6s | e) = %.4f\n", d, post[d][1])
+		}
+		fmt.Println()
+	}
+
+	// Test selection: with only the history known, which examination is
+	// expected to be most informative about serious disease (TbOrCa)?
+	history := evprop.Evidence{"Smoke": 1, "Dysp": 1, "Asia": 1}
+	tests, bits, err := eng.BestObservation(history, "TbOrCa", "XRay", "Bronc", "Asia")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("next-test ranking by expected information about TbOrCa:")
+	for i, name := range tests {
+		fmt.Printf("  %d. %-6s %.4f bits\n", i+1, name, bits[i])
+	}
+	fmt.Println()
+
+	// A treatment decision: is the cause more likely bronchitis or
+	// tuberculosis-or-cancer for the clear-X-ray patient?
+	ev := evprop.Evidence{"Smoke": 1, "Dysp": 1, "Asia": 1, "XRay": 0}
+	state, p, err := eng.MostProbableState(ev, "Bronc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict := "unlikely"
+	if state == 1 {
+		verdict = "likely"
+	}
+	fmt.Printf("conclusion: bronchitis is %s (posterior %.3f) — the clear X-ray\n", verdict, p)
+	fmt.Println("has explained away the serious causes of the dyspnea.")
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a tiny Bayesian network with the public evprop API,
+// compile it to a junction tree, and ask posterior questions.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"evprop"
+)
+
+func main() {
+	// A three-variable network: Cloudy -> Rain -> WetGrass.
+	net := evprop.NewNetwork()
+	net.MustAddVariable("Cloudy", 2, nil, []float64{0.5, 0.5})
+	net.MustAddVariable("Rain", 2, []string{"Cloudy"}, []float64{
+		0.8, 0.2, // Cloudy = no
+		0.2, 0.8, // Cloudy = yes
+	})
+	net.MustAddVariable("WetGrass", 2, []string{"Rain"}, []float64{
+		0.9, 0.1, // Rain = no
+		0.1, 0.9, // Rain = yes
+	})
+
+	// Compile: moralize, triangulate, build the junction tree, reroot it
+	// with the paper's Algorithm 1, and prepare the parallel propagation
+	// engine (collaborative scheduler by default).
+	eng, err := net.Compile(evprop.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cliques, width := eng.Cliques()
+	fmt.Printf("junction tree: %d cliques, max width %d\n\n", cliques, width)
+
+	// Prior over Rain.
+	prior, err := eng.Query(nil, "Rain")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(Rain)            = %.4f\n", prior["Rain"][1])
+
+	// Posterior after observing wet grass: evidence propagation.
+	post, err := eng.Query(evprop.Evidence{"WetGrass": 1}, "Rain", "Cloudy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(Rain | wet)      = %.4f\n", post["Rain"][1])
+	fmt.Printf("P(Cloudy | wet)    = %.4f\n", post["Cloudy"][1])
+
+	// The likelihood of the observation itself.
+	pe, err := eng.ProbabilityOfEvidence(evprop.Evidence{"WetGrass": 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(WetGrass = 1)    = %.4f\n", pe)
+}

@@ -1,0 +1,3 @@
+module evprop
+
+go 1.22

@@ -1,0 +1,213 @@
+// Package approx implements sampling-based approximate inference —
+// likelihood weighting and Gibbs sampling — over the same Bayesian networks
+// as the exact junction-tree engine. Besides being features in their own
+// right, they serve as statistically independent cross-checks of the exact
+// engine: both estimators converge to the posteriors that evidence
+// propagation computes exactly.
+package approx
+
+import (
+	"fmt"
+	"math/rand"
+
+	"evprop/internal/bayesnet"
+	"evprop/internal/potential"
+)
+
+// Options configures an approximate-inference run.
+type Options struct {
+	// Samples is the number of draws (likelihood weighting) or kept sweeps
+	// (Gibbs).
+	Samples int
+	// BurnIn discards this many initial sweeps (Gibbs only).
+	BurnIn int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// LikelihoodWeighting estimates P(v | ev) for every requested variable:
+// evidence variables are clamped while sampling and each sample is weighted
+// by the likelihood of the clamped values.
+func LikelihoodWeighting(n *bayesnet.Network, ev potential.Evidence, vars []int, opts Options) (map[int][]float64, error) {
+	if opts.Samples < 1 {
+		return nil, fmt.Errorf("approx: need at least 1 sample")
+	}
+	order, err := n.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	for v, s := range ev {
+		if v < 0 || v >= n.N() || s < 0 || s >= n.Nodes[v].Card {
+			return nil, fmt.Errorf("approx: evidence %d=%d out of range", v, s)
+		}
+	}
+	for _, v := range vars {
+		if v < 0 || v >= n.N() {
+			return nil, fmt.Errorf("approx: query variable %d out of range", v)
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	acc := map[int][]float64{}
+	for _, v := range vars {
+		acc[v] = make([]float64, n.Nodes[v].Card)
+	}
+	states := make([]int, n.N())
+	totalWeight := 0.0
+	for i := 0; i < opts.Samples; i++ {
+		weight := 1.0
+		for _, id := range order {
+			dist := conditionalRow(n, id, states)
+			if s, fixed := ev[id]; fixed {
+				states[id] = s
+				weight *= dist[s]
+			} else {
+				states[id] = sampleFrom(rng, dist)
+			}
+		}
+		if weight == 0 {
+			continue
+		}
+		totalWeight += weight
+		for _, v := range vars {
+			acc[v][states[v]] += weight
+		}
+	}
+	if totalWeight == 0 {
+		return nil, fmt.Errorf("approx: all samples had zero weight (impossible evidence?)")
+	}
+	for _, v := range vars {
+		for s := range acc[v] {
+			acc[v][s] /= totalWeight
+		}
+	}
+	return acc, nil
+}
+
+// Gibbs estimates P(v | ev) with single-site Gibbs sampling: non-evidence
+// variables are resampled in turn from their full conditional (restricted
+// to the Markov blanket), after a burn-in period.
+//
+// Caveat: networks with deterministic CPTs (0/1 entries, like Asia's
+// tuberculosis-or-cancer OR gate) make the chain non-ergodic — single-site
+// moves cannot cross zero-probability configurations, so estimates can be
+// arbitrarily wrong. Use LikelihoodWeighting for such networks.
+func Gibbs(n *bayesnet.Network, ev potential.Evidence, vars []int, opts Options) (map[int][]float64, error) {
+	if opts.Samples < 1 {
+		return nil, fmt.Errorf("approx: need at least 1 sample")
+	}
+	order, err := n.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	children := make([][]int, n.N())
+	for id, node := range n.Nodes {
+		for _, p := range node.Parents {
+			children[p] = append(children[p], id)
+		}
+	}
+
+	// Initialize with a forward sample consistent with the evidence (the
+	// likelihood-weighting initializer: clamp evidence, sample the rest).
+	states := make([]int, n.N())
+	for _, id := range order {
+		if s, fixed := ev[id]; fixed {
+			if s < 0 || s >= n.Nodes[id].Card {
+				return nil, fmt.Errorf("approx: evidence %d=%d out of range", id, s)
+			}
+			states[id] = s
+			continue
+		}
+		states[id] = sampleFrom(rng, conditionalRow(n, id, states))
+	}
+	var free []int
+	for id := range n.Nodes {
+		if _, fixed := ev[id]; !fixed {
+			free = append(free, id)
+		}
+	}
+	acc := map[int][]float64{}
+	for _, v := range vars {
+		if v < 0 || v >= n.N() {
+			return nil, fmt.Errorf("approx: query variable %d out of range", v)
+		}
+		acc[v] = make([]float64, n.Nodes[v].Card)
+	}
+
+	sweeps := opts.BurnIn + opts.Samples
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for _, id := range free {
+			dist := fullConditional(n, children, id, states)
+			states[id] = sampleFrom(rng, dist)
+		}
+		if sweep < opts.BurnIn {
+			continue
+		}
+		for _, v := range vars {
+			acc[v][states[v]]++
+		}
+	}
+	for _, v := range vars {
+		for s := range acc[v] {
+			acc[v][s] /= float64(opts.Samples)
+		}
+	}
+	return acc, nil
+}
+
+// conditionalRow extracts P(id | parents) for the parent states in
+// `states`.
+func conditionalRow(n *bayesnet.Network, id int, states []int) []float64 {
+	node := &n.Nodes[id]
+	dist := make([]float64, node.Card)
+	assign := make([]int, len(node.CPT.Vars))
+	for pos, v := range node.CPT.Vars {
+		if v != id {
+			assign[pos] = states[v]
+		}
+	}
+	for s := 0; s < node.Card; s++ {
+		for pos, v := range node.CPT.Vars {
+			if v == id {
+				assign[pos] = s
+			}
+		}
+		dist[s] = node.CPT.Data[node.CPT.IndexOf(assign)]
+	}
+	return dist
+}
+
+// fullConditional computes P(id | everything else) ∝ P(id | parents) ×
+// Π_children P(child | its parents), evaluated at the current states.
+func fullConditional(n *bayesnet.Network, children [][]int, id int, states []int) []float64 {
+	dist := conditionalRow(n, id, states)
+	saved := states[id]
+	for s := range dist {
+		states[id] = s
+		for _, c := range children[id] {
+			row := conditionalRow(n, c, states)
+			dist[s] *= row[states[c]]
+		}
+	}
+	states[id] = saved
+	return dist
+}
+
+func sampleFrom(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

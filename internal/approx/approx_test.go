@@ -1,0 +1,131 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"evprop/internal/bayesnet"
+	"evprop/internal/potential"
+)
+
+// exactPosterior is the junction-tree-free oracle.
+func exactPosterior(t *testing.T, n *bayesnet.Network, v int, ev potential.Evidence) []float64 {
+	t.Helper()
+	m, err := n.ExactMarginal(v, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Data
+}
+
+func TestLikelihoodWeightingConverges(t *testing.T) {
+	net, ids := bayesnet.Asia()
+	ev := potential.Evidence{ids["Dysp"]: 1, ids["Smoke"]: 1}
+	vars := []int{ids["Lung"], ids["Bronc"], ids["Tub"]}
+	got, err := LikelihoodWeighting(net, ev, vars, Options{Samples: 60000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vars {
+		want := exactPosterior(t, net, v, ev)
+		for s := range want {
+			if math.Abs(got[v][s]-want[s]) > 0.02 {
+				t.Errorf("LW P(%d=%d|e) = %.4f, exact %.4f", v, s, got[v][s], want[s])
+			}
+		}
+	}
+}
+
+func TestGibbsConverges(t *testing.T) {
+	net, ids := bayesnet.Sprinkler()
+	ev := potential.Evidence{ids["WetGrass"]: 1}
+	vars := []int{ids["Rain"], ids["Sprinkler"]}
+	got, err := Gibbs(net, ev, vars, Options{Samples: 40000, BurnIn: 2000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vars {
+		want := exactPosterior(t, net, v, ev)
+		for s := range want {
+			if math.Abs(got[v][s]-want[s]) > 0.02 {
+				t.Errorf("Gibbs P(%d=%d|e) = %.4f, exact %.4f", v, s, got[v][s], want[s])
+			}
+		}
+	}
+}
+
+func TestApproxMatchesExactEngineOnRandomNetworks(t *testing.T) {
+	// Independent statistical validation of the exact engine: likelihood
+	// weighting converges to the same posteriors the junction tree gives.
+	for seed := int64(1); seed <= 3; seed++ {
+		net := bayesnet.RandomNetwork(8, 2, 2, seed)
+		ev := potential.Evidence{0: 1}
+		vars := []int{net.N() - 1, net.N() / 2}
+		lw, err := LikelihoodWeighting(net, ev, vars, Options{Samples: 40000, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vars {
+			want := exactPosterior(t, net, v, ev)
+			if math.Abs(lw[v][1]-want[1]) > 0.025 {
+				t.Errorf("seed %d: LW %.4f vs exact %.4f", seed, lw[v][1], want[1])
+			}
+		}
+	}
+}
+
+func TestLikelihoodWeightingNoEvidence(t *testing.T) {
+	net, ids := bayesnet.Sprinkler()
+	got, err := LikelihoodWeighting(net, nil, []int{ids["Cloudy"]}, Options{Samples: 20000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[ids["Cloudy"]][1]-0.5) > 0.02 {
+		t.Errorf("P(Cloudy) = %v, want 0.5", got[ids["Cloudy"]][1])
+	}
+}
+
+func TestApproxErrors(t *testing.T) {
+	net, _ := bayesnet.Sprinkler()
+	if _, err := LikelihoodWeighting(net, nil, []int{0}, Options{Samples: 0}); err == nil {
+		t.Error("accepted zero samples")
+	}
+	if _, err := LikelihoodWeighting(net, nil, []int{99}, Options{Samples: 10}); err == nil {
+		t.Error("accepted unknown query variable")
+	}
+	if _, err := LikelihoodWeighting(net, potential.Evidence{0: 9}, []int{1}, Options{Samples: 10}); err == nil {
+		t.Error("accepted out-of-range evidence")
+	}
+	if _, err := Gibbs(net, nil, []int{0}, Options{Samples: 0}); err == nil {
+		t.Error("gibbs accepted zero samples")
+	}
+	if _, err := Gibbs(net, potential.Evidence{0: 9}, []int{1}, Options{Samples: 10}); err == nil {
+		t.Error("gibbs accepted out-of-range evidence")
+	}
+	if _, err := Gibbs(net, nil, []int{99}, Options{Samples: 10}); err == nil {
+		t.Error("gibbs accepted unknown query variable")
+	}
+	// Impossible evidence → all weights zero.
+	impossible := bayesnet.New()
+	impossible.MustAddNode("A", 2, nil, []float64{1, 0})
+	if _, err := LikelihoodWeighting(impossible, potential.Evidence{0: 1}, []int{0}, Options{Samples: 100}); err == nil {
+		t.Error("accepted impossible evidence")
+	}
+}
+
+func TestDeterministicSeeds(t *testing.T) {
+	net, ids := bayesnet.Sprinkler()
+	a, err := LikelihoodWeighting(net, nil, []int{ids["Rain"]}, Options{Samples: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LikelihoodWeighting(net, nil, []int{ids["Rain"]}, Options{Samples: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range a[ids["Rain"]] {
+		if a[ids["Rain"]][s] != b[ids["Rain"]][s] {
+			t.Fatal("same seed produced different estimates")
+		}
+	}
+}

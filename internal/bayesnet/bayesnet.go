@@ -1,0 +1,275 @@
+// Package bayesnet implements discrete Bayesian networks and their
+// compilation into junction trees via the Lauritzen–Spiegelhalter pipeline:
+// moralization, triangulation with an elimination-order heuristic, maximal
+// clique extraction, and maximum-spanning-tree join-tree construction.
+//
+// It also provides a brute-force joint-enumeration oracle used throughout
+// the repository's tests to validate every propagation path, and the
+// classic example networks (Asia, Sprinkler, Student).
+package bayesnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"evprop/internal/potential"
+)
+
+// Node is one random variable of the network. CPT is the conditional
+// probability table P(node | parents) stored as a potential over the sorted
+// union of {parents, self}.
+type Node struct {
+	Name    string
+	Card    int
+	Parents []int
+	CPT     *potential.Potential
+}
+
+// Network is a Bayesian network: a DAG of nodes with CPTs.
+type Network struct {
+	Nodes  []Node
+	byName map[string]int
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{byName: map[string]int{}}
+}
+
+// AddNode appends a node and returns its id. dist is the flattened CPT with
+// the parents' states (in the order given) as the slow indices and the
+// node's own state as the fastest index; its length must be card × Π
+// parent-cards, and each conditional row must be a distribution (checked by
+// Validate, not here, so partially built networks stay usable).
+func (n *Network) AddNode(name string, card int, parents []int, dist []float64) (int, error) {
+	if card < 1 {
+		return 0, fmt.Errorf("bayesnet: node %q has cardinality %d", name, card)
+	}
+	if _, dup := n.byName[name]; dup {
+		return 0, fmt.Errorf("bayesnet: duplicate node name %q", name)
+	}
+	id := len(n.Nodes)
+	want := card
+	for _, p := range parents {
+		if p < 0 || p >= id {
+			return 0, fmt.Errorf("bayesnet: node %q has parent %d out of range (parents must be added first)", name, p)
+		}
+		want *= n.Nodes[p].Card
+	}
+	if len(dist) != want {
+		return 0, fmt.Errorf("bayesnet: node %q CPT has %d entries, want %d", name, len(dist), want)
+	}
+
+	// Build the canonical potential over sorted {parents..., self}.
+	family := append(append([]int(nil), parents...), id)
+	sorted := append([]int(nil), family...)
+	sort.Ints(sorted)
+	card4 := func(v int) int {
+		if v == id {
+			return card
+		}
+		return n.Nodes[v].Card
+	}
+	cards := make([]int, len(sorted))
+	for i, v := range sorted {
+		cards[i] = card4(v)
+	}
+	cpt, err := potential.New(sorted, cards)
+	if err != nil {
+		return 0, fmt.Errorf("bayesnet: node %q: %w", name, err)
+	}
+	// Walk the input layout (parents in declared order, self fastest) and
+	// scatter into the canonical layout.
+	inCards := make([]int, len(family))
+	for i, v := range family {
+		inCards[i] = card4(v)
+	}
+	states := make([]int, len(family))      // states in input order
+	canonical := make([]int, len(sorted))   // states in canonical order
+	posOf := make(map[int]int, len(sorted)) // var -> canonical position
+	for i, v := range sorted {
+		posOf[v] = i
+	}
+	for idx := 0; idx < len(dist); idx++ {
+		rem := idx
+		for i := len(family) - 1; i >= 0; i-- {
+			states[i] = rem % inCards[i]
+			rem /= inCards[i]
+		}
+		for i, v := range family {
+			canonical[posOf[v]] = states[i]
+		}
+		cpt.Data[cpt.IndexOf(canonical)] = dist[idx]
+	}
+
+	n.Nodes = append(n.Nodes, Node{
+		Name:    name,
+		Card:    card,
+		Parents: append([]int(nil), parents...),
+		CPT:     cpt,
+	})
+	n.byName[name] = id
+	return id, nil
+}
+
+// MustAddNode is AddNode panicking on error, for literals in examples and
+// tests.
+func (n *Network) MustAddNode(name string, card int, parents []int, dist []float64) int {
+	id, err := n.AddNode(name, card, parents, dist)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// ID returns the id of the named node, or -1.
+func (n *Network) ID(name string) int {
+	if id, ok := n.byName[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// Name returns the name of node id.
+func (n *Network) Name(id int) string { return n.Nodes[id].Name }
+
+// N returns the number of nodes.
+func (n *Network) N() int { return len(n.Nodes) }
+
+// Validate checks that the network is a DAG (guaranteed by construction but
+// re-checked for deserialized networks) and that every CPT row is a
+// probability distribution within tolerance.
+func (n *Network) Validate() error {
+	for id, node := range n.Nodes {
+		for _, p := range node.Parents {
+			if p < 0 || p >= len(n.Nodes) || p == id {
+				return fmt.Errorf("bayesnet: node %q has invalid parent %d", node.Name, p)
+			}
+		}
+	}
+	if _, err := n.TopologicalOrder(); err != nil {
+		return err
+	}
+	for id, node := range n.Nodes {
+		// Sum the CPT over the node's own states: every entry of the
+		// result must be 1.
+		parentsOnly := make([]int, 0, len(node.CPT.Vars)-1)
+		for _, v := range node.CPT.Vars {
+			if v != id {
+				parentsOnly = append(parentsOnly, v)
+			}
+		}
+		m, err := node.CPT.Marginal(parentsOnly)
+		if err != nil {
+			return fmt.Errorf("bayesnet: node %q CPT: %w", node.Name, err)
+		}
+		for _, s := range m.Data {
+			if math.Abs(s-1) > 1e-9 {
+				return fmt.Errorf("bayesnet: node %q CPT rows sum to %v, want 1", node.Name, s)
+			}
+		}
+	}
+	return nil
+}
+
+// TopologicalOrder returns the node ids parents-before-children.
+func (n *Network) TopologicalOrder() ([]int, error) {
+	indeg := make([]int, len(n.Nodes))
+	children := make([][]int, len(n.Nodes))
+	for id, node := range n.Nodes {
+		indeg[id] = len(node.Parents)
+		for _, p := range node.Parents {
+			children[p] = append(children[p], id)
+		}
+	}
+	queue := []int{}
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	order := make([]int, 0, len(n.Nodes))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, c := range children[u] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(order) != len(n.Nodes) {
+		return nil, fmt.Errorf("bayesnet: cycle detected")
+	}
+	return order, nil
+}
+
+// Joint computes the full joint distribution as one potential. It is the
+// brute-force oracle: exponential in the number of variables, intended for
+// networks of up to ~20 binary variables in tests.
+func (n *Network) Joint() (*potential.Potential, error) {
+	vars := make([]int, len(n.Nodes))
+	card := make([]int, len(n.Nodes))
+	for id, node := range n.Nodes {
+		vars[id] = id
+		card[id] = node.Card
+	}
+	joint, err := potential.NewConstant(vars, card, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, node := range n.Nodes {
+		if err := joint.MulBy(node.CPT); err != nil {
+			return nil, err
+		}
+	}
+	return joint, nil
+}
+
+// ExactMarginal computes P(v | ev) by full joint enumeration — the test
+// oracle for every propagation implementation in this repository.
+func (n *Network) ExactMarginal(v int, ev potential.Evidence) (*potential.Potential, error) {
+	joint, err := n.Joint()
+	if err != nil {
+		return nil, err
+	}
+	if err := joint.Reduce(ev); err != nil {
+		return nil, err
+	}
+	m, err := joint.Marginal([]int{v})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Normalize(); err != nil {
+		return nil, fmt.Errorf("bayesnet: evidence has zero probability: %w", err)
+	}
+	return m, nil
+}
+
+// Moralized returns the moral graph of the network as an adjacency-set
+// slice: undirected edges between every parent-child pair and between every
+// pair of parents of a common child ("marrying the parents").
+func (n *Network) Moralized() []map[int]bool {
+	adj := make([]map[int]bool, len(n.Nodes))
+	for i := range adj {
+		adj[i] = map[int]bool{}
+	}
+	link := func(a, b int) {
+		if a != b {
+			adj[a][b] = true
+			adj[b][a] = true
+		}
+	}
+	for id, node := range n.Nodes {
+		for i, p := range node.Parents {
+			link(p, id)
+			for _, q := range node.Parents[i+1:] {
+				link(p, q)
+			}
+		}
+	}
+	return adj
+}

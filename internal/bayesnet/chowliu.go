@@ -1,0 +1,173 @@
+package bayesnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ChowLiu learns the maximum-likelihood tree-structured Bayesian network
+// from complete data (Chow & Liu, 1968): estimate all pairwise mutual
+// informations from the samples, build a maximum-weight spanning tree over
+// the variables, orient it away from the chosen root, and fit the CPTs
+// with Laplace smoothing alpha.
+//
+// names and cards describe the variables (data columns); each sample is a
+// complete assignment in column order.
+func ChowLiu(names []string, cards []int, data [][]int, root int, alpha float64) (*Network, error) {
+	nvar := len(names)
+	if nvar == 0 {
+		return nil, fmt.Errorf("bayesnet: chow-liu with no variables")
+	}
+	if len(cards) != nvar {
+		return nil, fmt.Errorf("bayesnet: %d names but %d cardinalities", nvar, len(cards))
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("bayesnet: chow-liu needs data")
+	}
+	if root < 0 || root >= nvar {
+		return nil, fmt.Errorf("bayesnet: root %d out of range", root)
+	}
+	for si, sample := range data {
+		if len(sample) != nvar {
+			return nil, fmt.Errorf("bayesnet: sample %d has %d values, want %d", si, len(sample), nvar)
+		}
+		for v, st := range sample {
+			if st < 0 || st >= cards[v] {
+				return nil, fmt.Errorf("bayesnet: sample %d: state %d out of range for variable %d", si, st, v)
+			}
+		}
+	}
+
+	// Pairwise empirical mutual informations.
+	type edge struct {
+		a, b int
+		mi   float64
+	}
+	var edges []edge
+	for a := 0; a < nvar; a++ {
+		for b := a + 1; b < nvar; b++ {
+			edges = append(edges, edge{a, b, empiricalMI(data, a, b, cards[a], cards[b])})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].mi != edges[j].mi {
+			return edges[i].mi > edges[j].mi
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	// Kruskal maximum spanning tree.
+	parent := make([]int, nvar)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	adj := make([][]int, nvar)
+	added := 0
+	for _, e := range edges {
+		ra, rb := find(e.a), find(e.b)
+		if ra == rb {
+			continue
+		}
+		parent[ra] = rb
+		adj[e.a] = append(adj[e.a], e.b)
+		adj[e.b] = append(adj[e.b], e.a)
+		added++
+		if added == nvar-1 {
+			break
+		}
+	}
+
+	// Orient away from the root (BFS) to get each node's tree parent.
+	treeParent := make([]int, nvar)
+	for i := range treeParent {
+		treeParent[i] = -1
+	}
+	visited := make([]bool, nvar)
+	queue := []int{root}
+	visited[root] = true
+	order := []int{}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range adj[u] {
+			if !visited[v] {
+				visited[v] = true
+				treeParent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	// Disconnected variables (possible with constant columns): roots of
+	// their own, appended in index order.
+	for v := 0; v < nvar; v++ {
+		if !visited[v] {
+			visited[v] = true
+			order = append(order, v)
+		}
+	}
+
+	// Build a structure in BFS order (parents precede children) and fit.
+	pos := make([]int, nvar) // original variable -> new column
+	for newID, v := range order {
+		pos[v] = newID
+	}
+	s := Structure{
+		Names:   make([]string, nvar),
+		Cards:   make([]int, nvar),
+		Parents: make([][]int, nvar),
+	}
+	for newID, v := range order {
+		s.Names[newID] = names[v]
+		s.Cards[newID] = cards[v]
+		if p := treeParent[v]; p >= 0 {
+			s.Parents[newID] = []int{pos[p]}
+		}
+	}
+	remapped := make([][]int, len(data))
+	for i, sample := range data {
+		row := make([]int, nvar)
+		for v, st := range sample {
+			row[pos[v]] = st
+		}
+		remapped[i] = row
+	}
+	return LearnParameters(s, remapped, alpha)
+}
+
+// empiricalMI estimates I(a;b) in bits from sample counts.
+func empiricalMI(data [][]int, a, b, cardA, cardB int) float64 {
+	joint := make([]float64, cardA*cardB)
+	pa := make([]float64, cardA)
+	pb := make([]float64, cardB)
+	n := float64(len(data))
+	for _, sample := range data {
+		joint[sample[a]*cardB+sample[b]]++
+		pa[sample[a]]++
+		pb[sample[b]]++
+	}
+	mi := 0.0
+	for i := 0; i < cardA; i++ {
+		for j := 0; j < cardB; j++ {
+			pij := joint[i*cardB+j] / n
+			if pij > 0 {
+				mi += pij * math.Log2(pij*n*n/(pa[i]*pb[j]))
+			}
+		}
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}

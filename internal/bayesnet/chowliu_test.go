@@ -1,0 +1,183 @@
+package bayesnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// chainTruth builds the tree-structured network A -> B -> C -> D with
+// strong correlations so the tree is recoverable from samples.
+func chainTruth() *Network {
+	n := New()
+	n.MustAddNode("A", 2, nil, []float64{0.4, 0.6})
+	n.MustAddNode("B", 2, []int{0}, []float64{0.9, 0.1, 0.15, 0.85})
+	n.MustAddNode("C", 2, []int{1}, []float64{0.85, 0.15, 0.2, 0.8})
+	n.MustAddNode("D", 2, []int{2}, []float64{0.8, 0.2, 0.1, 0.9})
+	return n
+}
+
+func TestChowLiuRecoversChain(t *testing.T) {
+	truth := chainTruth()
+	rng := rand.New(rand.NewSource(2))
+	data, err := truth.SampleN(rng, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"A", "B", "C", "D"}
+	cards := []int{2, 2, 2, 2}
+	learned, err := ChowLiu(names, cards, data, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := learned.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The learned skeleton must be the chain A–B–C–D: each variable's
+	// neighborhood in the learned tree matches the truth's undirected
+	// adjacency.
+	undirected := map[string]map[string]bool{}
+	link := func(x, y string) {
+		if undirected[x] == nil {
+			undirected[x] = map[string]bool{}
+		}
+		undirected[x][y] = true
+	}
+	for id, node := range learned.Nodes {
+		for _, p := range node.Parents {
+			link(learned.Name(id), learned.Name(p))
+			link(learned.Name(p), learned.Name(id))
+		}
+	}
+	wantEdges := [][2]string{{"A", "B"}, {"B", "C"}, {"C", "D"}}
+	for _, e := range wantEdges {
+		if !undirected[e[0]][e[1]] {
+			t.Errorf("learned tree missing edge %s–%s", e[0], e[1])
+		}
+	}
+	if undirected["A"]["C"] || undirected["A"]["D"] || undirected["B"]["D"] {
+		t.Error("learned tree has a spurious edge")
+	}
+	// Its distribution is close to the truth.
+	for _, name := range names {
+		got, err := learned.ExactMarginal(learned.ID(name), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := truth.ExactMarginal(truth.ID(name), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Data[1]-want.Data[1]) > 0.02 {
+			t.Errorf("P(%s) learned %.4f, true %.4f", name, got.Data[1], want.Data[1])
+		}
+	}
+}
+
+func TestChowLiuRecoversStar(t *testing.T) {
+	// Hub H with three strongly-coupled leaves.
+	truth := New()
+	truth.MustAddNode("H", 2, nil, []float64{0.5, 0.5})
+	for _, leaf := range []string{"X", "Y", "Z"} {
+		truth.MustAddNode(leaf, 2, []int{0}, []float64{0.9, 0.1, 0.1, 0.9})
+	}
+	rng := rand.New(rand.NewSource(4))
+	data, err := truth.SampleN(rng, 15000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned, err := ChowLiu([]string{"H", "X", "Y", "Z"}, []int{2, 2, 2, 2}, data, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// H must be adjacent to every leaf in the learned tree.
+	deg := map[string]int{}
+	for id, node := range learned.Nodes {
+		for _, p := range node.Parents {
+			deg[learned.Name(id)]++
+			deg[learned.Name(p)]++
+		}
+	}
+	if deg["H"] != 3 {
+		t.Errorf("hub degree = %d, want 3 (deg map %v)", deg["H"], deg)
+	}
+}
+
+func TestChowLiuLogLikelihoodBeatsIndependent(t *testing.T) {
+	truth := chainTruth()
+	rng := rand.New(rand.NewSource(6))
+	data, err := truth.SampleN(rng, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"A", "B", "C", "D"}
+	cards := []int{2, 2, 2, 2}
+	tree, err := ChowLiu(names, cards, data, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep, err := LearnParameters(Structure{
+		Names: names, Cards: cards, Parents: [][]int{nil, nil, nil, nil},
+	}, data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare likelihood on the tree's column order (both models name the
+	// same variables; remap data to each model's ids).
+	remap := func(n *Network) [][]int {
+		out := make([][]int, len(data))
+		for i, sample := range data {
+			row := make([]int, len(names))
+			for col, name := range names {
+				row[n.ID(name)] = sample[col]
+			}
+			out[i] = row
+		}
+		return out
+	}
+	llTree, err := tree.LogLikelihood(remap(tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	llIndep, err := indep.LogLikelihood(remap(indep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llTree <= llIndep {
+		t.Errorf("Chow-Liu ll %v not above independent %v", llTree, llIndep)
+	}
+}
+
+func TestChowLiuErrors(t *testing.T) {
+	if _, err := ChowLiu(nil, nil, nil, 0, 1); err == nil {
+		t.Error("accepted zero variables")
+	}
+	if _, err := ChowLiu([]string{"A"}, []int{2}, nil, 0, 1); err == nil {
+		t.Error("accepted empty data")
+	}
+	if _, err := ChowLiu([]string{"A"}, []int{2, 2}, [][]int{{0}}, 0, 1); err == nil {
+		t.Error("accepted mismatched cards")
+	}
+	if _, err := ChowLiu([]string{"A"}, []int{2}, [][]int{{0}}, 5, 1); err == nil {
+		t.Error("accepted out-of-range root")
+	}
+	if _, err := ChowLiu([]string{"A"}, []int{2}, [][]int{{3}}, 0, 1); err == nil {
+		t.Error("accepted out-of-range state")
+	}
+	if _, err := ChowLiu([]string{"A", "B"}, []int{2, 2}, [][]int{{0}}, 0, 1); err == nil {
+		t.Error("accepted short sample")
+	}
+}
+
+func TestEmpiricalMI(t *testing.T) {
+	// Perfectly correlated columns: 1 bit.
+	data := [][]int{{0, 0}, {1, 1}, {0, 0}, {1, 1}}
+	if mi := empiricalMI(data, 0, 1, 2, 2); math.Abs(mi-1) > 1e-12 {
+		t.Errorf("MI(correlated) = %v", mi)
+	}
+	// Independent-looking columns: 0 bits.
+	data = [][]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	if mi := empiricalMI(data, 0, 1, 2, 2); math.Abs(mi) > 1e-12 {
+		t.Errorf("MI(independent) = %v", mi)
+	}
+}

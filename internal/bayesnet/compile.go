@@ -1,0 +1,301 @@
+package bayesnet
+
+import (
+	"fmt"
+	"sort"
+
+	"evprop/internal/jtree"
+	"evprop/internal/potential"
+)
+
+// Heuristic selects the elimination-order heuristic used for triangulation.
+type Heuristic int
+
+const (
+	// MinFill eliminates the variable adding the fewest fill-in edges.
+	MinFill Heuristic = iota
+	// MinDegree eliminates the variable with the fewest live neighbors.
+	MinDegree
+)
+
+func (h Heuristic) String() string {
+	switch h {
+	case MinFill:
+		return "min-fill"
+	case MinDegree:
+		return "min-degree"
+	default:
+		return fmt.Sprintf("heuristic(%d)", int(h))
+	}
+}
+
+// EliminationOrder computes a variable elimination order on the moral graph
+// using the given heuristic, breaking ties by lowest id for determinism.
+func (n *Network) EliminationOrder(h Heuristic) []int {
+	adj := n.Moralized()
+	alive := make([]bool, len(adj))
+	for i := range alive {
+		alive[i] = true
+	}
+	order := make([]int, 0, len(adj))
+	for len(order) < len(adj) {
+		best, bestScore := -1, 1<<62
+		for v := range adj {
+			if !alive[v] {
+				continue
+			}
+			var score int
+			switch h {
+			case MinDegree:
+				score = len(liveNeighbors(adj, alive, v))
+			default: // MinFill
+				score = fillCount(adj, alive, v)
+			}
+			if score < bestScore {
+				best, bestScore = v, score
+			}
+		}
+		order = append(order, best)
+		// Connect the live neighbors of best pairwise, then remove it.
+		nb := liveNeighbors(adj, alive, best)
+		for i, a := range nb {
+			for _, b := range nb[i+1:] {
+				adj[a][b] = true
+				adj[b][a] = true
+			}
+		}
+		alive[best] = false
+	}
+	return order
+}
+
+func liveNeighbors(adj []map[int]bool, alive []bool, v int) []int {
+	var nb []int
+	for u := range adj[v] {
+		if alive[u] {
+			nb = append(nb, u)
+		}
+	}
+	sort.Ints(nb)
+	return nb
+}
+
+func fillCount(adj []map[int]bool, alive []bool, v int) int {
+	nb := liveNeighbors(adj, alive, v)
+	fills := 0
+	for i, a := range nb {
+		for _, b := range nb[i+1:] {
+			if !adj[a][b] {
+				fills++
+			}
+		}
+	}
+	return fills
+}
+
+// TriangulationCliques eliminates variables in the given order on the moral
+// graph, recording the clique {v} ∪ liveNeighbors(v) at each step, and
+// returns the maximal cliques of the resulting chordal graph (sorted
+// variable lists, duplicates and subsets removed).
+func (n *Network) TriangulationCliques(order []int) [][]int {
+	adj := n.Moralized()
+	alive := make([]bool, len(adj))
+	for i := range alive {
+		alive[i] = true
+	}
+	var cliques [][]int
+	for _, v := range order {
+		nb := liveNeighbors(adj, alive, v)
+		cl := append([]int{v}, nb...)
+		sort.Ints(cl)
+		cliques = append(cliques, cl)
+		for i, a := range nb {
+			for _, b := range nb[i+1:] {
+				adj[a][b] = true
+				adj[b][a] = true
+			}
+		}
+		alive[v] = false
+	}
+	return maximalOnly(cliques)
+}
+
+func maximalOnly(cliques [][]int) [][]int {
+	var out [][]int
+	for i, c := range cliques {
+		maximal := true
+		for j, d := range cliques {
+			if i == j {
+				continue
+			}
+			if subset(c, d) && (len(c) < len(d) || i > j) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// subset reports whether sorted a ⊆ sorted b.
+func subset(a, b []int) bool {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// CompileOptions configures junction-tree compilation.
+type CompileOptions struct {
+	Heuristic Heuristic
+	// Root selects the root clique; -1 (default via Compile) picks the
+	// clique with the largest table, a common convention. The propagation
+	// engine typically reroots with Algorithm 1 anyway.
+	Root int
+}
+
+// CompileJunctionTree converts the network into a calibratable junction
+// tree: moralize, triangulate, extract maximal cliques, connect them with a
+// maximum-spanning tree on separator sizes, assign each CPT to a containing
+// clique, and initialize separator potentials to ones.
+func (n *Network) CompileJunctionTree(opts CompileOptions) (*jtree.Tree, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	order := n.EliminationOrder(opts.Heuristic)
+	cliques := n.TriangulationCliques(order)
+	if len(cliques) == 0 {
+		return nil, fmt.Errorf("bayesnet: no cliques (empty network)")
+	}
+
+	cardOf := func(v int) int { return n.Nodes[v].Card }
+	cards := make([][]int, len(cliques))
+	for i, cl := range cliques {
+		cards[i] = make([]int, len(cl))
+		for j, v := range cl {
+			cards[i][j] = cardOf(v)
+		}
+	}
+
+	adj := maxSpanningJoinTree(cliques)
+
+	root := opts.Root
+	if root < 0 || root >= len(cliques) {
+		root = largestClique(cliques, cards)
+	}
+	t, err := jtree.NewFromAdjacency(cliques, cards, adj, root)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.MaterializeUniform(); err != nil {
+		return nil, err
+	}
+
+	// Multiply every CPT into one clique containing its family.
+	for id, node := range n.Nodes {
+		placed := false
+		for i, cl := range cliques {
+			if subset(node.CPT.Vars, cl) {
+				if err := t.Cliques[i].Pot.MulBy(node.CPT); err != nil {
+					return nil, err
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("bayesnet: no clique contains the family of node %q (%d)", node.Name, id)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Compile is CompileJunctionTree with default options (min-fill, automatic
+// root).
+func (n *Network) Compile() (*jtree.Tree, error) {
+	return n.CompileJunctionTree(CompileOptions{Heuristic: MinFill, Root: -1})
+}
+
+func largestClique(cliques [][]int, cards [][]int) int {
+	best, bestSize := 0, -1
+	for i := range cliques {
+		if s := potential.Size(cards[i]); s > bestSize {
+			best, bestSize = i, s
+		}
+	}
+	return best
+}
+
+// maxSpanningJoinTree connects the cliques with a maximum-weight spanning
+// tree where edge weight is the separator size |Ci ∩ Cj|. Ties and
+// zero-weight edges (disconnected networks) are still linked so the result
+// is one tree; the junction-tree property holds because the cliques come
+// from one triangulation.
+func maxSpanningJoinTree(cliques [][]int) [][]int {
+	n := len(cliques)
+	adj := make([][]int, n)
+	if n == 1 {
+		return adj
+	}
+	inTree := make([]bool, n)
+	bestW := make([]int, n)
+	bestTo := make([]int, n)
+	for i := range bestW {
+		bestW[i] = -1
+		bestTo[i] = 0
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		bestW[j] = intersectionSize(cliques[0], cliques[j])
+	}
+	for added := 1; added < n; added++ {
+		pick, pickW := -1, -1
+		for j := 0; j < n; j++ {
+			if !inTree[j] && bestW[j] > pickW {
+				pick, pickW = j, bestW[j]
+			}
+		}
+		inTree[pick] = true
+		adj[pick] = append(adj[pick], bestTo[pick])
+		adj[bestTo[pick]] = append(adj[bestTo[pick]], pick)
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				if w := intersectionSize(cliques[pick], cliques[j]); w > bestW[j] {
+					bestW[j] = w
+					bestTo[j] = pick
+				}
+			}
+		}
+	}
+	return adj
+}
+
+func intersectionSize(a, b []int) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

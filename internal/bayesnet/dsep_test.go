@@ -1,0 +1,293 @@
+package bayesnet
+
+import (
+	"math"
+	"testing"
+
+	"evprop/internal/potential"
+)
+
+// chainNet builds A -> B -> C.
+func chainNet() *Network {
+	n := New()
+	n.MustAddNode("A", 2, nil, []float64{0.3, 0.7})
+	n.MustAddNode("B", 2, []int{0}, []float64{0.9, 0.1, 0.2, 0.8})
+	n.MustAddNode("C", 2, []int{1}, []float64{0.6, 0.4, 0.1, 0.9})
+	return n
+}
+
+// forkNet builds A <- B -> C.
+func forkNet() *Network {
+	n := New()
+	n.MustAddNode("B", 2, nil, []float64{0.4, 0.6})
+	n.MustAddNode("A", 2, []int{0}, []float64{0.9, 0.1, 0.2, 0.8})
+	n.MustAddNode("C", 2, []int{0}, []float64{0.7, 0.3, 0.1, 0.9})
+	return n
+}
+
+// colliderNet builds A -> C <- B, plus descendant D of C.
+func colliderNet() *Network {
+	n := New()
+	n.MustAddNode("A", 2, nil, []float64{0.3, 0.7})
+	n.MustAddNode("B", 2, nil, []float64{0.6, 0.4})
+	n.MustAddNode("C", 2, []int{0, 1}, []float64{
+		0.9, 0.1,
+		0.5, 0.5,
+		0.4, 0.6,
+		0.1, 0.9,
+	})
+	n.MustAddNode("D", 2, []int{2}, []float64{0.8, 0.2, 0.3, 0.7})
+	return n
+}
+
+func dsep(t *testing.T, n *Network, x, y, z []int) bool {
+	t.Helper()
+	ok, err := n.DSeparated(x, y, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+func TestDSeparationChain(t *testing.T) {
+	n := chainNet()
+	if dsep(t, n, []int{0}, []int{2}, nil) {
+		t.Error("chain: A and C separated with nothing observed")
+	}
+	if !dsep(t, n, []int{0}, []int{2}, []int{1}) {
+		t.Error("chain: A and C not separated given B")
+	}
+}
+
+func TestDSeparationFork(t *testing.T) {
+	n := forkNet()
+	a, b, c := 1, 0, 2
+	if dsep(t, n, []int{a}, []int{c}, nil) {
+		t.Error("fork: A and C separated with nothing observed")
+	}
+	if !dsep(t, n, []int{a}, []int{c}, []int{b}) {
+		t.Error("fork: A and C not separated given B")
+	}
+}
+
+func TestDSeparationCollider(t *testing.T) {
+	n := colliderNet()
+	a, b, c, d := 0, 1, 2, 3
+	if !dsep(t, n, []int{a}, []int{b}, nil) {
+		t.Error("collider: A and B not separated marginally")
+	}
+	if dsep(t, n, []int{a}, []int{b}, []int{c}) {
+		t.Error("collider: A and B separated given C (explaining away)")
+	}
+	// Observing a descendant of the collider also activates it.
+	if dsep(t, n, []int{a}, []int{b}, []int{d}) {
+		t.Error("collider: A and B separated given descendant D")
+	}
+}
+
+func TestDSeparationAsia(t *testing.T) {
+	n, ids := Asia()
+	// Asia ⊥ Smoke marginally.
+	if !dsep(t, n, []int{ids["Asia"]}, []int{ids["Smoke"]}, nil) {
+		t.Error("Asia and Smoke not separated")
+	}
+	// Asia ⊥̸ Smoke given Dysp (collider chain activated).
+	if dsep(t, n, []int{ids["Asia"]}, []int{ids["Smoke"]}, []int{ids["Dysp"]}) {
+		t.Error("Asia and Smoke separated given Dysp")
+	}
+	// XRay ⊥ Smoke given TbOrCa.
+	if !dsep(t, n, []int{ids["XRay"]}, []int{ids["Smoke"]}, []int{ids["TbOrCa"]}) {
+		t.Error("XRay and Smoke not separated given TbOrCa")
+	}
+}
+
+func TestDSeparationErrors(t *testing.T) {
+	n := chainNet()
+	if _, err := n.DSeparated([]int{0}, []int{0}, nil); err == nil {
+		t.Error("accepted overlapping X and Y")
+	}
+	if _, err := n.DSeparated([]int{0}, []int{1}, []int{0}); err == nil {
+		t.Error("accepted overlapping X and Z")
+	}
+	if _, err := n.DSeparated([]int{0}, []int{1}, []int{1}); err == nil {
+		t.Error("accepted overlapping Y and Z")
+	}
+	if _, err := n.DSeparated([]int{99}, []int{1}, nil); err == nil {
+		t.Error("accepted out-of-range node")
+	}
+	if _, err := n.ReachableFrom([]int{0}, []int{99}); err == nil {
+		t.Error("accepted out-of-range conditioning node")
+	}
+}
+
+// numericallyIndependent checks P(x,y|z) ≈ P(x|z)·P(y|z) for all states by
+// joint enumeration.
+func numericallyIndependent(t *testing.T, n *Network, x, y int, z []int) bool {
+	t.Helper()
+	joint, err := n.Joint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enumerate conditioning states.
+	zCard := 1
+	for _, zv := range z {
+		zCard *= n.Nodes[zv].Card
+	}
+	cfg := make([]int, len(z))
+	for r := 0; r < zCard; r++ {
+		rem := r
+		ev := potential.Evidence{}
+		for i := len(z) - 1; i >= 0; i-- {
+			cfg[i] = rem % n.Nodes[z[i]].Card
+			rem /= n.Nodes[z[i]].Card
+			ev[z[i]] = cfg[i]
+		}
+		reduced := joint.Clone()
+		if err := reduced.Reduce(ev); err != nil {
+			t.Fatal(err)
+		}
+		if reduced.Sum() < 1e-12 {
+			continue // conditioning event has zero probability
+		}
+		pxy, err := reduced.Marginal(sortedPair(x, y))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pxy.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		px, err := pxy.Marginal([]int{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		py, err := pxy.Marginal([]int{y})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < n.Nodes[x].Card; a++ {
+			for b := 0; b < n.Nodes[y].Card; b++ {
+				var got float64
+				if x < y {
+					got = pxy.At(a, b)
+				} else {
+					got = pxy.At(b, a)
+				}
+				if math.Abs(got-px.Data[a]*py.Data[b]) > 1e-9 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func sortedPair(a, b int) []int {
+	if a < b {
+		return []int{a, b}
+	}
+	return []int{b, a}
+}
+
+func TestDSeparationSoundOnRandomNetworks(t *testing.T) {
+	// d-separation must imply numerical conditional independence for every
+	// parameterization; d-connection should break independence for generic
+	// random CPTs.
+	for seed := int64(1); seed <= 6; seed++ {
+		n := RandomNetwork(7, 2, 2, seed)
+		for x := 0; x < n.N(); x++ {
+			for y := x + 1; y < n.N(); y++ {
+				for _, z := range [][]int{nil, {pickOther(x, y, n.N())}} {
+					sep, err := n.DSeparated([]int{x}, []int{y}, z)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ci := numericallyIndependent(t, n, x, y, z)
+					if sep && !ci {
+						t.Errorf("seed %d: %d ⊥ %d | %v d-separated but numerically dependent", seed, x, y, z)
+					}
+				}
+			}
+		}
+	}
+}
+
+func pickOther(x, y, n int) int {
+	for v := 0; v < n; v++ {
+		if v != x && v != y {
+			return v
+		}
+	}
+	return 0
+}
+
+func TestMarkovBlanket(t *testing.T) {
+	n, ids := Asia()
+	mb, err := n.MarkovBlanket(ids["Lung"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lung's blanket: parent Smoke, child TbOrCa, co-parent Tub.
+	want := sortedPair(ids["Smoke"], ids["TbOrCa"])
+	want = append(want, ids["Tub"])
+	got := map[int]bool{}
+	for _, v := range mb {
+		got[v] = true
+	}
+	for _, v := range want {
+		if !got[v] {
+			t.Errorf("blanket %v missing %d", mb, v)
+		}
+	}
+	if len(mb) != 3 {
+		t.Errorf("blanket = %v, want 3 nodes", mb)
+	}
+	// The blanket must d-separate the node from everything else.
+	var rest []int
+	inMB := map[int]bool{}
+	for _, v := range mb {
+		inMB[v] = true
+	}
+	for v := 0; v < n.N(); v++ {
+		if v != ids["Lung"] && !inMB[v] {
+			rest = append(rest, v)
+		}
+	}
+	if !dsep(t, n, []int{ids["Lung"]}, rest, mb) {
+		t.Error("Markov blanket does not separate the node from the rest")
+	}
+	if _, err := n.MarkovBlanket(-1); err == nil {
+		t.Error("accepted out-of-range node")
+	}
+}
+
+func TestQuickMarkovBlanketSeparates(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		n := RandomNetwork(9, 2, 3, seed)
+		for v := 0; v < n.N(); v++ {
+			mb, err := n.MarkovBlanket(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inMB := map[int]bool{v: true}
+			for _, u := range mb {
+				inMB[u] = true
+			}
+			var rest []int
+			for u := 0; u < n.N(); u++ {
+				if !inMB[u] {
+					rest = append(rest, u)
+				}
+			}
+			if len(rest) == 0 {
+				continue
+			}
+			sep, err := n.DSeparated([]int{v}, rest, mb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sep {
+				t.Errorf("seed %d: blanket of %d does not separate", seed, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package bayesnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// This file adds the model-lifecycle substrate around inference: ancestral
+// (forward) sampling from a network and maximum-likelihood /
+// Laplace-smoothed parameter estimation from complete data. Together with
+// the inference engine they close the loop sample → learn → infer, which
+// the tests exploit as a statistical oracle (parameters learned from many
+// samples of a network converge to that network's CPTs).
+
+// Sample draws one complete assignment by ancestral sampling: parents are
+// sampled before children, each from its CPT row. The returned slice is
+// indexed by node id.
+func (n *Network) Sample(rng *rand.Rand) ([]int, error) {
+	order, err := n.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	states := make([]int, n.N())
+	for _, id := range order {
+		node := &n.Nodes[id]
+		// Extract the conditional distribution row for the sampled parents.
+		dist := make([]float64, node.Card)
+		assign := make([]int, len(node.CPT.Vars))
+		for pos, v := range node.CPT.Vars {
+			if v == id {
+				continue
+			}
+			assign[pos] = states[v]
+		}
+		for s := 0; s < node.Card; s++ {
+			for pos, v := range node.CPT.Vars {
+				if v == id {
+					assign[pos] = s
+				}
+			}
+			dist[s] = node.CPT.Data[node.CPT.IndexOf(assign)]
+		}
+		states[id] = sampleIndex(rng, dist)
+	}
+	return states, nil
+}
+
+// SampleN draws n complete assignments.
+func (n *Network) SampleN(rng *rand.Rand, count int) ([][]int, error) {
+	out := make([][]int, count)
+	for i := range out {
+		s, err := n.Sample(rng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// sampleIndex draws an index proportional to the (not necessarily
+// normalized) weights.
+func sampleIndex(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Structure describes the shape of a network to be learned: names, state
+// counts and parent sets, without parameters.
+type Structure struct {
+	Names   []string
+	Cards   []int
+	Parents [][]int
+}
+
+// StructureOf extracts the structure of an existing network.
+func (n *Network) StructureOf() Structure {
+	s := Structure{
+		Names:   make([]string, n.N()),
+		Cards:   make([]int, n.N()),
+		Parents: make([][]int, n.N()),
+	}
+	for id, node := range n.Nodes {
+		s.Names[id] = node.Name
+		s.Cards[id] = node.Card
+		s.Parents[id] = append([]int(nil), node.Parents...)
+	}
+	return s
+}
+
+// LearnParameters estimates every CPT from complete data by counting, with
+// Laplace (additive) smoothing `alpha` (0 = pure maximum likelihood; rows
+// never observed fall back to uniform). Each sample must assign a valid
+// state to every variable, in node-id order.
+func LearnParameters(s Structure, data [][]int, alpha float64) (*Network, error) {
+	if len(s.Names) != len(s.Cards) || len(s.Names) != len(s.Parents) {
+		return nil, fmt.Errorf("bayesnet: inconsistent structure sizes")
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("bayesnet: negative smoothing %v", alpha)
+	}
+	nvar := len(s.Names)
+	for si, sample := range data {
+		if len(sample) != nvar {
+			return nil, fmt.Errorf("bayesnet: sample %d has %d values, want %d", si, len(sample), nvar)
+		}
+		for v, st := range sample {
+			if st < 0 || st >= s.Cards[v] {
+				return nil, fmt.Errorf("bayesnet: sample %d assigns state %d to variable %d of %d states",
+					si, st, v, s.Cards[v])
+			}
+		}
+	}
+
+	// Check acyclicity, then require the structure to be topologically
+	// ordered by id (parents[i] < i) so the learned network keeps the
+	// original ids — StructureOf guarantees this for networks built
+	// through AddNode.
+	if _, err := structureOrder(s); err != nil {
+		return nil, err
+	}
+	for id, parents := range s.Parents {
+		for _, p := range parents {
+			if p >= id {
+				return nil, fmt.Errorf("bayesnet: structure not topologically ordered: node %d has parent %d", id, p)
+			}
+		}
+	}
+
+	net := New()
+	for id := 0; id < nvar; id++ {
+		parents := s.Parents[id]
+		rows := 1
+		for _, p := range parents {
+			rows *= s.Cards[p]
+		}
+		card := s.Cards[id]
+		counts := make([]float64, rows*card)
+		for _, sample := range data {
+			row := 0
+			for _, p := range parents {
+				row = row*s.Cards[p] + sample[p]
+			}
+			counts[row*card+sample[id]]++
+		}
+		dist := make([]float64, len(counts))
+		for r := 0; r < rows; r++ {
+			total := alpha * float64(card)
+			for st := 0; st < card; st++ {
+				total += counts[r*card+st]
+			}
+			for st := 0; st < card; st++ {
+				if total == 0 {
+					dist[r*card+st] = 1 / float64(card) // unseen row, no smoothing
+				} else {
+					dist[r*card+st] = (counts[r*card+st] + alpha) / total
+				}
+			}
+		}
+		if _, err := net.AddNode(s.Names[id], card, parents, dist); err != nil {
+			return nil, err
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// structureOrder verifies the structure is acyclic.
+func structureOrder(s Structure) ([]int, error) {
+	n := len(s.Names)
+	indeg := make([]int, n)
+	children := make([][]int, n)
+	for id, parents := range s.Parents {
+		indeg[id] = len(parents)
+		for _, p := range parents {
+			if p < 0 || p >= n {
+				return nil, fmt.Errorf("bayesnet: structure parent %d out of range", p)
+			}
+			children[p] = append(children[p], id)
+		}
+	}
+	var queue, order []int
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Ints(queue)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, c := range children[u] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("bayesnet: structure has a cycle")
+	}
+	return order, nil
+}
+
+// LogLikelihood returns the log-likelihood of complete data under the
+// network (sum over samples of log P(sample)), a model-selection score.
+func (n *Network) LogLikelihood(data [][]int) (float64, error) {
+	ll := 0.0
+	for si, sample := range data {
+		if len(sample) != n.N() {
+			return 0, fmt.Errorf("bayesnet: sample %d has %d values, want %d", si, len(sample), n.N())
+		}
+		for id := range n.Nodes {
+			node := &n.Nodes[id]
+			assign := make([]int, len(node.CPT.Vars))
+			for pos, v := range node.CPT.Vars {
+				assign[pos] = sample[v]
+			}
+			p := node.CPT.Data[node.CPT.IndexOf(assign)]
+			if p <= 0 {
+				return math.Inf(-1), nil
+			}
+			ll += math.Log(p)
+		}
+	}
+	return ll, nil
+}

@@ -1,0 +1,206 @@
+package bayesnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSampleRespectsStructure(t *testing.T) {
+	// A deterministic network must always produce consistent samples.
+	n := New()
+	n.MustAddNode("A", 2, nil, []float64{0, 1})                // always 1
+	n.MustAddNode("B", 2, []int{0}, []float64{1, 0, 0, 1})     // copies A
+	n.MustAddNode("C", 2, []int{1}, []float64{0.5, 0.5, 0, 1}) // copies B=1
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		s, err := n.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s[0] != 1 || s[1] != 1 || s[2] != 1 {
+			t.Fatalf("sample %v violates deterministic CPTs", s)
+		}
+	}
+}
+
+func TestSampleMarginalsConverge(t *testing.T) {
+	// Empirical frequencies over many samples approximate the exact
+	// marginals (law of large numbers, fixed seed keeps it deterministic).
+	net, ids := Sprinkler()
+	rng := rand.New(rand.NewSource(7))
+	const samples = 20000
+	counts := make([]int, net.N())
+	for i := 0; i < samples; i++ {
+		s, err := net.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, st := range s {
+			counts[v] += st
+		}
+	}
+	for name, id := range ids {
+		want, err := net.ExactMarginal(id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(counts[id]) / samples
+		if math.Abs(got-want.Data[1]) > 0.015 {
+			t.Errorf("empirical P(%s=1) = %.4f, exact %.4f", name, got, want.Data[1])
+		}
+	}
+}
+
+func TestLearnParametersRecoversNetwork(t *testing.T) {
+	// Parameters learned from many samples of a known network converge to
+	// that network's CPTs.
+	orig, ids := Sprinkler()
+	rng := rand.New(rand.NewSource(3))
+	data, err := orig.SampleN(rng, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned, err := LearnParameters(orig.StructureOf(), data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, id := range ids {
+		got := learned.Nodes[id].CPT
+		want := orig.Nodes[id].CPT
+		d, err := got.MaxDiff(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 0.03 {
+			t.Errorf("learned CPT of %s off by %.4f", name, d)
+		}
+	}
+	// Inference through the learned model agrees closely with the truth.
+	gotM, err := learned.ExactMarginal(ids["Rain"], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM, err := orig.ExactMarginal(ids["Rain"], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotM.Data[1]-wantM.Data[1]) > 0.02 {
+		t.Errorf("learned P(Rain) = %v, true %v", gotM.Data[1], wantM.Data[1])
+	}
+}
+
+func TestLearnParametersSmoothing(t *testing.T) {
+	s := Structure{
+		Names:   []string{"A", "B"},
+		Cards:   []int{2, 2},
+		Parents: [][]int{nil, {0}},
+	}
+	// Only A=0 rows observed: the B|A=1 row is unseen.
+	data := [][]int{{0, 1}, {0, 1}, {0, 0}}
+	net, err := LearnParameters(s, data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpt := net.Nodes[1].CPT
+	// Seen row with Laplace 1: counts (1, 2) + (1, 1) → (2/5, 3/5).
+	if math.Abs(cpt.At(0, 1)-0.6) > 1e-12 {
+		t.Errorf("P(B=1|A=0) = %v, want 0.6", cpt.At(0, 1))
+	}
+	// Unseen row smoothed to uniform.
+	if math.Abs(cpt.At(1, 0)-0.5) > 1e-12 {
+		t.Errorf("P(B=0|A=1) = %v, want 0.5", cpt.At(1, 0))
+	}
+	// With alpha=0 and an unseen row, fall back to uniform too.
+	net0, err := LearnParameters(s, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(net0.Nodes[1].CPT.At(1, 0)-0.5) > 1e-12 {
+		t.Error("unseen row not uniform under pure ML")
+	}
+	// Pure ML on the seen row: 1/3, 2/3.
+	if math.Abs(net0.Nodes[1].CPT.At(0, 1)-2.0/3.0) > 1e-12 {
+		t.Errorf("ML P(B=1|A=0) = %v", net0.Nodes[1].CPT.At(0, 1))
+	}
+}
+
+func TestLearnParametersErrors(t *testing.T) {
+	s := Structure{Names: []string{"A"}, Cards: []int{2}, Parents: [][]int{nil}}
+	if _, err := LearnParameters(s, [][]int{{0, 1}}, 1); err == nil {
+		t.Error("accepted wrong-width sample")
+	}
+	if _, err := LearnParameters(s, [][]int{{5}}, 1); err == nil {
+		t.Error("accepted out-of-range state")
+	}
+	if _, err := LearnParameters(s, nil, -1); err == nil {
+		t.Error("accepted negative smoothing")
+	}
+	bad := Structure{Names: []string{"A", "B"}, Cards: []int{2, 2}, Parents: [][]int{{1}, nil}}
+	if _, err := LearnParameters(bad, nil, 1); err == nil {
+		t.Error("accepted non-topological structure")
+	}
+	cyc := Structure{Names: []string{"A", "B"}, Cards: []int{2, 2}, Parents: [][]int{{1}, {0}}}
+	if _, err := LearnParameters(cyc, nil, 1); err == nil {
+		t.Error("accepted cyclic structure")
+	}
+	mismatch := Structure{Names: []string{"A"}, Cards: []int{2, 2}, Parents: [][]int{nil}}
+	if _, err := LearnParameters(mismatch, nil, 1); err == nil {
+		t.Error("accepted inconsistent structure sizes")
+	}
+}
+
+func TestLogLikelihood(t *testing.T) {
+	net, _ := Sprinkler()
+	rng := rand.New(rand.NewSource(5))
+	data, err := net.SampleN(rng, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llTrue, err := net.LogLikelihood(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llTrue >= 0 {
+		t.Errorf("log-likelihood %v not negative", llTrue)
+	}
+	// The true model should fit its own data at least as well as a
+	// uniform-parameter model of the same structure.
+	uniform, err := LearnParameters(net.StructureOf(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llUniform, err := uniform.LogLikelihood(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llTrue <= llUniform {
+		t.Errorf("true model ll %v not above uniform %v", llTrue, llUniform)
+	}
+	// Impossible data under a deterministic CPT → -Inf.
+	det := New()
+	det.MustAddNode("A", 2, nil, []float64{1, 0})
+	ll, err := det.LogLikelihood([][]int{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(ll, -1) {
+		t.Errorf("impossible data ll = %v", ll)
+	}
+	if _, err := net.LogLikelihood([][]int{{0}}); err == nil {
+		t.Error("accepted wrong-width sample")
+	}
+}
+
+func TestStructureOfRoundTrip(t *testing.T) {
+	net, _ := Asia()
+	s := net.StructureOf()
+	if len(s.Names) != net.N() {
+		t.Fatal("structure size wrong")
+	}
+	for id := range s.Names {
+		if s.Names[id] != net.Name(id) || s.Cards[id] != net.Nodes[id].Card {
+			t.Errorf("structure mismatch at %d", id)
+		}
+	}
+}

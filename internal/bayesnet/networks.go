@@ -1,0 +1,169 @@
+package bayesnet
+
+// Classic example networks used by the examples and as test fixtures.
+// State convention: state 0 = false/no/low, state 1 = true/yes/high
+// (three-state variables are documented per network).
+
+// Asia builds the Lauritzen–Spiegelhalter "chest clinic" network:
+//
+//	Asia → Tub ↘
+//	             TbOrCa → XRay
+//	Smoke → Lung ↗      ↘
+//	     ↘ Bronc ————————→ Dysp
+//
+// All variables are binary. It returns the network and a name→id map.
+func Asia() (*Network, map[string]int) {
+	n := New()
+	ids := map[string]int{}
+	ids["Asia"] = n.MustAddNode("Asia", 2, nil, []float64{0.99, 0.01})
+	ids["Smoke"] = n.MustAddNode("Smoke", 2, nil, []float64{0.5, 0.5})
+	ids["Tub"] = n.MustAddNode("Tub", 2, []int{ids["Asia"]}, []float64{
+		0.99, 0.01, // Asia = no
+		0.95, 0.05, // Asia = yes
+	})
+	ids["Lung"] = n.MustAddNode("Lung", 2, []int{ids["Smoke"]}, []float64{
+		0.99, 0.01, // Smoke = no
+		0.90, 0.10, // Smoke = yes
+	})
+	ids["Bronc"] = n.MustAddNode("Bronc", 2, []int{ids["Smoke"]}, []float64{
+		0.7, 0.3, // Smoke = no
+		0.4, 0.6, // Smoke = yes
+	})
+	// TbOrCa is the deterministic OR of Tub and Lung.
+	ids["TbOrCa"] = n.MustAddNode("TbOrCa", 2, []int{ids["Tub"], ids["Lung"]}, []float64{
+		1, 0, // T=0, L=0
+		0, 1, // T=0, L=1
+		0, 1, // T=1, L=0
+		0, 1, // T=1, L=1
+	})
+	ids["XRay"] = n.MustAddNode("XRay", 2, []int{ids["TbOrCa"]}, []float64{
+		0.95, 0.05, // TbOrCa = no
+		0.02, 0.98, // TbOrCa = yes
+	})
+	ids["Dysp"] = n.MustAddNode("Dysp", 2, []int{ids["TbOrCa"], ids["Bronc"]}, []float64{
+		0.9, 0.1, // E=0, B=0
+		0.2, 0.8, // E=0, B=1
+		0.3, 0.7, // E=1, B=0
+		0.1, 0.9, // E=1, B=1
+	})
+	return n, ids
+}
+
+// Sprinkler builds Murphy's four-node lawn network:
+//
+//	Cloudy → Sprinkler ↘
+//	       ↘ Rain ——————→ WetGrass
+func Sprinkler() (*Network, map[string]int) {
+	n := New()
+	ids := map[string]int{}
+	ids["Cloudy"] = n.MustAddNode("Cloudy", 2, nil, []float64{0.5, 0.5})
+	ids["Sprinkler"] = n.MustAddNode("Sprinkler", 2, []int{ids["Cloudy"]}, []float64{
+		0.5, 0.5, // Cloudy = no
+		0.9, 0.1, // Cloudy = yes
+	})
+	ids["Rain"] = n.MustAddNode("Rain", 2, []int{ids["Cloudy"]}, []float64{
+		0.8, 0.2, // Cloudy = no
+		0.2, 0.8, // Cloudy = yes
+	})
+	ids["WetGrass"] = n.MustAddNode("WetGrass", 2, []int{ids["Sprinkler"], ids["Rain"]}, []float64{
+		1.00, 0.00, // S=0, R=0
+		0.10, 0.90, // S=0, R=1
+		0.10, 0.90, // S=1, R=0
+		0.01, 0.99, // S=1, R=1
+	})
+	return n, ids
+}
+
+// Student builds the five-node network from Koller & Friedman's textbook.
+// Grade has three states (0 = A, 1 = B, 2 = C); the rest are binary.
+func Student() (*Network, map[string]int) {
+	n := New()
+	ids := map[string]int{}
+	ids["Difficulty"] = n.MustAddNode("Difficulty", 2, nil, []float64{0.6, 0.4})
+	ids["Intelligence"] = n.MustAddNode("Intelligence", 2, nil, []float64{0.7, 0.3})
+	ids["Grade"] = n.MustAddNode("Grade", 3, []int{ids["Intelligence"], ids["Difficulty"]}, []float64{
+		0.30, 0.40, 0.30, // i0, d0
+		0.05, 0.25, 0.70, // i0, d1
+		0.90, 0.08, 0.02, // i1, d0
+		0.50, 0.30, 0.20, // i1, d1
+	})
+	ids["SAT"] = n.MustAddNode("SAT", 2, []int{ids["Intelligence"]}, []float64{
+		0.95, 0.05, // i0
+		0.20, 0.80, // i1
+	})
+	ids["Letter"] = n.MustAddNode("Letter", 2, []int{ids["Grade"]}, []float64{
+		0.10, 0.90, // grade A
+		0.40, 0.60, // grade B
+		0.99, 0.01, // grade C
+	})
+	return n, ids
+}
+
+// RandomNetwork builds a synthetic layered network with the given number of
+// nodes, states per node and maximum parents per node; every CPT row is a
+// pseudo-random distribution drawn from the given seed. It is used by the
+// fuzz-style oracle tests.
+func RandomNetwork(nodes, states, maxParents int, seed int64) *Network {
+	rng := newSplitMix(seed)
+	n := New()
+	for id := 0; id < nodes; id++ {
+		np := 0
+		if id > 0 {
+			np = int(rng.next() % uint64(maxParents+1))
+			if np > id {
+				np = id
+			}
+		}
+		seen := map[int]bool{}
+		parents := make([]int, 0, np)
+		for len(parents) < np {
+			p := int(rng.next() % uint64(id))
+			if !seen[p] {
+				seen[p] = true
+				parents = append(parents, p)
+			}
+		}
+		rows := 1
+		for _, p := range parents {
+			rows *= n.Nodes[p].Card
+		}
+		dist := make([]float64, rows*states)
+		for r := 0; r < rows; r++ {
+			sum := 0.0
+			for s := 0; s < states; s++ {
+				v := float64(rng.next()%1000)/1000 + 0.05
+				dist[r*states+s] = v
+				sum += v
+			}
+			for s := 0; s < states; s++ {
+				dist[r*states+s] /= sum
+			}
+		}
+		n.MustAddNode(nodeName(id), states, parents, dist)
+	}
+	return n
+}
+
+func nodeName(id int) string {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	name := string(letters[id%26])
+	for id >= 26 {
+		id /= 26
+		name = string(letters[id%26]) + name
+	}
+	return name
+}
+
+// splitMix is a tiny deterministic PRNG so RandomNetwork does not depend on
+// math/rand's generator evolution across Go versions.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed int64) *splitMix { return &splitMix{s: uint64(seed)*2654435769 + 1} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

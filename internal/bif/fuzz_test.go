@@ -1,0 +1,46 @@
+package bif
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse checks that arbitrary inputs never crash the lexer/parser and
+// that every successfully parsed document either converts to a valid
+// network or reports an error — and that accepted networks round-trip.
+func FuzzParse(f *testing.F) {
+	f.Add(asiaBIF)
+	f.Add("network n { }")
+	f.Add(`network n { } variable A { type discrete [ 2 ] { a, b }; } probability ( A ) { table 0.5, 0.5; }`)
+	f.Add(`probability ( A | B, C ) { (a, b) 1, 0; default 0.5 0.5; }`)
+	f.Add(`variable "x" { type discrete [ 1 ] { lone }; }`)
+	f.Add("// comment only")
+	f.Add("/* unterminated")
+	f.Add("network n { property p \"v\"; }")
+	f.Add("table 1,;")
+	f.Add("variable V { type discrete [ 3 ] { -1, 0e4, x.y-z }; }")
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		net, states, err := doc.ToNetwork()
+		if err != nil {
+			return
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatalf("accepted invalid network: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, net, doc.Name, states); err != nil {
+			t.Fatalf("cannot write accepted network: %v", err)
+		}
+		doc2, err := ParseString(buf.String())
+		if err != nil {
+			t.Fatalf("written form does not re-parse: %v\n%s", err, buf.String())
+		}
+		if _, _, err := doc2.ToNetwork(); err != nil {
+			t.Fatalf("round trip broke the network: %v", err)
+		}
+	})
+}

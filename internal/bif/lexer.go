@@ -1,0 +1,216 @@
+// Package bif reads and writes discrete Bayesian networks in the textual
+// Bayesian Interchange Format (BIF / Cozman's Interchange Format), the
+// format used by the classic network repositories (asia.bif, alarm.bif,
+// …). Supported constructs:
+//
+//	network <name> { <properties> }
+//	variable <name> { type discrete [ n ] { s0, s1, … }; <properties> }
+//	probability ( child | p1, p2 ) {
+//	    table v, v, …;              // full table, child state fastest
+//	    (s1, s2) v, v, …;           // one row per parent configuration
+//	    default v, v, …;            // rows not listed explicitly
+//	}
+//
+// `property` lines are parsed and ignored. Comments use // and /* */.
+package bif
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // one of { } ( ) [ ] | , ;
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokPunct:
+		return "punctuation"
+	default:
+		return "token"
+	}
+}
+
+// token is one lexeme with its source line for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer splits BIF source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// errorf decorates an error with the current line.
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("bif: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace and comments.
+func (l *lexer) skipSpace() error {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errorf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// isIdentRune reports whether r may appear inside a BIF identifier. BIF
+// identifiers are liberal: repository files use letters, digits, '_', '-'
+// and '.'.
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	line := l.line
+	c, ok := l.peekByte()
+	if !ok {
+		return token{kind: tokEOF, line: line}, nil
+	}
+	switch {
+	case strings.IndexByte("{}()[]|,;", c) >= 0:
+		l.advance()
+		return token{kind: tokPunct, text: string(c), line: line}, nil
+	case c == '"':
+		l.advance()
+		start := l.pos
+		for {
+			c, ok := l.peekByte()
+			if !ok || c == '\n' {
+				return token{}, l.errorf("unterminated string")
+			}
+			if c == '"' {
+				text := l.src[start:l.pos]
+				l.advance()
+				return token{kind: tokString, text: text, line: line}, nil
+			}
+			l.advance()
+		}
+	case c >= '0' && c <= '9' || c == '-' || c == '+':
+		start := l.pos
+		l.advance()
+		for {
+			c, ok := l.peekByte()
+			if !ok {
+				break
+			}
+			if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' ||
+				((c == '-' || c == '+') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E')) {
+				l.advance()
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: line}, nil
+	case isIdentRune(rune(c)):
+		start := l.pos
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentRune(rune(c)) {
+				break
+			}
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line}, nil
+	default:
+		return token{}, l.errorf("unexpected character %q", c)
+	}
+}
+
+// lex tokenizes the whole input.
+func lex(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,544 @@
+package bif
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"evprop/internal/bayesnet"
+)
+
+// Document is the parsed form of a BIF file, preserving declaration order
+// and state names.
+type Document struct {
+	Name      string
+	Variables []Variable
+	Blocks    []ProbBlock
+}
+
+// Variable is one `variable` declaration.
+type Variable struct {
+	Name   string
+	States []string
+}
+
+// ProbBlock is one `probability` declaration. Exactly one of Table or Rows
+// content is typically present; both may combine with Default.
+type ProbBlock struct {
+	Child   string
+	Parents []string
+	// Table is the flattened CPT: parent configurations vary slowest (first
+	// parent slowest of all) and the child's state fastest.
+	Table []float64
+	// Rows maps one parent configuration (by state names, in parent order)
+	// to the child's distribution.
+	Rows []Row
+	// Default is the child distribution for parent configurations not
+	// covered by Rows (nil if absent).
+	Default []float64
+}
+
+// Row is one `(states…) p, p, …;` line.
+type Row struct {
+	ParentStates []string
+	Values       []float64
+}
+
+// parser consumes a token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(t token, format string, args ...any) error {
+	return fmt.Errorf("bif: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return p.errorf(t, "expected %q, found %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", p.errorf(t, "expected identifier, found %s", t)
+	}
+	return t.text, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != kw {
+		return p.errorf(t, "expected %q, found %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) atPunct(s string) bool {
+	t := p.peek()
+	return t.kind == tokPunct && t.text == s
+}
+
+// number parses one float literal.
+func (p *parser) number() (float64, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, p.errorf(t, "expected number, found %s", t)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, p.errorf(t, "bad number %q: %v", t.text, err)
+	}
+	return v, nil
+}
+
+// numberList parses `v, v, … ;` (commas optional, as in repository files).
+func (p *parser) numberList() ([]float64, error) {
+	var out []float64
+	for {
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		if p.atPunct(",") {
+			p.next()
+			continue
+		}
+		if p.atPunct(";") {
+			p.next()
+			return out, nil
+		}
+		if t := p.peek(); t.kind != tokNumber {
+			return nil, p.errorf(t, "expected ',', ';' or number in value list, found %s", t)
+		}
+	}
+}
+
+// skipProperty consumes `property … ;`.
+func (p *parser) skipProperty() error {
+	for {
+		t := p.next()
+		if t.kind == tokEOF {
+			return p.errorf(t, "unterminated property")
+		}
+		if t.kind == tokPunct && t.text == ";" {
+			return nil
+		}
+	}
+}
+
+// Parse reads a BIF document from r.
+func Parse(r io.Reader) (*Document, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("bif: %w", err)
+	}
+	return ParseString(string(src))
+}
+
+// ParseString reads a BIF document from a string.
+func ParseString(src string) (*Document, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	doc := &Document{}
+	for {
+		t := p.peek()
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind != tokIdent {
+			return nil, p.errorf(t, "expected declaration, found %s", t)
+		}
+		switch t.text {
+		case "network":
+			if err := p.parseNetwork(doc); err != nil {
+				return nil, err
+			}
+		case "variable":
+			if err := p.parseVariable(doc); err != nil {
+				return nil, err
+			}
+		case "probability":
+			if err := p.parseProbability(doc); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf(t, "unknown declaration %q", t.text)
+		}
+	}
+	return doc, nil
+}
+
+func (p *parser) parseNetwork(doc *Document) error {
+	p.next() // network
+	t := p.next()
+	switch t.kind {
+	case tokIdent, tokString:
+		doc.Name = t.text
+	default:
+		return p.errorf(t, "expected network name, found %s", t)
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !p.atPunct("}") {
+		t := p.next()
+		if t.kind == tokEOF {
+			return p.errorf(t, "unterminated network block")
+		}
+		if t.kind == tokIdent && t.text == "property" {
+			if err := p.skipProperty(); err != nil {
+				return err
+			}
+		}
+	}
+	return p.expectPunct("}")
+}
+
+func (p *parser) parseVariable(doc *Document) error {
+	p.next() // variable
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	v := Variable{Name: name}
+	for !p.atPunct("}") {
+		t := p.next()
+		switch {
+		case t.kind == tokEOF:
+			return p.errorf(t, "unterminated variable block")
+		case t.kind == tokIdent && t.text == "property":
+			if err := p.skipProperty(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "type":
+			if err := p.expectKeyword("discrete"); err != nil {
+				return err
+			}
+			if err := p.expectPunct("["); err != nil {
+				return err
+			}
+			n, err := p.number()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return err
+			}
+			if err := p.expectPunct("{"); err != nil {
+				return err
+			}
+			for !p.atPunct("}") {
+				st := p.next()
+				if st.kind != tokIdent && st.kind != tokNumber && st.kind != tokString {
+					return p.errorf(st, "expected state name, found %s", st)
+				}
+				v.States = append(v.States, st.text)
+				if p.atPunct(",") {
+					p.next()
+				}
+			}
+			if err := p.expectPunct("}"); err != nil {
+				return err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+			if len(v.States) != int(n) {
+				return p.errorf(t, "variable %q declares %d states but lists %d", name, int(n), len(v.States))
+			}
+		default:
+			return p.errorf(t, "unexpected %s in variable block", t)
+		}
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return err
+	}
+	if len(v.States) == 0 {
+		return fmt.Errorf("bif: variable %q has no type declaration", name)
+	}
+	doc.Variables = append(doc.Variables, v)
+	return nil
+}
+
+func (p *parser) parseProbability(doc *Document) error {
+	p.next() // probability
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	child, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	b := ProbBlock{Child: child}
+	if p.atPunct("|") {
+		p.next()
+		for {
+			parent, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			b.Parents = append(b.Parents, parent)
+			if p.atPunct(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !p.atPunct("}") {
+		t := p.peek()
+		switch {
+		case t.kind == tokEOF:
+			return p.errorf(t, "unterminated probability block")
+		case t.kind == tokIdent && t.text == "property":
+			p.next()
+			if err := p.skipProperty(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "table":
+			p.next()
+			vals, err := p.numberList()
+			if err != nil {
+				return err
+			}
+			b.Table = vals
+		case t.kind == tokIdent && t.text == "default":
+			p.next()
+			vals, err := p.numberList()
+			if err != nil {
+				return err
+			}
+			b.Default = vals
+		case t.kind == tokPunct && t.text == "(":
+			p.next()
+			var row Row
+			for {
+				st := p.next()
+				if st.kind != tokIdent && st.kind != tokNumber && st.kind != tokString {
+					return p.errorf(st, "expected parent state, found %s", st)
+				}
+				row.ParentStates = append(row.ParentStates, st.text)
+				if p.atPunct(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return err
+			}
+			vals, err := p.numberList()
+			if err != nil {
+				return err
+			}
+			row.Values = vals
+			b.Rows = append(b.Rows, row)
+		default:
+			return p.errorf(t, "unexpected %s in probability block", t)
+		}
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return err
+	}
+	doc.Blocks = append(doc.Blocks, b)
+	return nil
+}
+
+// ToNetwork converts the document into a Bayesian network, returning the
+// network and each variable's state names (by variable name). Variables are
+// topologically reordered as needed so parents precede children.
+func (doc *Document) ToNetwork() (*bayesnet.Network, map[string][]string, error) {
+	varIdx := map[string]int{}
+	for i, v := range doc.Variables {
+		if _, dup := varIdx[v.Name]; dup {
+			return nil, nil, fmt.Errorf("bif: variable %q declared twice", v.Name)
+		}
+		varIdx[v.Name] = i
+	}
+	blockOf := map[string]*ProbBlock{}
+	for i := range doc.Blocks {
+		b := &doc.Blocks[i]
+		if _, ok := varIdx[b.Child]; !ok {
+			return nil, nil, fmt.Errorf("bif: probability block for undeclared variable %q", b.Child)
+		}
+		if _, dup := blockOf[b.Child]; dup {
+			return nil, nil, fmt.Errorf("bif: variable %q has two probability blocks", b.Child)
+		}
+		for _, parent := range b.Parents {
+			if _, ok := varIdx[parent]; !ok {
+				return nil, nil, fmt.Errorf("bif: variable %q has undeclared parent %q", b.Child, parent)
+			}
+		}
+		blockOf[b.Child] = b
+	}
+	for _, v := range doc.Variables {
+		if _, ok := blockOf[v.Name]; !ok {
+			return nil, nil, fmt.Errorf("bif: variable %q has no probability block", v.Name)
+		}
+	}
+
+	order, err := topoOrder(doc.Variables, blockOf)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	net := bayesnet.New()
+	states := map[string][]string{}
+	for _, name := range order {
+		v := doc.Variables[varIdx[name]]
+		b := blockOf[name]
+		dist, err := doc.flatten(v, b, varIdx)
+		if err != nil {
+			return nil, nil, err
+		}
+		parents := make([]int, len(b.Parents))
+		for i, pn := range b.Parents {
+			parents[i] = net.ID(pn)
+		}
+		if _, err := net.AddNode(name, len(v.States), parents, dist); err != nil {
+			return nil, nil, fmt.Errorf("bif: %w", err)
+		}
+		states[name] = append([]string(nil), v.States...)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("bif: %w", err)
+	}
+	return net, states, nil
+}
+
+// topoOrder sorts variable names parents-before-children, preserving
+// declaration order among independent variables (stable Kahn).
+func topoOrder(vars []Variable, blockOf map[string]*ProbBlock) ([]string, error) {
+	indeg := map[string]int{}
+	children := map[string][]string{}
+	for _, v := range vars {
+		b := blockOf[v.Name]
+		indeg[v.Name] = len(b.Parents)
+		for _, parent := range b.Parents {
+			children[parent] = append(children[parent], v.Name)
+		}
+	}
+	var queue []string
+	for _, v := range vars {
+		if indeg[v.Name] == 0 {
+			queue = append(queue, v.Name)
+		}
+	}
+	var order []string
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		order = append(order, name)
+		for _, c := range children[name] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(order) != len(vars) {
+		return nil, fmt.Errorf("bif: probability blocks form a cycle")
+	}
+	return order, nil
+}
+
+// flatten produces the CPT in bayesnet.AddNode layout (parents in declared
+// order slowest-first, child fastest) from whichever forms the block uses.
+func (doc *Document) flatten(v Variable, b *ProbBlock, varIdx map[string]int) ([]float64, error) {
+	childCard := len(v.States)
+	rows := 1
+	parentVars := make([]Variable, len(b.Parents))
+	for i, pn := range b.Parents {
+		parentVars[i] = doc.Variables[varIdx[pn]]
+		rows *= len(parentVars[i].States)
+	}
+	want := rows * childCard
+
+	if b.Table != nil {
+		if len(b.Rows) > 0 {
+			return nil, fmt.Errorf("bif: variable %q mixes table and row entries", v.Name)
+		}
+		if len(b.Table) != want {
+			return nil, fmt.Errorf("bif: variable %q table has %d values, want %d", v.Name, len(b.Table), want)
+		}
+		return append([]float64(nil), b.Table...), nil
+	}
+
+	dist := make([]float64, want)
+	set := make([]bool, rows)
+	for _, row := range b.Rows {
+		if len(row.ParentStates) != len(b.Parents) {
+			return nil, fmt.Errorf("bif: variable %q row names %d parent states, want %d",
+				v.Name, len(row.ParentStates), len(b.Parents))
+		}
+		idx := 0
+		for i, stateName := range row.ParentStates {
+			s := stateIndex(parentVars[i].States, stateName)
+			if s < 0 {
+				return nil, fmt.Errorf("bif: variable %q row: parent %q has no state %q",
+					v.Name, b.Parents[i], stateName)
+			}
+			idx = idx*len(parentVars[i].States) + s
+		}
+		if len(row.Values) != childCard {
+			return nil, fmt.Errorf("bif: variable %q row lists %d values, want %d",
+				v.Name, len(row.Values), childCard)
+		}
+		if set[idx] {
+			return nil, fmt.Errorf("bif: variable %q row (%v) given twice", v.Name, row.ParentStates)
+		}
+		set[idx] = true
+		copy(dist[idx*childCard:], row.Values)
+	}
+	for r := 0; r < rows; r++ {
+		if set[r] {
+			continue
+		}
+		if b.Default == nil {
+			return nil, fmt.Errorf("bif: variable %q missing a row (and no default)", v.Name)
+		}
+		if len(b.Default) != childCard {
+			return nil, fmt.Errorf("bif: variable %q default lists %d values, want %d",
+				v.Name, len(b.Default), childCard)
+		}
+		copy(dist[r*childCard:], b.Default)
+	}
+	return dist, nil
+}
+
+func stateIndex(states []string, name string) int {
+	for i, s := range states {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,132 @@
+package bif
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"evprop/internal/bayesnet"
+)
+
+// Write serializes the network in BIF text form. states optionally names
+// each variable's states (by variable name); variables without an entry get
+// synthetic names s0, s1, …. Root variables are written with a `table`
+// line; conditional variables with one row per parent configuration.
+func Write(w io.Writer, net *bayesnet.Network, name string, states map[string][]string) error {
+	if err := net.Validate(); err != nil {
+		return fmt.Errorf("bif: %w", err)
+	}
+	if name == "" {
+		name = "network"
+	}
+	stateName := func(id, s int) string {
+		if names := states[net.Name(id)]; s < len(names) {
+			return names[s]
+		}
+		return fmt.Sprintf("s%d", s)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "network %s {\n}\n", sanitizeIdent(name))
+	for id, node := range net.Nodes {
+		fmt.Fprintf(&b, "variable %s {\n  type discrete [ %d ] { ", sanitizeIdent(node.Name), node.Card)
+		for s := 0; s < node.Card; s++ {
+			if s > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(sanitizeIdent(stateName(id, s)))
+		}
+		b.WriteString(" };\n}\n")
+	}
+	for id, node := range net.Nodes {
+		if err := writeProbability(&b, net, id, node, stateName); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeProbability(b *strings.Builder, net *bayesnet.Network, id int, node bayesnet.Node, stateName func(int, int) string) error {
+	if len(node.Parents) == 0 {
+		fmt.Fprintf(b, "probability ( %s ) {\n  table ", sanitizeIdent(node.Name))
+		// The CPT of a parentless node is a potential over {id} only, in
+		// state order.
+		for s := 0; s < node.Card; s++ {
+			if s > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%g", node.CPT.At(s))
+		}
+		b.WriteString(";\n}\n")
+		return nil
+	}
+
+	fmt.Fprintf(b, "probability ( %s | ", sanitizeIdent(node.Name))
+	for i, p := range node.Parents {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(sanitizeIdent(net.Nodes[p].Name))
+	}
+	b.WriteString(" ) {\n")
+
+	// Enumerate parent configurations in declared-parent order (first
+	// parent slowest) and read the child distribution from the canonical
+	// CPT potential.
+	cards := make([]int, len(node.Parents))
+	rows := 1
+	for i, p := range node.Parents {
+		cards[i] = net.Nodes[p].Card
+		rows *= cards[i]
+	}
+	cfg := make([]int, len(node.Parents))
+	assignment := map[int]int{}
+	for r := 0; r < rows; r++ {
+		rem := r
+		for i := len(cfg) - 1; i >= 0; i-- {
+			cfg[i] = rem % cards[i]
+			rem /= cards[i]
+		}
+		b.WriteString("  (")
+		for i, p := range node.Parents {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(sanitizeIdent(stateName(p, cfg[i])))
+			assignment[p] = cfg[i]
+		}
+		b.WriteString(") ")
+		for s := 0; s < node.Card; s++ {
+			if s > 0 {
+				b.WriteString(", ")
+			}
+			assignment[id] = s
+			states := make([]int, len(node.CPT.Vars))
+			for pos, v := range node.CPT.Vars {
+				states[pos] = assignment[v]
+			}
+			fmt.Fprintf(b, "%g", node.CPT.Data[node.CPT.IndexOf(states)])
+		}
+		b.WriteString(";\n")
+	}
+	b.WriteString("}\n")
+	return nil
+}
+
+// sanitizeIdent maps arbitrary names onto the BIF identifier alphabet so
+// that written files always re-parse.
+func sanitizeIdent(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for _, r := range s {
+		if isIdentRune(r) {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,179 @@
+package bif
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"evprop/internal/bayesnet"
+)
+
+// XMLBIF 0.3 support (the XML interchange format of WEKA, SamIam and the
+// classic repository mirrors). Both directions go through the same
+// Document model as the textual format, so every validation and
+// table-layout rule is shared: TABLE values list parent configurations
+// slowest (first GIVEN slowest) with the FOR variable's state fastest.
+
+type xmlBIF struct {
+	XMLName xml.Name   `xml:"BIF"`
+	Version string     `xml:"VERSION,attr"`
+	Network xmlNetwork `xml:"NETWORK"`
+}
+
+type xmlNetwork struct {
+	Name        string          `xml:"NAME"`
+	Variables   []xmlVariable   `xml:"VARIABLE"`
+	Definitions []xmlDefinition `xml:"DEFINITION"`
+}
+
+type xmlVariable struct {
+	Type     string   `xml:"TYPE,attr"`
+	Name     string   `xml:"NAME"`
+	Outcomes []string `xml:"OUTCOME"`
+}
+
+type xmlDefinition struct {
+	For   string   `xml:"FOR"`
+	Given []string `xml:"GIVEN"`
+	Table string   `xml:"TABLE"`
+}
+
+// ParseXML reads an XMLBIF 0.3 document.
+func ParseXML(r io.Reader) (*Document, error) {
+	var x xmlBIF
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&x); err != nil {
+		return nil, fmt.Errorf("bif: xml: %w", err)
+	}
+	doc := &Document{Name: strings.TrimSpace(x.Network.Name)}
+	for _, v := range x.Network.Variables {
+		name := strings.TrimSpace(v.Name)
+		if name == "" {
+			return nil, fmt.Errorf("bif: xml: variable with empty name")
+		}
+		if len(v.Outcomes) == 0 {
+			return nil, fmt.Errorf("bif: xml: variable %q has no outcomes", name)
+		}
+		states := make([]string, len(v.Outcomes))
+		for i, o := range v.Outcomes {
+			states[i] = strings.TrimSpace(o)
+		}
+		doc.Variables = append(doc.Variables, Variable{Name: name, States: states})
+	}
+	for _, d := range x.Network.Definitions {
+		b := ProbBlock{Child: strings.TrimSpace(d.For)}
+		for _, g := range d.Given {
+			b.Parents = append(b.Parents, strings.TrimSpace(g))
+		}
+		fields := strings.Fields(d.Table)
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("bif: xml: definition of %q has an empty table", b.Child)
+		}
+		b.Table = make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bif: xml: definition of %q: bad value %q", b.Child, f)
+			}
+			b.Table[i] = v
+		}
+		doc.Blocks = append(doc.Blocks, b)
+	}
+	return doc, nil
+}
+
+// ParseXMLNetwork reads an XMLBIF document straight into a network.
+func ParseXMLNetwork(r io.Reader) (*bayesnet.Network, map[string][]string, error) {
+	doc, err := ParseXML(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return doc.ToNetwork()
+}
+
+// WriteXML serializes the network as XMLBIF 0.3, with the same state-name
+// handling as Write.
+func WriteXML(w io.Writer, net *bayesnet.Network, name string, states map[string][]string) error {
+	if err := net.Validate(); err != nil {
+		return fmt.Errorf("bif: %w", err)
+	}
+	if name == "" {
+		name = "network"
+	}
+	stateName := func(id, s int) string {
+		if names := states[net.Name(id)]; s < len(names) {
+			return names[s]
+		}
+		return fmt.Sprintf("s%d", s)
+	}
+	x := xmlBIF{Version: "0.3", Network: xmlNetwork{Name: name}}
+	for id, node := range net.Nodes {
+		v := xmlVariable{Type: "nature", Name: node.Name}
+		for s := 0; s < node.Card; s++ {
+			v.Outcomes = append(v.Outcomes, stateName(id, s))
+		}
+		x.Network.Variables = append(x.Network.Variables, v)
+	}
+	for id, node := range net.Nodes {
+		d := xmlDefinition{For: node.Name}
+		for _, p := range node.Parents {
+			d.Given = append(d.Given, net.Nodes[p].Name)
+		}
+		table, err := flattenCPT(net, id)
+		if err != nil {
+			return err
+		}
+		parts := make([]string, len(table))
+		for i, v := range table {
+			parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		d.Table = strings.Join(parts, " ")
+		x.Network.Definitions = append(x.Network.Definitions, d)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(x); err != nil {
+		return fmt.Errorf("bif: xml: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// flattenCPT converts a node's canonical CPT potential back into AddNode
+// layout: parents in declared order slowest-first, child fastest.
+func flattenCPT(net *bayesnet.Network, id int) ([]float64, error) {
+	node := net.Nodes[id]
+	cards := make([]int, len(node.Parents))
+	rows := 1
+	for i, p := range node.Parents {
+		cards[i] = net.Nodes[p].Card
+		rows *= cards[i]
+	}
+	out := make([]float64, 0, rows*node.Card)
+	cfg := make([]int, len(node.Parents))
+	assignment := map[int]int{}
+	states := make([]int, len(node.CPT.Vars))
+	for r := 0; r < rows; r++ {
+		rem := r
+		for i := len(cfg) - 1; i >= 0; i-- {
+			cfg[i] = rem % cards[i]
+			rem /= cards[i]
+		}
+		for i, p := range node.Parents {
+			assignment[p] = cfg[i]
+		}
+		for s := 0; s < node.Card; s++ {
+			assignment[id] = s
+			for pos, v := range node.CPT.Vars {
+				states[pos] = assignment[v]
+			}
+			out = append(out, node.CPT.Data[node.CPT.IndexOf(states)])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package bif
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"evprop/internal/bayesnet"
+	"evprop/internal/potential"
+)
+
+const sprinklerXML = `<?xml version="1.0"?>
+<BIF VERSION="0.3">
+<NETWORK>
+<NAME>lawn</NAME>
+<VARIABLE TYPE="nature"><NAME>Cloudy</NAME><OUTCOME>no</OUTCOME><OUTCOME>yes</OUTCOME></VARIABLE>
+<VARIABLE TYPE="nature"><NAME>Sprinkler</NAME><OUTCOME>no</OUTCOME><OUTCOME>yes</OUTCOME></VARIABLE>
+<VARIABLE TYPE="nature"><NAME>Rain</NAME><OUTCOME>no</OUTCOME><OUTCOME>yes</OUTCOME></VARIABLE>
+<VARIABLE TYPE="nature"><NAME>WetGrass</NAME><OUTCOME>no</OUTCOME><OUTCOME>yes</OUTCOME></VARIABLE>
+<DEFINITION><FOR>Cloudy</FOR><TABLE>0.5 0.5</TABLE></DEFINITION>
+<DEFINITION><FOR>Sprinkler</FOR><GIVEN>Cloudy</GIVEN><TABLE>0.5 0.5 0.9 0.1</TABLE></DEFINITION>
+<DEFINITION><FOR>Rain</FOR><GIVEN>Cloudy</GIVEN><TABLE>0.8 0.2 0.2 0.8</TABLE></DEFINITION>
+<DEFINITION><FOR>WetGrass</FOR><GIVEN>Sprinkler</GIVEN><GIVEN>Rain</GIVEN>
+  <TABLE>1.0 0.0 0.1 0.9 0.1 0.9 0.01 0.99</TABLE></DEFINITION>
+</NETWORK>
+</BIF>
+`
+
+func TestParseXMLMatchesBuiltin(t *testing.T) {
+	net, states, err := ParseXMLNetwork(strings.NewReader(sprinklerXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := states["Cloudy"]; len(got) != 2 || got[1] != "yes" {
+		t.Errorf("states = %v", got)
+	}
+	want, ids := bayesnet.Sprinkler()
+	ev := potential.Evidence{net.ID("WetGrass"): 1}
+	got, err := net.ExactMarginal(net.ID("Rain"), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := want.ExactMarginal(ids["Rain"], potential.Evidence{ids["WetGrass"]: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Data[1]-exp.Data[1]) > 1e-12 {
+		t.Errorf("P(Rain|Wet) = %v, want %v", got.Data[1], exp.Data[1])
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		orig := bayesnet.RandomNetwork(9, 3, 2, seed)
+		var buf bytes.Buffer
+		if err := WriteXML(&buf, orig, "roundtrip", nil); err != nil {
+			t.Fatal(err)
+		}
+		back, _, err := ParseXMLNetwork(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n", seed, err)
+		}
+		for id := 0; id < orig.N(); id++ {
+			name := orig.Name(id)
+			m1, err := back.ExactMarginal(back.ID(name), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, err := orig.ExactMarginal(id, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := range m1.Data {
+				if math.Abs(m1.Data[s]-m2.Data[s]) > 1e-9 {
+					t.Errorf("seed %d: P(%s) changed", seed, name)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestXMLCrossFormat(t *testing.T) {
+	// Text BIF → network → XMLBIF → network: same distribution.
+	doc, err := ParseString(asiaBIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, states, err := doc.ToNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, net, "asia", states); err != nil {
+		t.Fatal(err)
+	}
+	back, states2, err := ParseXMLNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := states2["Asia"]; len(got) != 2 || got[1] != "yes" {
+		t.Errorf("states lost: %v", got)
+	}
+	a, err := net.ExactMarginal(net.ID("Dysp"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.ExactMarginal(back.ID("Dysp"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Data[1]-b.Data[1]) > 1e-12 {
+		t.Errorf("cross-format P(Dysp) changed: %v vs %v", a.Data[1], b.Data[1])
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"not xml", "plain text"},
+		{"empty table", `<BIF VERSION="0.3"><NETWORK><NAME>n</NAME>
+			<VARIABLE TYPE="nature"><NAME>A</NAME><OUTCOME>a</OUTCOME></VARIABLE>
+			<DEFINITION><FOR>A</FOR><TABLE> </TABLE></DEFINITION></NETWORK></BIF>`},
+		{"bad number", `<BIF VERSION="0.3"><NETWORK><NAME>n</NAME>
+			<VARIABLE TYPE="nature"><NAME>A</NAME><OUTCOME>a</OUTCOME><OUTCOME>b</OUTCOME></VARIABLE>
+			<DEFINITION><FOR>A</FOR><TABLE>x y</TABLE></DEFINITION></NETWORK></BIF>`},
+		{"no outcomes", `<BIF VERSION="0.3"><NETWORK><NAME>n</NAME>
+			<VARIABLE TYPE="nature"><NAME>A</NAME></VARIABLE>
+			<DEFINITION><FOR>A</FOR><TABLE>1</TABLE></DEFINITION></NETWORK></BIF>`},
+		{"empty name", `<BIF VERSION="0.3"><NETWORK><NAME>n</NAME>
+			<VARIABLE TYPE="nature"><NAME> </NAME><OUTCOME>a</OUTCOME></VARIABLE></NETWORK></BIF>`},
+		{"wrong table size", `<BIF VERSION="0.3"><NETWORK><NAME>n</NAME>
+			<VARIABLE TYPE="nature"><NAME>A</NAME><OUTCOME>a</OUTCOME><OUTCOME>b</OUTCOME></VARIABLE>
+			<DEFINITION><FOR>A</FOR><TABLE>1 0 0</TABLE></DEFINITION></NETWORK></BIF>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			doc, err := ParseXML(strings.NewReader(c.src))
+			if err != nil {
+				return
+			}
+			if _, _, err := doc.ToNetwork(); err == nil {
+				t.Errorf("accepted %s", c.name)
+			}
+		})
+	}
+}
+
+func TestWriteXMLUsesStateNames(t *testing.T) {
+	net, _ := bayesnet.Sprinkler()
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, net, "lawn", map[string][]string{"Rain": {"dry", "wet"}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<OUTCOME>wet</OUTCOME>") {
+		t.Error("state names not written")
+	}
+	if !strings.Contains(out, `VERSION="0.3"`) {
+		t.Error("missing version attribute")
+	}
+}

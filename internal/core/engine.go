@@ -1,0 +1,395 @@
+// Package core ties the reproduction together: it is the evidence
+// propagation engine that takes a junction tree, optionally reroots it with
+// Algorithm 1 to minimize the critical path, builds the task dependency
+// graph, absorbs evidence, runs one of the schedulers, and exposes
+// posterior queries.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"evprop/internal/baseline"
+	"evprop/internal/jtree"
+	"evprop/internal/potential"
+	"evprop/internal/sched"
+	"evprop/internal/taskgraph"
+)
+
+// Scheduler selects the execution strategy for one propagation.
+type Scheduler int
+
+const (
+	// Collaborative is the paper's contribution (Section 6).
+	Collaborative Scheduler = iota
+	// Serial executes tasks on one goroutine in topological order.
+	Serial
+	// LevelSync is the task-level fork-join baseline.
+	LevelSync
+	// DataParallel parallelizes every primitive individually.
+	DataParallel
+	// Centralized uses a dedicated coordinator goroutine.
+	Centralized
+	// WorkStealing is the collaborative scheduler with tail-stealing from
+	// the heaviest ready list (an extension; see sched.RunStealing).
+	WorkStealing
+)
+
+var schedulerNames = map[Scheduler]string{
+	Collaborative: "collaborative",
+	Serial:        "serial",
+	LevelSync:     "levelsync",
+	DataParallel:  "dataparallel",
+	Centralized:   "centralized",
+	WorkStealing:  "stealing",
+}
+
+func (s Scheduler) String() string {
+	if n, ok := schedulerNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("scheduler(%d)", int(s))
+}
+
+// ParseScheduler resolves a scheduler name used by the CLI tools.
+func ParseScheduler(name string) (Scheduler, error) {
+	for s, n := range schedulerNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown scheduler %q", name)
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of worker goroutines P. 0 selects GOMAXPROCS.
+	Workers int
+	// Scheduler selects the execution strategy (default Collaborative).
+	Scheduler Scheduler
+	// Reroot applies Algorithm 1 before building the task graph,
+	// minimizing the propagation critical path (default off; turn on for
+	// parallel runs).
+	Reroot bool
+	// PartitionThreshold is δ: tasks over tables larger than this many
+	// entries are split by the collaborative scheduler's Partition module.
+	// 0 disables partitioning.
+	PartitionThreshold int
+	// Trace records a per-worker execution timeline in Result.Sched.Trace
+	// (collaborative scheduler only).
+	Trace bool
+}
+
+// Engine owns a prepared junction tree and its task dependency graph, and
+// runs any number of independent propagations over it.
+type Engine struct {
+	opts  Options
+	tree  *jtree.Tree
+	graph *taskgraph.Graph
+	// RerootedFrom records the original root when Reroot moved it (-1
+	// otherwise).
+	RerootedFrom int
+	// RerootTime is how long root selection and rerooting took, the
+	// overhead the paper reports as negligible (24 µs for 512 cliques).
+	RerootTime time.Duration
+
+	collectMu     sync.Mutex
+	collectGraphs map[int]*taskgraph.Graph // per-target collect-only graphs
+}
+
+// NewEngine validates and prepares the junction tree. The tree is cloned;
+// the caller's copy is never mutated.
+func NewEngine(t *jtree.Tree, opts Options) (*Engine, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{opts: opts, RerootedFrom: -1}
+	work := t.Clone()
+	if opts.Reroot {
+		start := time.Now()
+		r := work.SelectRoot()
+		if r != work.Root {
+			nt, err := work.Reroot(r)
+			if err != nil {
+				return nil, err
+			}
+			e.RerootedFrom = work.Root
+			work = nt
+		}
+		e.RerootTime = time.Since(start)
+	}
+	e.tree = work
+	e.graph = taskgraph.Build(work)
+	if err := e.graph.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Tree returns the engine's (possibly rerooted) junction tree.
+func (e *Engine) Tree() *jtree.Tree { return e.tree }
+
+// Graph returns the engine's task dependency graph.
+func (e *Engine) Graph() *taskgraph.Graph { return e.graph }
+
+// Options returns the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Result is one completed propagation.
+type Result struct {
+	state *taskgraph.State
+	// Elapsed is the wall-clock propagation time (excluding evidence
+	// absorption and state allocation).
+	Elapsed time.Duration
+	// Sched carries the collaborative scheduler's metrics when that
+	// scheduler ran, nil otherwise.
+	Sched *sched.Metrics
+}
+
+// Propagate absorbs the evidence into a fresh working state and runs the
+// full two-pass evidence propagation with the configured scheduler.
+func (e *Engine) Propagate(ev potential.Evidence) (*Result, error) {
+	return e.propagateFull(ev, nil, taskgraph.SumProduct)
+}
+
+// PropagateSoft additionally absorbs soft (likelihood) evidence before
+// propagating: each weight vector scales the corresponding variable's
+// states instead of fixing one.
+func (e *Engine) PropagateSoft(ev potential.Evidence, like potential.Likelihood) (*Result, error) {
+	return e.propagateFull(ev, like, taskgraph.SumProduct)
+}
+
+// PropagateMax runs max-product propagation: afterwards every clique holds
+// max-marginals and Result.MostProbableExplanation extracts the MPE.
+func (e *Engine) PropagateMax(ev potential.Evidence) (*Result, error) {
+	return e.propagateMode(ev, taskgraph.MaxProduct)
+}
+
+func (e *Engine) propagateMode(ev potential.Evidence, mode taskgraph.Mode) (*Result, error) {
+	return e.propagateFull(ev, nil, mode)
+}
+
+func (e *Engine) propagateFull(ev potential.Evidence, like potential.Likelihood, mode taskgraph.Mode) (*Result, error) {
+	st, err := e.graph.NewStateMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.AbsorbEvidence(ev); err != nil {
+		return nil, err
+	}
+	if err := st.AbsorbLikelihood(like); err != nil {
+		return nil, err
+	}
+	res := &Result{state: st}
+	start := time.Now()
+	m, err := e.runScheduler(st)
+	if err != nil {
+		return nil, err
+	}
+	res.Sched = m
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runScheduler executes the state's graph with the configured strategy,
+// returning collaborative-scheduler metrics when applicable.
+func (e *Engine) runScheduler(st *taskgraph.State) (*sched.Metrics, error) {
+	switch e.opts.Scheduler {
+	case Collaborative:
+		return sched.Run(st, sched.Options{
+			Workers:   e.opts.Workers,
+			Threshold: e.opts.PartitionThreshold,
+			Trace:     e.opts.Trace,
+		})
+	case WorkStealing:
+		return sched.RunStealing(st, sched.Options{
+			Workers:   e.opts.Workers,
+			Threshold: e.opts.PartitionThreshold,
+		})
+	case Serial:
+		_, err := baseline.Serial(st)
+		return nil, err
+	case LevelSync:
+		_, err := baseline.LevelSync(st, e.opts.Workers)
+		return nil, err
+	case DataParallel:
+		_, err := baseline.DataParallel(st, e.opts.Workers)
+		return nil, err
+	case Centralized:
+		p := e.opts.Workers
+		if p < 2 {
+			p = 2
+		}
+		_, err := baseline.Centralized(st, p)
+		return nil, err
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler %v", e.opts.Scheduler)
+	}
+}
+
+// CollectMarginal answers a single-variable query with a collection-only
+// propagation: the tree is rerooted at a clique containing v, the
+// leaves-to-root half of the task graph runs, and the posterior is read
+// from the root — roughly half the work of Propagate. The collect-only
+// graph is built per target clique and cached.
+func (e *Engine) CollectMarginal(ev potential.Evidence, v int) (*potential.Potential, error) {
+	ci := e.tree.CliqueOf(v)
+	if ci < 0 {
+		return nil, fmt.Errorf("core: no clique contains variable %d", v)
+	}
+	e.collectMu.Lock()
+	g, ok := e.collectGraphs[ci]
+	if !ok {
+		rt, err := e.tree.Reroot(ci)
+		if err != nil {
+			e.collectMu.Unlock()
+			return nil, err
+		}
+		g = taskgraph.BuildCollectOnly(rt)
+		if e.collectGraphs == nil {
+			e.collectGraphs = map[int]*taskgraph.Graph{}
+		}
+		e.collectGraphs[ci] = g
+	}
+	e.collectMu.Unlock()
+
+	st, err := g.NewState()
+	if err != nil {
+		return nil, err
+	}
+	if err := st.AbsorbEvidence(ev); err != nil {
+		return nil, err
+	}
+	if _, err := e.runScheduler(st); err != nil {
+		return nil, err
+	}
+	m, err := st.Clique[g.Tree.Root].Marginal([]int{v})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Normalize(); err != nil {
+		return nil, fmt.Errorf("core: variable %d has zero posterior mass (impossible evidence?): %w", v, err)
+	}
+	return m, nil
+}
+
+// Marginal returns the normalized posterior P(v | evidence) from the
+// propagation result.
+func (r *Result) Marginal(v int) (*potential.Potential, error) {
+	return r.state.Marginal(v)
+}
+
+// JointMarginal returns the normalized posterior over a set of variables,
+// which must all be contained in one clique.
+func (r *Result) JointMarginal(vars []int) (*potential.Potential, error) {
+	tree := r.state.Graph().Tree
+	for i := range tree.Cliques {
+		all := true
+		for _, v := range vars {
+			if !tree.Cliques[i].Pot.HasVar(v) {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		m, err := r.state.Clique[i].Marginal(vars)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Normalize(); err != nil {
+			return nil, fmt.Errorf("core: zero posterior mass: %w", err)
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("core: no clique contains all of %v", vars)
+}
+
+// ProbabilityOfEvidence returns P(e): after absorption and propagation the
+// total mass of any clique equals the (unnormalized) evidence likelihood.
+func (r *Result) ProbabilityOfEvidence() float64 {
+	tree := r.state.Graph().Tree
+	return r.state.Clique[tree.Root].Sum()
+}
+
+// State exposes the underlying propagation state for instrumentation.
+func (r *Result) State() *taskgraph.State { return r.state }
+
+// CheckCalibration verifies the Hugin invariant on the propagation result:
+// every pair of adjacent cliques must agree (within tol, after
+// normalization) on their separator marginal. It returns nil when the tree
+// is calibrated — the structural proof that propagation completed
+// correctly, independent of any query.
+func (r *Result) CheckCalibration(tol float64) error {
+	tree := r.state.Graph().Tree
+	for c := range tree.Cliques {
+		p := tree.Cliques[c].Parent
+		if p < 0 {
+			continue
+		}
+		mc, err := r.state.Clique[c].Marginal(tree.Cliques[c].SepVars)
+		if err != nil {
+			return err
+		}
+		mp, err := r.state.Clique[p].Marginal(tree.Cliques[c].SepVars)
+		if err != nil {
+			return err
+		}
+		if err := mc.Normalize(); err != nil {
+			return fmt.Errorf("core: clique %d has zero mass: %w", c, err)
+		}
+		if err := mp.Normalize(); err != nil {
+			return fmt.Errorf("core: clique %d has zero mass: %w", p, err)
+		}
+		if d, _ := mc.MaxDiff(mp); d > tol {
+			return fmt.Errorf("core: edge (%d,%d) not calibrated: separator marginals differ by %g", c, p, d)
+		}
+	}
+	return nil
+}
+
+// MostProbableExplanation extracts the jointly most probable assignment of
+// every variable from a max-product propagation result, together with its
+// unnormalized probability P(x*, e). Divide by ProbabilityOfEvidence of a
+// sum-product run over the same evidence to obtain P(x* | e).
+//
+// Extraction walks the calibrated tree top-down: the root clique's argmax
+// fixes its variables; every other clique maximizes subject to the states
+// already fixed by its ancestors, which max-calibration guarantees is
+// globally consistent.
+func (r *Result) MostProbableExplanation() (map[int]int, float64, error) {
+	if r.state.Mode() != taskgraph.MaxProduct {
+		return nil, 0, fmt.Errorf("core: MostProbableExplanation requires a PropagateMax result (state is %v)", r.state.Mode())
+	}
+	tree := r.state.Graph().Tree
+	order, err := tree.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	assignment := map[int]int{}
+	prob := 0.0
+	for k, ci := range order {
+		pot := r.state.Clique[ci]
+		idx, v, err := pot.ArgMaxConsistent(assignment)
+		if err != nil {
+			return nil, 0, err
+		}
+		if k == 0 {
+			prob = v
+			if v == 0 {
+				return nil, 0, fmt.Errorf("core: evidence has zero probability; no explanation exists")
+			}
+		}
+		states := pot.AssignmentOf(idx)
+		for pos, variable := range pot.Vars {
+			assignment[variable] = states[pos]
+		}
+	}
+	return assignment, prob, nil
+}

@@ -1,0 +1,210 @@
+package jtree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements junction-tree decomposition for distributed-memory
+// platforms (the paper's related work [10], Section 3): the tree is split
+// into k connected blocks of balanced weight, and each block duplicates the
+// boundary cliques of its neighbors so that message exchanges need only the
+// separator tables. The paper declines to use this on shared-memory
+// multicores because duplication consumes the memory all cores share — the
+// Decomposition's DuplicatedEntries quantifies exactly that cost.
+
+// Block is one part of a decomposition: the cliques it owns plus the
+// neighboring boundary cliques it duplicates.
+type Block struct {
+	Cliques    []int // owned cliques, sorted
+	Duplicated []int // boundary cliques of other blocks kept as copies
+	Weight     float64
+}
+
+// Decomposition is a partition of a junction tree into connected blocks.
+type Decomposition struct {
+	Blocks []Block
+	// OwnerOf maps each clique to its owning block.
+	OwnerOf []int
+	// CrossEdges counts tree edges between different blocks.
+	CrossEdges int
+	// DuplicatedEntries is the total potential-table entries stored twice
+	// because of boundary duplication — the shared-memory cost the paper
+	// cites for rejecting this approach on multicores.
+	DuplicatedEntries int
+}
+
+// Decompose splits the tree into k connected blocks of roughly equal
+// weight using a greedy post-order subtree packing: walking children before
+// parents, whenever the accumulated subtree weight reaches the target
+// (total/k), the subtree is cut off as one block.
+func (t *Tree) Decompose(k int) (*Decomposition, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("jtree: decompose into %d blocks", k)
+	}
+	if k > t.N() {
+		k = t.N()
+	}
+	target := t.TotalWeight() / float64(k)
+
+	owner := make([]int, t.N())
+	for i := range owner {
+		owner[i] = -1
+	}
+	acc := make([]float64, t.N()) // weight of the uncut subtree at each clique
+	nextBlock := 0
+	for _, i := range t.PostOrder() {
+		w := t.CliqueWeight(i)
+		for _, ch := range t.Cliques[i].Children {
+			if owner[ch] == -1 { // child not yet cut: its weight flows up
+				acc[i] += acc[ch]
+			}
+		}
+		acc[i] += w
+		if acc[i] >= target && nextBlock < k-1 {
+			t.assignSubtree(i, owner, nextBlock)
+			nextBlock++
+			acc[i] = 0
+		}
+	}
+	// Everything left joins the final block. If the last cut consumed the
+	// whole remaining tree (the root included), no leftover exists and the
+	// block count shrinks by one.
+	leftover := false
+	for i := range owner {
+		if owner[i] == -1 {
+			owner[i] = nextBlock
+			leftover = true
+		}
+	}
+	used := nextBlock
+	if leftover {
+		used++
+	}
+
+	d := &Decomposition{
+		Blocks:  make([]Block, used),
+		OwnerOf: owner,
+	}
+	for i := range t.Cliques {
+		b := owner[i]
+		d.Blocks[b].Cliques = append(d.Blocks[b].Cliques, i)
+		d.Blocks[b].Weight += t.CliqueWeight(i)
+	}
+	// Boundary duplication: for every cross edge, each side duplicates the
+	// other's endpoint.
+	dupSets := make([]map[int]bool, len(d.Blocks))
+	for b := range dupSets {
+		dupSets[b] = map[int]bool{}
+	}
+	for c := range t.Cliques {
+		p := t.Cliques[c].Parent
+		if p < 0 || owner[c] == owner[p] {
+			continue
+		}
+		d.CrossEdges++
+		if !dupSets[owner[c]][p] {
+			dupSets[owner[c]][p] = true
+			d.DuplicatedEntries += t.Cliques[p].TableSize()
+		}
+		if !dupSets[owner[p]][c] {
+			dupSets[owner[p]][c] = true
+			d.DuplicatedEntries += t.Cliques[c].TableSize()
+		}
+	}
+	for b := range d.Blocks {
+		for c := range dupSets[b] {
+			d.Blocks[b].Duplicated = append(d.Blocks[b].Duplicated, c)
+		}
+		sort.Ints(d.Blocks[b].Duplicated)
+	}
+	return d, nil
+}
+
+// assignSubtree marks the whole uncut subtree rooted at r as owned by b.
+func (t *Tree) assignSubtree(r int, owner []int, b int) {
+	stack := []int{r}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		owner[i] = b
+		for _, ch := range t.Cliques[i].Children {
+			if owner[ch] == -1 {
+				stack = append(stack, ch)
+			}
+		}
+	}
+}
+
+// Validate checks decomposition invariants: every clique owned exactly
+// once, each block connected in the underlying tree, duplicates only
+// adjacent to the owning block.
+func (d *Decomposition) Validate(t *Tree) error {
+	seen := make([]bool, t.N())
+	for b, blk := range d.Blocks {
+		if len(blk.Cliques) == 0 {
+			return fmt.Errorf("jtree: block %d is empty", b)
+		}
+		inBlock := map[int]bool{}
+		for _, c := range blk.Cliques {
+			if seen[c] {
+				return fmt.Errorf("jtree: clique %d owned twice", c)
+			}
+			seen[c] = true
+			if d.OwnerOf[c] != b {
+				return fmt.Errorf("jtree: clique %d owner mismatch", c)
+			}
+			inBlock[c] = true
+		}
+		// Connectivity: BFS within the block from its first clique.
+		visited := map[int]bool{blk.Cliques[0]: true}
+		queue := []int{blk.Cliques[0]}
+		reached := 0
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			reached++
+			for _, nb := range t.Neighbors(u) {
+				if inBlock[nb] && !visited[nb] {
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		if reached != len(blk.Cliques) {
+			return fmt.Errorf("jtree: block %d not connected (%d of %d reachable)", b, reached, len(blk.Cliques))
+		}
+		for _, dup := range blk.Duplicated {
+			adjacent := false
+			for _, nb := range t.Neighbors(dup) {
+				if inBlock[nb] {
+					adjacent = true
+				}
+			}
+			if !adjacent {
+				return fmt.Errorf("jtree: block %d duplicates non-adjacent clique %d", b, dup)
+			}
+		}
+	}
+	for c, ok := range seen {
+		if !ok {
+			return fmt.Errorf("jtree: clique %d unowned", c)
+		}
+	}
+	return nil
+}
+
+// Imbalance returns max block weight / mean block weight (1 = perfect).
+func (d *Decomposition) Imbalance() float64 {
+	if len(d.Blocks) == 0 {
+		return 0
+	}
+	total, maxW := 0.0, 0.0
+	for _, b := range d.Blocks {
+		total += b.Weight
+		if b.Weight > maxW {
+			maxW = b.Weight
+		}
+	}
+	return maxW / (total / float64(len(d.Blocks)))
+}

@@ -1,0 +1,107 @@
+package jtree
+
+import "testing"
+
+func TestDecomposeBasics(t *testing.T) {
+	tr, err := Random(RandomConfig{N: 64, Width: 5, States: 2, Degree: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		d, err := tr.Decompose(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := d.Validate(tr); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(d.Blocks) > k {
+			t.Errorf("k=%d produced %d blocks", k, len(d.Blocks))
+		}
+		if k == 1 {
+			if len(d.Blocks) != 1 || d.CrossEdges != 0 || d.DuplicatedEntries != 0 {
+				t.Errorf("k=1 decomposition has boundaries: %+v", d)
+			}
+		}
+	}
+}
+
+func TestDecomposeBalance(t *testing.T) {
+	tr, err := Random(RandomConfig{N: 200, Width: 5, States: 2, Degree: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tr.Decompose(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	if imb := d.Imbalance(); imb > 2.0 {
+		t.Errorf("imbalance %.2f exceeds 2.0", imb)
+	}
+}
+
+func TestDecomposeDuplicationGrowsWithK(t *testing.T) {
+	// The paper's §3 argument: duplication (shared-memory cost) grows with
+	// the block count, which is why decomposition suits distributed but
+	// not shared memory.
+	tr, err := Random(RandomConfig{N: 128, Width: 6, States: 2, Degree: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		d, err := tr.Decompose(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.DuplicatedEntries < prev {
+			t.Errorf("duplication decreased from %d to %d at k=%d", prev, d.DuplicatedEntries, k)
+		}
+		prev = d.DuplicatedEntries
+	}
+	if prev == 0 {
+		t.Error("no duplication at k=16")
+	}
+}
+
+func TestDecomposeChain(t *testing.T) {
+	ch, err := Chain(12, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ch.Decompose(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(ch); err != nil {
+		t.Fatal(err)
+	}
+	// A chain cut into 3 blocks has exactly 2 cross edges.
+	if len(d.Blocks) == 3 && d.CrossEdges != 2 {
+		t.Errorf("chain decomposition has %d cross edges", d.CrossEdges)
+	}
+}
+
+func TestDecomposeErrorsAndEdgeCases(t *testing.T) {
+	tr, err := Chain(3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Decompose(0); err == nil {
+		t.Error("accepted k=0")
+	}
+	// k larger than the tree clamps.
+	d, err := tr.Decompose(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Blocks) > 3 {
+		t.Errorf("%d blocks from a 3-clique tree", len(d.Blocks))
+	}
+}

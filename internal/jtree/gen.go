@@ -1,0 +1,252 @@
+package jtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// This file generates the junction trees used by the paper's evaluation:
+// the Fig. 4 rerooting template, BNT-like random trees parameterized by
+// (N, w, r, k), and simple shapes (chain, star, balanced) used in tests.
+// All generators build trees that satisfy the running intersection property
+// by construction: every clique shares a chosen subset of its parent's
+// variables and introduces fresh variables for the rest.
+
+// varAllocator hands out fresh variable ids.
+type varAllocator struct{ next int }
+
+func (a *varAllocator) fresh(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = a.next
+		a.next++
+	}
+	return out
+}
+
+// childVars derives a child clique's variable set: sep variables shared with
+// the parent plus fresh ones, sorted. sep must be a subset of parent.
+func childVars(parent []int, sep int, width int, alloc *varAllocator) []int {
+	if sep > len(parent) {
+		sep = len(parent)
+	}
+	if sep > width {
+		sep = width
+	}
+	vars := append([]int(nil), parent[len(parent)-sep:]...)
+	vars = append(vars, alloc.fresh(width-sep)...)
+	sort.Ints(vars)
+	return vars
+}
+
+// uniformCard returns a cardinality slice of the given length filled with r.
+func uniformCard(n, r int) []int {
+	c := make([]int, n)
+	for i := range c {
+		c[i] = r
+	}
+	return c
+}
+
+// TemplateConfig parameterizes the Fig. 4 rerooting template: a hub clique
+// from which b+1 branches (chains) of equal length hang; the root R is the
+// tip of branch 0, so the critical path from R spans branch 0 plus one other
+// branch, while rerooting at the hub leaves a single branch on the critical
+// path (maximum speedup 2).
+type TemplateConfig struct {
+	Branches     int // b: number of branches besides branch 0 (total b+1)
+	TotalCliques int // approximate total clique count (paper: 512)
+	Width        int // variables per clique (paper: 15)
+	States       int // states per variable (paper: 2)
+	SepSize      int // variables shared along a chain (default Width-1)
+}
+
+// Template builds the Fig. 4 junction tree skeleton. The returned tree is
+// rooted at the tip of branch 0 (the paper's original root R); rerooting
+// with Algorithm 1 moves the root to the hub.
+func Template(cfg TemplateConfig) (*Tree, error) {
+	if cfg.Branches < 1 {
+		return nil, fmt.Errorf("jtree: template needs at least 1 extra branch, got %d", cfg.Branches)
+	}
+	if cfg.Width < 1 || cfg.States < 1 {
+		return nil, fmt.Errorf("jtree: template width %d / states %d invalid", cfg.Width, cfg.States)
+	}
+	sep := cfg.SepSize
+	if sep <= 0 || sep >= cfg.Width {
+		sep = cfg.Width - 1
+		if sep < 1 {
+			sep = 0
+		}
+	}
+	nBranches := cfg.Branches + 1
+	perBranch := (cfg.TotalCliques - 1) / nBranches
+	if perBranch < 1 {
+		perBranch = 1
+	}
+
+	alloc := &varAllocator{}
+	var vars [][]int
+	var card [][]int
+	var adj [][]int
+	addClique := func(vs []int) int {
+		vars = append(vars, vs)
+		card = append(card, uniformCard(len(vs), cfg.States))
+		adj = append(adj, nil)
+		return len(vars) - 1
+	}
+	connect := func(a, b int) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+
+	hubVars := alloc.fresh(cfg.Width)
+	hub := addClique(hubVars)
+	rootTip := hub
+	for b := 0; b < nBranches; b++ {
+		prev := hub
+		prevVars := hubVars
+		for i := 0; i < perBranch; i++ {
+			vs := childVars(prevVars, sep, cfg.Width, alloc)
+			c := addClique(vs)
+			connect(prev, c)
+			prev, prevVars = c, vs
+		}
+		if b == 0 {
+			rootTip = prev // R: the tip of branch 0
+		}
+	}
+	t, err := NewFromAdjacency(vars, card, adj, rootTip)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// RandomConfig parameterizes the BNT-like random junction trees of the
+// paper's Section 7: N cliques of width w over r-state variables, with a
+// branching factor of k children per internal clique.
+type RandomConfig struct {
+	N       int // number of cliques
+	Width   int // clique width w_C
+	States  int // states per variable r
+	Degree  int // target children per internal clique k
+	SepSize int // variables shared with the parent (default Width/2, min 1)
+	Seed    int64
+}
+
+// JT1, JT2 and JT3 are the three junction trees of the paper's Section 7.
+// The table sizes are parameters of the *skeleton*; materialize only at
+// scaled widths when actually executing.
+func JT1() RandomConfig { return RandomConfig{N: 512, Width: 20, States: 2, Degree: 4, Seed: 1} }
+func JT2() RandomConfig { return RandomConfig{N: 256, Width: 15, States: 3, Degree: 4, Seed: 2} }
+func JT3() RandomConfig { return RandomConfig{N: 128, Width: 10, States: 3, Degree: 2, Seed: 3} }
+
+// Random builds a random junction-tree skeleton per cfg. Shapes are drawn
+// by attaching each new clique to a uniformly chosen clique that still has
+// fewer than Degree children, giving a tree whose internal branching factor
+// concentrates around Degree.
+func Random(cfg RandomConfig) (*Tree, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("jtree: random tree needs at least 1 clique, got %d", cfg.N)
+	}
+	if cfg.Width < 1 || cfg.States < 1 {
+		return nil, fmt.Errorf("jtree: random width %d / states %d invalid", cfg.Width, cfg.States)
+	}
+	deg := cfg.Degree
+	if deg < 1 {
+		deg = 2
+	}
+	sep := cfg.SepSize
+	if sep <= 0 || sep >= cfg.Width {
+		sep = cfg.Width / 2
+		if sep < 1 {
+			sep = 1
+		}
+		if cfg.Width == 1 {
+			sep = 0
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	alloc := &varAllocator{}
+
+	vars := make([][]int, 1, cfg.N)
+	card := make([][]int, 1, cfg.N)
+	adj := make([][]int, 1, cfg.N)
+	vars[0] = alloc.fresh(cfg.Width)
+	card[0] = uniformCard(cfg.Width, cfg.States)
+
+	childCount := make([]int, 1, cfg.N)
+	open := []int{0} // cliques with fewer than deg children
+	for len(vars) < cfg.N {
+		slot := rng.Intn(len(open))
+		parent := open[slot]
+		vs := childVars(vars[parent], sep, cfg.Width, alloc)
+		id := len(vars)
+		vars = append(vars, vs)
+		card = append(card, uniformCard(len(vs), cfg.States))
+		adj = append(adj, []int{parent})
+		adj[parent] = append(adj[parent], id)
+		childCount = append(childCount, 0)
+		childCount[parent]++
+		if childCount[parent] >= deg {
+			open[slot] = open[len(open)-1]
+			open = open[:len(open)-1]
+		}
+		open = append(open, id)
+	}
+	return NewFromAdjacency(vars, card, adj, 0)
+}
+
+// Chain builds a path of n cliques of the given width and state count,
+// rooted at one end.
+func Chain(n, width, states int) (*Tree, error) {
+	return Random(RandomConfig{N: n, Width: width, States: states, Degree: 1, SepSize: width - 1, Seed: 0})
+}
+
+// Star builds a hub with `branches` leaf cliques, rooted at the hub.
+func Star(branches, width, states int) (*Tree, error) {
+	alloc := &varAllocator{}
+	hub := alloc.fresh(width)
+	vars := [][]int{hub}
+	card := [][]int{uniformCard(width, states)}
+	adj := [][]int{nil}
+	for i := 0; i < branches; i++ {
+		vs := childVars(hub, width/2, width, alloc)
+		id := len(vars)
+		vars = append(vars, vs)
+		card = append(card, uniformCard(len(vs), states))
+		adj = append(adj, []int{0})
+		adj[0] = append(adj[0], id)
+	}
+	return NewFromAdjacency(vars, card, adj, 0)
+}
+
+// Balanced builds a complete fanout-ary tree of the given depth (depth 0 is
+// a single clique), rooted at the top.
+func Balanced(depth, fanout, width, states int) (*Tree, error) {
+	if fanout < 1 {
+		return nil, fmt.Errorf("jtree: balanced fanout %d invalid", fanout)
+	}
+	alloc := &varAllocator{}
+	vars := [][]int{alloc.fresh(width)}
+	card := [][]int{uniformCard(width, states)}
+	adj := [][]int{nil}
+	level := []int{0}
+	for d := 0; d < depth; d++ {
+		var next []int
+		for _, p := range level {
+			for f := 0; f < fanout; f++ {
+				vs := childVars(vars[p], width/2, width, alloc)
+				id := len(vars)
+				vars = append(vars, vs)
+				card = append(card, uniformCard(len(vs), states))
+				adj = append(adj, []int{p})
+				adj[p] = append(adj[p], id)
+				next = append(next, id)
+			}
+		}
+		level = next
+	}
+	return NewFromAdjacency(vars, card, adj, 0)
+}

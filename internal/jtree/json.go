@@ -1,0 +1,99 @@
+package jtree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"evprop/internal/potential"
+)
+
+// jsonTree is the serialized form of a Tree. Potentials are optional so
+// that skeleton trees serialize compactly.
+type jsonTree struct {
+	Root    int          `json:"root"`
+	Cliques []jsonClique `json:"cliques"`
+}
+
+type jsonClique struct {
+	Vars   []int     `json:"vars"`
+	Card   []int     `json:"card"`
+	Parent int       `json:"parent"`
+	Pot    []float64 `json:"pot,omitempty"`
+	SepPot []float64 `json:"sep_pot,omitempty"`
+}
+
+// WriteJSON serializes the tree. Children, separators and potential domains
+// are derivable and therefore not stored.
+func (t *Tree) WriteJSON(w io.Writer) error {
+	jt := jsonTree{Root: t.Root, Cliques: make([]jsonClique, t.N())}
+	for i := range t.Cliques {
+		c := &t.Cliques[i]
+		jc := jsonClique{Vars: c.Vars, Card: c.Card, Parent: c.Parent}
+		if c.Pot != nil {
+			jc.Pot = c.Pot.Data
+		}
+		if c.SepPot != nil {
+			jc.SepPot = c.SepPot.Data
+		}
+		jt.Cliques[i] = jc
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jt)
+}
+
+// ReadJSON deserializes a tree written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Tree, error) {
+	var jt jsonTree
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jt); err != nil {
+		return nil, fmt.Errorf("jtree: decode: %w", err)
+	}
+	t := &Tree{Root: jt.Root, Cliques: make([]Clique, len(jt.Cliques))}
+	for i, jc := range jt.Cliques {
+		t.Cliques[i] = Clique{
+			Vars:   append([]int(nil), jc.Vars...),
+			Card:   append([]int(nil), jc.Card...),
+			Parent: jc.Parent,
+		}
+	}
+	for i := range t.Cliques {
+		p := t.Cliques[i].Parent
+		if p >= 0 {
+			if p >= len(t.Cliques) {
+				return nil, fmt.Errorf("jtree: clique %d has parent %d out of range", i, p)
+			}
+			t.Cliques[p].Children = append(t.Cliques[p].Children, i)
+		}
+	}
+	t.RecomputeSeparators()
+	for i, jc := range jt.Cliques {
+		c := &t.Cliques[i]
+		if jc.Pot != nil {
+			pot, err := potential.New(c.Vars, c.Card)
+			if err != nil {
+				return nil, fmt.Errorf("jtree: clique %d: %w", i, err)
+			}
+			if len(jc.Pot) != len(pot.Data) {
+				return nil, fmt.Errorf("jtree: clique %d potential has %d entries, want %d", i, len(jc.Pot), len(pot.Data))
+			}
+			copy(pot.Data, jc.Pot)
+			c.Pot = pot
+		}
+		if jc.SepPot != nil {
+			sep, err := potential.New(c.SepVars, c.SepCard)
+			if err != nil {
+				return nil, fmt.Errorf("jtree: clique %d separator: %w", i, err)
+			}
+			if len(jc.SepPot) != len(sep.Data) {
+				return nil, fmt.Errorf("jtree: clique %d separator has %d entries, want %d", i, len(jc.SepPot), len(sep.Data))
+			}
+			copy(sep.Data, jc.SepPot)
+			c.SepPot = sep
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

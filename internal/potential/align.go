@@ -1,0 +1,76 @@
+package potential
+
+import "fmt"
+
+// aligner walks the linear indices of a superset potential while tracking
+// the corresponding linear index in a subset potential. It is the shared
+// inner machinery of multiplication, division, extension and
+// marginalization, all of which pair each entry of the larger table with one
+// entry of the smaller.
+type aligner struct {
+	card      []int // cardinalities of the superset domain
+	subStride []int // stride of each superset variable in the subset (0 if absent)
+	digits    []int // current per-variable state in the superset
+	subIdx    int   // linear index in the subset for the current position
+}
+
+// newAligner builds an aligner from the superset domain (supVars, supCard)
+// to the subset domain subVars. Every subset variable must appear in the
+// superset with the same implied position; callers guarantee subVars ⊆
+// supVars (checked here for safety).
+func newAligner(supVars, supCard, subVars, subCard []int) (*aligner, error) {
+	subStrideByPos := make([]int, len(subVars))
+	acc := 1
+	for i := len(subVars) - 1; i >= 0; i-- {
+		subStrideByPos[i] = acc
+		acc *= subCard[i]
+	}
+	a := &aligner{
+		card:      supCard,
+		subStride: make([]int, len(supVars)),
+		digits:    make([]int, len(supVars)),
+	}
+	j := 0
+	for i, v := range supVars {
+		for j < len(subVars) && subVars[j] < v {
+			return nil, fmt.Errorf("potential: variable %d of subset not present in superset %v", subVars[j], supVars)
+		}
+		if j < len(subVars) && subVars[j] == v {
+			if subCard[j] != supCard[i] {
+				return nil, fmt.Errorf("potential: variable %d has cardinality %d and %d", v, supCard[i], subCard[j])
+			}
+			a.subStride[i] = subStrideByPos[j]
+			j++
+		}
+	}
+	if j != len(subVars) {
+		return nil, fmt.Errorf("potential: variable %d of subset not present in superset %v", subVars[j], supVars)
+	}
+	return a, nil
+}
+
+// seek positions the aligner at superset linear index idx.
+func (a *aligner) seek(idx int) {
+	sub := 0
+	for i := len(a.card) - 1; i >= 0; i-- {
+		d := idx % a.card[i]
+		idx /= a.card[i]
+		a.digits[i] = d
+		sub += d * a.subStride[i]
+	}
+	a.subIdx = sub
+}
+
+// next advances the aligner by one superset index, odometer style, updating
+// the tracked subset index in O(1) amortized time.
+func (a *aligner) next() {
+	for i := len(a.card) - 1; i >= 0; i-- {
+		a.digits[i]++
+		a.subIdx += a.subStride[i]
+		if a.digits[i] < a.card[i] {
+			return
+		}
+		a.digits[i] = 0
+		a.subIdx -= a.card[i] * a.subStride[i]
+	}
+}

@@ -1,0 +1,106 @@
+package potential
+
+import "fmt"
+
+// Evidence maps instantiated variable ids to their observed states. It is
+// the set E = {A_e1 = a_e1, ...} of the paper's Section 2.
+type Evidence map[int]int
+
+// Reduce absorbs evidence into p: every entry inconsistent with an observed
+// state of a variable in p's domain is zeroed. Variables not in p's domain
+// are ignored, so the same Evidence can be applied to every clique. It
+// reports an error if an observed state is out of range.
+func (p *Potential) Reduce(ev Evidence) error {
+	for pos, v := range p.Vars {
+		state, ok := ev[v]
+		if !ok {
+			continue
+		}
+		if state < 0 || state >= p.Card[pos] {
+			return fmt.Errorf("evidence: variable %d observed in state %d but has %d states", v, state, p.Card[pos])
+		}
+		p.zeroExcept(pos, state)
+	}
+	return nil
+}
+
+// zeroExcept zeroes every entry whose state of the variable at position pos
+// differs from keep. The layout is blocks of stride entries repeating every
+// stride*card entries, one block per state.
+func (p *Potential) zeroExcept(pos, keep int) {
+	stride := 1
+	for i := len(p.Vars) - 1; i > pos; i-- {
+		stride *= p.Card[i]
+	}
+	c := p.Card[pos]
+	period := stride * c
+	for base := 0; base < len(p.Data); base += period {
+		for s := 0; s < c; s++ {
+			if s == keep {
+				continue
+			}
+			off := base + s*stride
+			for i := off; i < off+stride; i++ {
+				p.Data[i] = 0
+			}
+		}
+	}
+}
+
+// ReduceCount behaves like Reduce and additionally returns how many entries
+// were zeroed, which is useful for instrumentation.
+func (p *Potential) ReduceCount(ev Evidence) (int, error) {
+	before := 0
+	for _, v := range p.Data {
+		if v != 0 {
+			before++
+		}
+	}
+	if err := p.Reduce(ev); err != nil {
+		return 0, err
+	}
+	after := 0
+	for _, v := range p.Data {
+		if v != 0 {
+			after++
+		}
+	}
+	return before - after, nil
+}
+
+// Likelihood is soft (virtual) evidence: per-variable weight vectors that
+// scale the probability of each state rather than fixing it. A weight
+// vector of zeros and a single one is equivalent to hard evidence.
+type Likelihood map[int][]float64
+
+// ApplyLikelihood multiplies the weight vector of every variable in p's
+// domain into the table. Variables absent from p are ignored, so the same
+// Likelihood may be offered to every clique — but each variable must be
+// applied exactly once overall, which the engine guarantees by applying it
+// only in the first clique containing the variable.
+func (p *Potential) ApplyLikelihood(like Likelihood, only int) error {
+	w, ok := like[only]
+	if !ok {
+		return nil
+	}
+	pos := -1
+	for i, v := range p.Vars {
+		if v == only {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return fmt.Errorf("likelihood: variable %d not in domain %v", only, p.Vars)
+	}
+	if len(w) != p.Card[pos] {
+		return fmt.Errorf("likelihood: variable %d has %d states but %d weights", only, p.Card[pos], len(w))
+	}
+	for _, x := range w {
+		if x < 0 {
+			return fmt.Errorf("likelihood: variable %d has negative weight %v", only, x)
+		}
+	}
+	vec := &Potential{Vars: []int{only}, Card: []int{p.Card[pos]}, Data: w}
+	return p.MulBy(vec)
+}

@@ -1,0 +1,110 @@
+package potential
+
+import (
+	"fmt"
+	"math"
+)
+
+// Information-theoretic utilities over normalized potentials, used by the
+// engine's value-of-information queries (mutual information ranks which
+// observation would most reduce uncertainty).
+
+// Entropy returns the Shannon entropy in bits of the table interpreted as a
+// normalized distribution (0·log 0 = 0). It reports an error if the table
+// is not normalized within tolerance.
+func (p *Potential) Entropy() (float64, error) {
+	if err := p.checkNormalized(); err != nil {
+		return 0, fmt.Errorf("entropy: %w", err)
+	}
+	h := 0.0
+	for _, v := range p.Data {
+		if v > 0 {
+			h -= v * math.Log2(v)
+		}
+	}
+	return h, nil
+}
+
+// KLDivergence returns D(p ‖ q) in bits; the domains must match. It is
+// +Inf when p has mass where q does not.
+func (p *Potential) KLDivergence(q *Potential) (float64, error) {
+	if !sameDomain(p, q) {
+		return 0, fmt.Errorf("kl: domain mismatch %v vs %v", p.Vars, q.Vars)
+	}
+	if err := p.checkNormalized(); err != nil {
+		return 0, fmt.Errorf("kl: %w", err)
+	}
+	if err := q.checkNormalized(); err != nil {
+		return 0, fmt.Errorf("kl: %w", err)
+	}
+	d := 0.0
+	for i, pv := range p.Data {
+		if pv == 0 {
+			continue
+		}
+		if q.Data[i] == 0 {
+			return math.Inf(1), nil
+		}
+		d += pv * math.Log2(pv/q.Data[i])
+	}
+	return d, nil
+}
+
+// TotalVariation returns half the L1 distance between two normalized
+// distributions over the same domain.
+func (p *Potential) TotalVariation(q *Potential) (float64, error) {
+	if !sameDomain(p, q) {
+		return 0, fmt.Errorf("tv: domain mismatch %v vs %v", p.Vars, q.Vars)
+	}
+	d := 0.0
+	for i := range p.Data {
+		d += math.Abs(p.Data[i] - q.Data[i])
+	}
+	return d / 2, nil
+}
+
+// MutualInformation returns I(X;Y) in bits from a normalized joint
+// distribution over exactly two variables.
+func (p *Potential) MutualInformation() (float64, error) {
+	if len(p.Vars) != 2 {
+		return 0, fmt.Errorf("mutual information: need a 2-variable joint, have %d variables", len(p.Vars))
+	}
+	if err := p.checkNormalized(); err != nil {
+		return 0, fmt.Errorf("mutual information: %w", err)
+	}
+	px, err := p.Marginal(p.Vars[:1])
+	if err != nil {
+		return 0, err
+	}
+	py, err := p.Marginal(p.Vars[1:])
+	if err != nil {
+		return 0, err
+	}
+	mi := 0.0
+	for a := 0; a < p.Card[0]; a++ {
+		for b := 0; b < p.Card[1]; b++ {
+			pxy := p.At(a, b)
+			if pxy > 0 {
+				mi += pxy * math.Log2(pxy/(px.Data[a]*py.Data[b]))
+			}
+		}
+	}
+	// Clamp tiny negative values from floating-point noise.
+	if mi < 0 && mi > -1e-12 {
+		mi = 0
+	}
+	return mi, nil
+}
+
+func (p *Potential) checkNormalized() error {
+	s := p.Sum()
+	if math.Abs(s-1) > 1e-6 {
+		return fmt.Errorf("table mass %v is not 1 (normalize first)", s)
+	}
+	for _, v := range p.Data {
+		if v < 0 {
+			return fmt.Errorf("negative entry %v", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package potential
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func dist(t *testing.T, vars, card []int, data []float64) *Potential {
+	t.Helper()
+	p := MustNew(vars, card)
+	copy(p.Data, data)
+	return p
+}
+
+func TestEntropy(t *testing.T) {
+	// Uniform binary: 1 bit.
+	p := dist(t, []int{0}, []int{2}, []float64{0.5, 0.5})
+	h, err := p.Entropy()
+	if err != nil || math.Abs(h-1) > 1e-12 {
+		t.Errorf("H(uniform) = %v, %v", h, err)
+	}
+	// Deterministic: 0 bits.
+	q := dist(t, []int{0}, []int{2}, []float64{1, 0})
+	h, err = q.Entropy()
+	if err != nil || h != 0 {
+		t.Errorf("H(deterministic) = %v, %v", h, err)
+	}
+	// Uniform over 8 states: 3 bits.
+	card8 := dist(t, []int{0}, []int{8}, []float64{.125, .125, .125, .125, .125, .125, .125, .125})
+	h, err = card8.Entropy()
+	if err != nil || math.Abs(h-3) > 1e-12 {
+		t.Errorf("H(uniform-8) = %v, %v", h, err)
+	}
+	// Unnormalized tables error.
+	bad := dist(t, []int{0}, []int{2}, []float64{0.7, 0.7})
+	if _, err := bad.Entropy(); err == nil {
+		t.Error("accepted unnormalized table")
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := dist(t, []int{0}, []int{2}, []float64{0.5, 0.5})
+	q := dist(t, []int{0}, []int{2}, []float64{0.9, 0.1})
+	d, err := p.KLDivergence(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5*math.Log2(0.5/0.9) + 0.5*math.Log2(0.5/0.1)
+	if math.Abs(d-want) > 1e-12 {
+		t.Errorf("KL = %v, want %v", d, want)
+	}
+	// Self-divergence zero.
+	if d, _ := p.KLDivergence(p); d != 0 {
+		t.Errorf("KL(p‖p) = %v", d)
+	}
+	// Support mismatch → +Inf.
+	r := dist(t, []int{0}, []int{2}, []float64{1, 0})
+	d, err = p.KLDivergence(r)
+	if err != nil || !math.IsInf(d, 1) {
+		t.Errorf("KL with support gap = %v, %v", d, err)
+	}
+	// Domain mismatch.
+	s := dist(t, []int{1}, []int{2}, []float64{0.5, 0.5})
+	if _, err := p.KLDivergence(s); err == nil {
+		t.Error("accepted mismatched domains")
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	p := dist(t, []int{0}, []int{2}, []float64{0.5, 0.5})
+	q := dist(t, []int{0}, []int{2}, []float64{0.9, 0.1})
+	d, err := p.TotalVariation(q)
+	if err != nil || math.Abs(d-0.4) > 1e-12 {
+		t.Errorf("TV = %v, %v; want 0.4", d, err)
+	}
+	if d, _ := p.TotalVariation(p); d != 0 {
+		t.Errorf("TV(p,p) = %v", d)
+	}
+}
+
+func TestMutualInformation(t *testing.T) {
+	// Independent: MI = 0.
+	indep := dist(t, []int{0, 1}, []int{2, 2}, []float64{0.25, 0.25, 0.25, 0.25})
+	mi, err := indep.MutualInformation()
+	if err != nil || math.Abs(mi) > 1e-12 {
+		t.Errorf("MI(independent) = %v, %v", mi, err)
+	}
+	// Perfectly correlated binary: MI = 1 bit.
+	corr := dist(t, []int{0, 1}, []int{2, 2}, []float64{0.5, 0, 0, 0.5})
+	mi, err = corr.MutualInformation()
+	if err != nil || math.Abs(mi-1) > 1e-12 {
+		t.Errorf("MI(correlated) = %v, %v", mi, err)
+	}
+	// Wrong arity.
+	one := dist(t, []int{0}, []int{2}, []float64{0.5, 0.5})
+	if _, err := one.MutualInformation(); err == nil {
+		t.Error("accepted 1-variable table")
+	}
+}
+
+func TestQuickInfoInequalities(t *testing.T) {
+	// H ≥ 0, KL ≥ 0, TV ∈ [0,1], MI ≥ 0 and MI ≤ min(H(X), H(Y)).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPotential(rng, []int{0, 1}, []int{2 + rng.Intn(2), 2 + rng.Intn(2)})
+		if err := p.Normalize(); err != nil {
+			return false
+		}
+		q := randomPotential(rng, p.Vars, p.Card)
+		if err := q.Normalize(); err != nil {
+			return false
+		}
+		h, err := p.Entropy()
+		if err != nil || h < 0 {
+			return false
+		}
+		kl, err := p.KLDivergence(q)
+		if err != nil || kl < 0 {
+			return false
+		}
+		tv, err := p.TotalVariation(q)
+		if err != nil || tv < 0 || tv > 1 {
+			return false
+		}
+		mi, err := p.MutualInformation()
+		if err != nil || mi < 0 {
+			return false
+		}
+		hx, err1 := mustMarginalEntropy(p, p.Vars[:1])
+		hy, err2 := mustMarginalEntropy(p, p.Vars[1:])
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return mi <= hx+1e-9 && mi <= hy+1e-9
+	}
+	if err := quick.Check(f, quickCfg(41)); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustMarginalEntropy(p *Potential, onto []int) (float64, error) {
+	m, err := p.Marginal(onto)
+	if err != nil {
+		return 0, err
+	}
+	return m.Entropy()
+}

@@ -1,0 +1,109 @@
+package potential
+
+import "fmt"
+
+// Max-product primitives. Evidence propagation over the (max, ×) semiring
+// computes max-marginals instead of sum-marginals; running the same task
+// graph with maximization in place of summation turns the engine into a
+// most-probable-explanation (MPE) solver. Division, extension and
+// multiplication are unchanged — only the marginalization primitive and the
+// partitioned-combine step differ.
+
+// MaxMarginal maximizes p down onto the given subset of its variables,
+// returning a fresh potential of max-marginals. onto must be sorted.
+func (p *Potential) MaxMarginal(onto []int) (*Potential, error) {
+	vars, card := IntersectDomain(p.Vars, p.Card, onto)
+	if len(vars) != len(onto) {
+		return nil, fmt.Errorf("max-marginal: target %v not a subset of domain %v", onto, p.Vars)
+	}
+	dst, err := New(vars, card)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.MaxMarginalInto(dst, 0, len(p.Data)); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// MaxMarginalInto maximizes entries lo..hi-1 of p into dst (dst[cell] =
+// max(dst[cell], value)). Like MarginalInto it does not clear dst, so
+// partitioned subtasks can maximize into private zero buffers that a
+// combiner folds together with MaxWith. Entries are assumed non-negative
+// (potentials), so a zero initial buffer is an identity.
+func (p *Potential) MaxMarginalInto(dst *Potential, lo, hi int) error {
+	a, err := newAligner(p.Vars, p.Card, dst.Vars, dst.Card)
+	if err != nil {
+		return fmt.Errorf("max-marginal: %w", err)
+	}
+	if err := checkRange(lo, hi, len(p.Data)); err != nil {
+		return fmt.Errorf("max-marginal: %w", err)
+	}
+	a.seek(lo)
+	for i := lo; i < hi; i++ {
+		if v := p.Data[i]; v > dst.Data[a.subIdx] {
+			dst.Data[a.subIdx] = v
+		}
+		a.next()
+	}
+	return nil
+}
+
+// MaxWith folds q into p elementwise by maximum; the domains must match.
+// It is the combiner of partitioned max-marginalizations.
+func (p *Potential) MaxWith(q *Potential) error {
+	if !sameDomain(p, q) {
+		return fmt.Errorf("max-with: domain mismatch %v vs %v", p.Vars, q.Vars)
+	}
+	for i, v := range q.Data {
+		if v > p.Data[i] {
+			p.Data[i] = v
+		}
+	}
+	return nil
+}
+
+// ArgMax returns the linear index and value of the largest entry (the first
+// one under ties).
+func (p *Potential) ArgMax() (int, float64) {
+	best, bestV := 0, p.Data[0]
+	for i, v := range p.Data {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, bestV
+}
+
+// ArgMaxConsistent returns the linear index and value of the largest entry
+// whose states agree with the partial assignment (variable id → state).
+// Variables absent from the assignment are unconstrained. It reports an
+// error if no entry is consistent (cannot happen for a non-empty table,
+// since every cell has some assignment, unless the constraint names a state
+// out of range).
+func (p *Potential) ArgMaxConsistent(fixed map[int]int) (int, float64, error) {
+	for pos, v := range p.Vars {
+		if s, ok := fixed[v]; ok && (s < 0 || s >= p.Card[pos]) {
+			return 0, 0, fmt.Errorf("arg-max: variable %d fixed to state %d of %d", v, s, p.Card[pos])
+		}
+	}
+	best, bestV := -1, 0.0
+	states := make([]int, len(p.Vars))
+	for i := range p.Data {
+		p.assignmentInto(i, states)
+		ok := true
+		for pos, v := range p.Vars {
+			if s, fixedHere := fixed[v]; fixedHere && states[pos] != s {
+				ok = false
+				break
+			}
+		}
+		if ok && (best < 0 || p.Data[i] > bestV) {
+			best, bestV = i, p.Data[i]
+		}
+	}
+	if best < 0 {
+		return 0, 0, fmt.Errorf("arg-max: no entry consistent with %v", fixed)
+	}
+	return best, bestV, nil
+}

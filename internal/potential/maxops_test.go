@@ -1,0 +1,191 @@
+package potential
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxMarginalBasic(t *testing.T) {
+	p := MustNew([]int{0, 1}, []int{2, 3})
+	copy(p.Data, []float64{1, 5, 3, 4, 2, 6})
+	m, err := p.MaxMarginal([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Data[0] != 5 || m.Data[1] != 6 {
+		t.Errorf("MaxMarginal onto {0} = %v, want [5 6]", m.Data)
+	}
+	m1, err := p.MaxMarginal([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 5, 6}
+	for i, v := range m1.Data {
+		if v != want[i] {
+			t.Errorf("MaxMarginal onto {1} = %v, want %v", m1.Data, want)
+		}
+	}
+}
+
+func TestMaxMarginalNotSubset(t *testing.T) {
+	p := mustConst(t, []int{0}, []int{2}, 1)
+	if _, err := p.MaxMarginal([]int{5}); err == nil {
+		t.Error("MaxMarginal onto non-subset succeeded")
+	}
+}
+
+func TestMaxMarginalPartitionedEqualsWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomPotential(rng, []int{0, 1, 2}, []int{3, 4, 5})
+	whole, err := p.MaxMarginal([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := whole.CloneZero()
+	for lo := 0; lo < p.Len(); lo += 13 {
+		hi := lo + 13
+		if hi > p.Len() {
+			hi = p.Len()
+		}
+		buf := whole.CloneZero()
+		if err := p.MaxMarginalInto(buf, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		if err := combined.MaxWith(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !whole.Equal(combined, 0) {
+		t.Error("partitioned max-marginal differs from whole-table result")
+	}
+}
+
+func TestMaxWithDomainMismatch(t *testing.T) {
+	p := mustConst(t, []int{0}, []int{2}, 1)
+	q := mustConst(t, []int{1}, []int{2}, 1)
+	if err := p.MaxWith(q); err == nil {
+		t.Error("MaxWith across domains succeeded")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	p := MustNew([]int{0, 1}, []int{2, 2})
+	copy(p.Data, []float64{0.1, 0.7, 0.15, 0.05})
+	idx, v := p.ArgMax()
+	if idx != 1 || v != 0.7 {
+		t.Errorf("ArgMax = (%d, %v)", idx, v)
+	}
+	states := p.AssignmentOf(idx)
+	if states[0] != 0 || states[1] != 1 {
+		t.Errorf("ArgMax assignment = %v", states)
+	}
+}
+
+func TestArgMaxConsistent(t *testing.T) {
+	p := MustNew([]int{0, 1}, []int{2, 2})
+	copy(p.Data, []float64{0.1, 0.7, 0.15, 0.05})
+	// Constrain variable 0 to state 1: best among {0.15, 0.05}.
+	idx, v, err := p.ArgMaxConsistent(map[int]int{0: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0.15 {
+		t.Errorf("constrained max = %v, want 0.15", v)
+	}
+	if states := p.AssignmentOf(idx); states[0] != 1 || states[1] != 0 {
+		t.Errorf("constrained argmax = %v", states)
+	}
+	// Constraints on foreign variables are ignored.
+	if _, v, err := p.ArgMaxConsistent(map[int]int{9: 1}); err != nil || v != 0.7 {
+		t.Errorf("foreign constraint: (%v, %v)", v, err)
+	}
+	// Out-of-range constraint errors.
+	if _, _, err := p.ArgMaxConsistent(map[int]int{0: 5}); err == nil {
+		t.Error("accepted out-of-range constraint")
+	}
+}
+
+func TestQuickMaxMarginalDominatesEntries(t *testing.T) {
+	// Every max-marginal cell equals the max over its fiber, so it must
+	// dominate every entry mapping to it and be attained by at least one.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vars, card := randomDomain(rng, 5)
+		p := randomPotential(rng, vars, card)
+		sv, _ := subDomain(rng, vars, card)
+		m, err := p.MaxMarginal(sv)
+		if err != nil {
+			return false
+		}
+		// Recompute by explicit enumeration.
+		check := m.CloneZero()
+		states := make([]int, len(vars))
+		posOf := map[int]int{}
+		for i, v := range sv {
+			posOf[v] = i
+		}
+		sub := make([]int, len(sv))
+		for idx := 0; idx < p.Len(); idx++ {
+			p.assignmentInto(idx, states)
+			for i, v := range vars {
+				if j, ok := posOf[v]; ok {
+					sub[j] = states[i]
+				}
+			}
+			ci := check.IndexOf(sub)
+			if p.Data[idx] > check.Data[ci] {
+				check.Data[ci] = p.Data[idx]
+			}
+		}
+		return m.Equal(check, 0)
+	}
+	if err := quick.Check(f, quickCfg(31)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMaxMarginalCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vars, card := randomDomain(rng, 6)
+		p := randomPotential(rng, vars, card)
+		mid, midCard := subDomain(rng, vars, card)
+		fin, _ := subDomain(rng, mid, midCard)
+		step1, err := p.MaxMarginal(mid)
+		if err != nil {
+			return false
+		}
+		twoStep, err := step1.MaxMarginal(fin)
+		if err != nil {
+			return false
+		}
+		oneStep, err := p.MaxMarginal(fin)
+		if err != nil {
+			return false
+		}
+		return oneStep.Equal(twoStep, 0)
+	}
+	if err := quick.Check(f, quickCfg(32)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickArgMaxIsMaxMarginalRoot(t *testing.T) {
+	// The value at ArgMax equals the max-marginal onto the empty domain.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vars, card := randomDomain(rng, 5)
+		p := randomPotential(rng, vars, card)
+		_, v := p.ArgMax()
+		m, err := p.MaxMarginal(nil)
+		if err != nil {
+			return false
+		}
+		return math.Abs(m.Data[0]-v) == 0
+	}
+	if err := quick.Check(f, quickCfg(33)); err != nil {
+		t.Error(err)
+	}
+}

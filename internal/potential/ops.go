@@ -1,0 +1,172 @@
+package potential
+
+import "fmt"
+
+// This file implements the four node-level primitives of evidence
+// propagation, each in a whole-table and a [lo,hi)-range form. The range
+// forms are what the collaborative scheduler's Partition module executes as
+// subtasks:
+//
+//   - Multiply/Divide/Extend range subtasks write disjoint slices of the
+//     output, so combining them requires no extra work (concatenation);
+//   - Marginalize range subtasks read disjoint slices of the *input* and
+//     accumulate into private zero buffers that the combiner subtask Adds.
+
+// MulBy multiplies p in place by q, whose domain must be a subset of p's.
+func (p *Potential) MulBy(q *Potential) error { return p.MulRange(q, 0, len(p.Data)) }
+
+// MulRange multiplies entries lo..hi-1 of p in place by the aligned entries
+// of q, whose domain must be a subset of p's.
+func (p *Potential) MulRange(q *Potential, lo, hi int) error {
+	a, err := newAligner(p.Vars, p.Card, q.Vars, q.Card)
+	if err != nil {
+		return fmt.Errorf("multiply: %w", err)
+	}
+	if err := checkRange(lo, hi, len(p.Data)); err != nil {
+		return fmt.Errorf("multiply: %w", err)
+	}
+	a.seek(lo)
+	for i := lo; i < hi; i++ {
+		p.Data[i] *= q.Data[a.subIdx]
+		a.next()
+	}
+	return nil
+}
+
+// DivBy divides p in place by q, whose domain must be a subset of p's,
+// using the junction-tree convention 0/0 = 0.
+func (p *Potential) DivBy(q *Potential) error { return p.DivRange(q, 0, len(p.Data)) }
+
+// DivRange divides entries lo..hi-1 of p in place by the aligned entries of
+// q (0/0 = 0), whose domain must be a subset of p's.
+func (p *Potential) DivRange(q *Potential, lo, hi int) error {
+	a, err := newAligner(p.Vars, p.Card, q.Vars, q.Card)
+	if err != nil {
+		return fmt.Errorf("divide: %w", err)
+	}
+	if err := checkRange(lo, hi, len(p.Data)); err != nil {
+		return fmt.Errorf("divide: %w", err)
+	}
+	a.seek(lo)
+	for i := lo; i < hi; i++ {
+		d := q.Data[a.subIdx]
+		if d == 0 {
+			p.Data[i] = 0
+		} else {
+			p.Data[i] /= d
+		}
+		a.next()
+	}
+	return nil
+}
+
+// Marginal sums p down onto the given subset of its variables, returning a
+// fresh potential. onto must be sorted ascending.
+func (p *Potential) Marginal(onto []int) (*Potential, error) {
+	vars, card := IntersectDomain(p.Vars, p.Card, onto)
+	if len(vars) != len(onto) {
+		return nil, fmt.Errorf("marginal: target %v not a subset of domain %v", onto, p.Vars)
+	}
+	dst, err := New(vars, card)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.MarginalInto(dst, 0, len(p.Data)); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// MarginalInto accumulates entries lo..hi-1 of p into dst, whose domain must
+// be a subset of p's. dst is not cleared: partitioned subtasks accumulate
+// into private zero buffers which a combiner later Adds together.
+func (p *Potential) MarginalInto(dst *Potential, lo, hi int) error {
+	a, err := newAligner(p.Vars, p.Card, dst.Vars, dst.Card)
+	if err != nil {
+		return fmt.Errorf("marginal: %w", err)
+	}
+	if err := checkRange(lo, hi, len(p.Data)); err != nil {
+		return fmt.Errorf("marginal: %w", err)
+	}
+	a.seek(lo)
+	for i := lo; i < hi; i++ {
+		dst.Data[a.subIdx] += p.Data[i]
+		a.next()
+	}
+	return nil
+}
+
+// MarginalizeOut sums the given variables out of p, returning a fresh
+// potential over the remaining variables.
+func (p *Potential) MarginalizeOut(out []int) (*Potential, error) {
+	keep := make([]int, 0, len(p.Vars))
+	for _, v := range p.Vars {
+		drop := false
+		for _, o := range out {
+			if o == v {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			keep = append(keep, v)
+		}
+	}
+	return p.Marginal(keep)
+}
+
+// Extend broadcasts p onto the superset domain (vars, card), returning a
+// fresh potential whose every entry equals the aligned entry of p.
+func (p *Potential) Extend(vars, card []int) (*Potential, error) {
+	dst, err := New(vars, card)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ExtendInto(dst, 0, len(dst.Data)); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ExtendInto fills entries lo..hi-1 of dst with the aligned entries of p,
+// whose domain must be a subset of dst's.
+func (p *Potential) ExtendInto(dst *Potential, lo, hi int) error {
+	a, err := newAligner(dst.Vars, dst.Card, p.Vars, p.Card)
+	if err != nil {
+		return fmt.Errorf("extend: %w", err)
+	}
+	if err := checkRange(lo, hi, len(dst.Data)); err != nil {
+		return fmt.Errorf("extend: %w", err)
+	}
+	a.seek(lo)
+	for i := lo; i < hi; i++ {
+		dst.Data[i] = p.Data[a.subIdx]
+		a.next()
+	}
+	return nil
+}
+
+// Product multiplies two potentials over possibly different domains,
+// returning a fresh potential over the union domain. It is the general
+// combination used when compiling clique potentials from CPTs.
+func Product(p, q *Potential) (*Potential, error) {
+	vars, card, err := UnionDomain(p.Vars, p.Card, q.Vars, q.Card)
+	if err != nil {
+		return nil, fmt.Errorf("product: %w", err)
+	}
+	out, err := p.Extend(vars, card)
+	if err != nil {
+		return nil, err
+	}
+	if err := out.MulBy(q); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func checkRange(lo, hi, n int) error {
+	if lo < 0 || hi < lo || hi > n {
+		return fmt.Errorf("range [%d,%d) invalid for table of %d entries", lo, hi, n)
+	}
+	return nil
+}

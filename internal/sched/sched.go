@@ -1,0 +1,373 @@
+// Package sched implements the paper's collaborative scheduler (Section 6,
+// Algorithm 2): P worker goroutines cooperatively execute a task dependency
+// graph. Every worker owns the four modules of Figure 3:
+//
+//   - Allocate: after finishing a task, the worker decrements the dependency
+//     degree of its successors in the shared global task list, and pushes
+//     each task that reaches degree zero onto the local ready list with the
+//     smallest weight counter (load balancing);
+//   - Fetch: the worker pops the head of its own local ready list;
+//   - Partition: a fetched task whose potential table exceeds the threshold
+//     δ is split into subtasks T̂1…T̂n over disjoint index ranges — T̂1 runs
+//     inline, T̂2…T̂n−1 are spread evenly across the local lists, and the
+//     combining subtask T̂n (which inherits T's successors) fires once all
+//     pieces complete;
+//   - Execute: the node-level primitive (or piece of one) runs.
+//
+// There is no dedicated scheduler thread — scheduling work is performed
+// collaboratively by whichever worker completes a task, which is the
+// paper's key difference from the centralized (Cell BE) design.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"evprop/internal/potential"
+	"evprop/internal/taskgraph"
+)
+
+// Options configures a collaborative-scheduler run.
+type Options struct {
+	// Workers is the number of worker goroutines P (≥1).
+	Workers int
+	// Threshold is δ: a task whose partitionable table has more entries
+	// than this is split. 0 disables task partitioning (as in the paper's
+	// Fig. 5 experiments).
+	Threshold int
+	// Trace records a per-worker execution timeline in Metrics.Trace
+	// (small constant overhead per executed item).
+	Trace bool
+}
+
+// WorkerMetrics records per-worker accounting for the paper's Fig. 8.
+type WorkerMetrics struct {
+	// Busy is the time spent inside node-level primitives ("computation
+	// time" in the paper).
+	Busy time.Duration
+	// Overhead is the time spent in the Allocate, Fetch and Partition
+	// modules (lock waits included).
+	Overhead time.Duration
+	// Tasks counts executed items (tasks, pieces and combiners).
+	Tasks int
+}
+
+// Metrics aggregates a run.
+type Metrics struct {
+	Workers   []WorkerMetrics
+	Elapsed   time.Duration
+	Tasks     int // original graph tasks completed
+	Pieces    int // partitioned pieces executed (0 when Threshold == 0)
+	Partition int // tasks that were partitioned
+	// Trace is the execution timeline (nil unless Options.Trace).
+	Trace *Trace
+}
+
+// item is one unit of work on a local ready list.
+type item struct {
+	task   int
+	lo, hi int
+	buf    *potential.Potential // private buffer for marginalize pieces
+	comb   *combiner            // set on pieces of a partitioned task
+	isComb bool                 // set on the combining subtask T̂n
+	weight int64
+}
+
+// combiner tracks the outstanding pieces of one partitioned task.
+type combiner struct {
+	task    int
+	pending int32
+	mu      sync.Mutex
+	bufs    []*potential.Potential
+}
+
+// localList is a worker's local ready list (LL) with its weight counter.
+// Any worker may push (the Allocate module), so it is lock-protected.
+type localList struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []item
+	weight int64 // sum of queued item weights (the paper's W_i)
+}
+
+func (l *localList) push(it item) {
+	l.mu.Lock()
+	l.items = append(l.items, it)
+	atomic.AddInt64(&l.weight, it.weight)
+	l.mu.Unlock()
+	l.cond.Signal()
+}
+
+// run drives one execution of the task graph.
+type run struct {
+	st        *taskgraph.State
+	g         *taskgraph.Graph
+	opts      Options
+	deps      []int32
+	lists     []*localList
+	remaining int64 // original tasks not yet complete
+	done      int32
+	failed    int32
+	rr        int64 // round-robin cursor for spreading pieces
+	errOnce   sync.Once
+	err       error
+	metrics   []WorkerMetrics
+	pieces    int64
+	parted    int64
+	start     time.Time
+	traces    [][]Event // per-worker, merged after the run when tracing
+}
+
+// Run executes the state's task graph with the collaborative scheduler and
+// returns per-worker metrics. The state's potentials hold the propagation
+// result afterwards.
+func Run(st *taskgraph.State, opts Options) (*Metrics, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("sched: need at least 1 worker, got %d", opts.Workers)
+	}
+	g := st.Graph()
+	r := &run{
+		st:        st,
+		g:         g,
+		opts:      opts,
+		deps:      g.DepCounts(),
+		lists:     make([]*localList, opts.Workers),
+		remaining: int64(g.N()),
+		metrics:   make([]WorkerMetrics, opts.Workers),
+	}
+	for i := range r.lists {
+		l := &localList{}
+		l.cond = sync.NewCond(&l.mu)
+		r.lists[i] = l
+	}
+	start := time.Now()
+	r.start = start
+	if opts.Trace {
+		r.traces = make([][]Event, opts.Workers)
+	}
+	if g.N() == 0 {
+		m := &Metrics{Workers: r.metrics, Elapsed: time.Since(start)}
+		if opts.Trace {
+			m.Trace = &Trace{Workers: opts.Workers}
+		}
+		return m, nil
+	}
+	// Line 1 of Algorithm 2: distribute the initially ready tasks evenly.
+	for i, id := range g.Sources() {
+		r.lists[i%opts.Workers].push(r.wholeItem(id))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.worker(w)
+		}(w)
+	}
+	wg.Wait()
+	m := &Metrics{
+		Workers:   r.metrics,
+		Elapsed:   time.Since(start),
+		Tasks:     g.N() - int(atomic.LoadInt64(&r.remaining)),
+		Pieces:    int(atomic.LoadInt64(&r.pieces)),
+		Partition: int(atomic.LoadInt64(&r.parted)),
+	}
+	if opts.Trace {
+		tr := &Trace{Workers: opts.Workers, Total: m.Elapsed}
+		for _, evs := range r.traces {
+			tr.Events = append(tr.Events, evs...)
+		}
+		tr.sortEvents()
+		m.Trace = tr
+	}
+	return m, r.err
+}
+
+func (r *run) wholeItem(id int) item {
+	return item{task: id, lo: 0, hi: -1, weight: int64(r.g.Tasks[id].Weight)}
+}
+
+func (r *run) fail(err error) {
+	r.errOnce.Do(func() { r.err = err })
+	atomic.StoreInt32(&r.failed, 1)
+	r.finish()
+}
+
+func (r *run) finish() {
+	atomic.StoreInt32(&r.done, 1)
+	for _, l := range r.lists {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// worker is the per-thread loop of Algorithm 2 (lines 3–19).
+func (r *run) worker(w int) {
+	l := r.lists[w]
+	for {
+		tFetch := time.Now()
+		it, ok := r.fetch(l)
+		r.metrics[w].Overhead += time.Since(tFetch)
+		if !ok {
+			return
+		}
+		r.process(w, it)
+	}
+}
+
+// fetch blocks until an item is available on the worker's list or the run
+// is finished.
+func (r *run) fetch(l *localList) (item, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if len(l.items) > 0 {
+			it := l.items[0]
+			l.items = l.items[1:]
+			atomic.AddInt64(&l.weight, -it.weight)
+			return it, true
+		}
+		if atomic.LoadInt32(&r.done) == 1 {
+			return item{}, false
+		}
+		l.cond.Wait()
+	}
+}
+
+// process runs one fetched item through Partition and Execute, then
+// performs the Allocate step for anything it completed.
+func (r *run) process(w int, it item) {
+	if atomic.LoadInt32(&r.failed) == 1 {
+		return
+	}
+	switch {
+	case it.isComb:
+		r.runCombiner(w, it)
+	case it.comb != nil:
+		r.runPiece(w, it)
+	default:
+		// Lines 12–18: partition large tasks, execute small ones whole.
+		size := r.st.PartitionSize(it.task)
+		if r.opts.Threshold > 0 && size > r.opts.Threshold {
+			r.partition(w, it.task, size)
+			return
+		}
+		t0 := time.Now()
+		err := r.st.Execute(it.task)
+		r.metrics[w].Busy += time.Since(t0)
+		r.metrics[w].Tasks++
+		r.record(w, Event{Worker: w, Task: it.task, Hi: -1,
+			Start: t0.Sub(r.start), End: time.Since(r.start)})
+		if err != nil {
+			r.fail(fmt.Errorf("sched: task %s: %w", r.g.Tasks[it.task].String(), err))
+			return
+		}
+		r.completeTask(w, it.task)
+	}
+}
+
+// partition splits task id into ⌈size/δ⌉ pieces (line 13): the first piece
+// runs inline, the rest are spread evenly over the local lists, and a
+// combiner item fires when the last piece finishes.
+func (r *run) partition(w int, id, size int) {
+	tPart := time.Now()
+	δ := r.opts.Threshold
+	n := (size + δ - 1) / δ
+	comb := &combiner{task: id, pending: int32(n)}
+	atomic.AddInt64(&r.parted, 1)
+	pieceW := int64(r.g.Tasks[id].Weight)/int64(n) + 1
+	var first item
+	for k := 0; k < n; k++ {
+		lo := k * δ
+		hi := lo + δ
+		if hi > size {
+			hi = size
+		}
+		it := item{task: id, lo: lo, hi: hi, comb: comb, weight: pieceW,
+			buf: r.st.NewPartialBuffer(id)}
+		if k == 0 {
+			first = it
+			continue
+		}
+		slot := int(atomic.AddInt64(&r.rr, 1)) % len(r.lists)
+		r.lists[slot].push(it)
+	}
+	r.metrics[w].Overhead += time.Since(tPart)
+	r.runPiece(w, first)
+}
+
+func (r *run) runPiece(w int, it item) {
+	t0 := time.Now()
+	err := r.st.ExecutePiece(it.task, it.lo, it.hi, it.buf)
+	r.metrics[w].Busy += time.Since(t0)
+	r.metrics[w].Tasks++
+	atomic.AddInt64(&r.pieces, 1)
+	r.record(w, Event{Worker: w, Task: it.task, Lo: it.lo, Hi: it.hi,
+		Start: t0.Sub(r.start), End: time.Since(r.start)})
+	if err != nil {
+		r.fail(fmt.Errorf("sched: piece [%d,%d) of %s: %w", it.lo, it.hi, r.g.Tasks[it.task].String(), err))
+		return
+	}
+	c := it.comb
+	if it.buf != nil {
+		c.mu.Lock()
+		c.bufs = append(c.bufs, it.buf)
+		c.mu.Unlock()
+	}
+	if atomic.AddInt32(&c.pending, -1) == 0 {
+		// This worker finished the last piece: it runs T̂n itself.
+		r.process(w, item{task: c.task, comb: c, isComb: true,
+			weight: int64(r.g.Tasks[c.task].Weight)})
+	}
+}
+
+func (r *run) runCombiner(w int, it item) {
+	t0 := time.Now()
+	err := r.st.Combine(it.task, it.comb.bufs)
+	r.metrics[w].Busy += time.Since(t0)
+	r.metrics[w].Tasks++
+	r.record(w, Event{Worker: w, Task: it.task, Comb: true, Hi: -1,
+		Start: t0.Sub(r.start), End: time.Since(r.start)})
+	if err != nil {
+		r.fail(fmt.Errorf("sched: combine %s: %w", r.g.Tasks[it.task].String(), err))
+		return
+	}
+	r.completeTask(w, it.task)
+}
+
+// completeTask is the Allocate module (lines 4–10): decrement successor
+// dependency degrees and hand newly ready tasks to the least-loaded list.
+func (r *run) completeTask(w int, id int) {
+	tAlloc := time.Now()
+	for _, s := range r.g.Tasks[id].Succs {
+		if atomic.AddInt32(&r.deps[s], -1) == 0 {
+			r.allocate(r.wholeItem(s))
+		}
+	}
+	r.metrics[w].Overhead += time.Since(tAlloc)
+	if atomic.AddInt64(&r.remaining, -1) == 0 {
+		r.finish()
+	}
+}
+
+// record appends a trace event to the worker's private buffer.
+func (r *run) record(w int, e Event) {
+	if r.traces != nil {
+		r.traces[w] = append(r.traces[w], e)
+	}
+}
+
+// allocate pushes a ready task onto the list with the smallest weight
+// counter (line 7: j = argmin W_t).
+func (r *run) allocate(it item) {
+	best, bestW := 0, int64(1)<<62
+	for i, l := range r.lists {
+		if w := atomic.LoadInt64(&l.weight); w < bestW {
+			best, bestW = i, w
+		}
+	}
+	r.lists[best].push(it)
+}

@@ -1,0 +1,379 @@
+package sched
+
+import (
+	"testing"
+
+	"evprop/internal/bayesnet"
+	"evprop/internal/jtree"
+	"evprop/internal/potential"
+	"evprop/internal/taskgraph"
+)
+
+// referenceState runs the graph serially and returns the final state.
+func referenceState(t *testing.T, g *taskgraph.Graph, ev potential.Evidence) *taskgraph.State {
+	t.Helper()
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AbsorbEvidence(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RunSerial(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// compareStates checks that the two propagation results encode the same
+// distributions. Clique tables are compared after normalization: partitioned
+// marginalizations sum partial buffers in a different association order than
+// the serial pass, so unnormalized absolute values may differ at ~1e-9 even
+// though the encoded posteriors are identical.
+func compareStates(t *testing.T, label string, ref, got *taskgraph.State, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		a, b := ref.Clique[i].Clone(), got.Clique[i].Clone()
+		if err := a.Normalize(); err != nil {
+			t.Fatalf("%s: clique %d reference has zero mass", label, i)
+		}
+		if err := b.Normalize(); err != nil {
+			t.Fatalf("%s: clique %d result has zero mass", label, i)
+		}
+		if !a.Equal(b, 1e-9) {
+			t.Errorf("%s: clique %d differs from serial reference", label, i)
+			return
+		}
+	}
+}
+
+func TestRunMatchesSerialAcrossWorkers(t *testing.T) {
+	tr, err := jtree.Random(jtree.RandomConfig{N: 30, Width: 4, States: 2, Degree: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MaterializeRandom(17); err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Build(tr)
+	ref := referenceState(t, g, nil)
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		st, err := g.NewState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Run(st, Options{Workers: p})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if m.Tasks != g.N() {
+			t.Errorf("P=%d: completed %d of %d tasks", p, m.Tasks, g.N())
+		}
+		compareStates(t, "P", ref, st, tr.N())
+	}
+}
+
+func TestRunMatchesSerialWithPartitioning(t *testing.T) {
+	tr, err := jtree.Random(jtree.RandomConfig{N: 20, Width: 6, States: 2, Degree: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MaterializeRandom(23); err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Build(tr)
+	ref := referenceState(t, g, nil)
+	for _, thr := range []int{1, 7, 16, 64} {
+		st, err := g.NewState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Run(st, Options{Workers: 4, Threshold: thr})
+		if err != nil {
+			t.Fatalf("δ=%d: %v", thr, err)
+		}
+		if thr < 64 && m.Partition == 0 {
+			t.Errorf("δ=%d: no task was partitioned", thr)
+		}
+		compareStates(t, "threshold", ref, st, tr.N())
+	}
+}
+
+func TestRunWithEvidenceMatchesOracle(t *testing.T) {
+	net, ids := bayesnet.Asia()
+	tr, err := net.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Build(tr)
+	ev := potential.Evidence{ids["XRay"]: 1, ids["Smoke"]: 1}
+	for _, p := range []int{1, 3, 8} {
+		st, err := g.NewState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.AbsorbEvidence(ev); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(st, Options{Workers: p, Threshold: 2}); err != nil {
+			t.Fatal(err)
+		}
+		for name, v := range ids {
+			if _, fixed := ev[v]; fixed {
+				continue
+			}
+			got, err := st.Marginal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := net.ExactMarginal(v, ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want, 1e-9) {
+				t.Errorf("P=%d: P(%s|e) = %v, oracle %v", p, name, got.Data, want.Data)
+			}
+		}
+	}
+}
+
+func TestRunRerootedMatchesOracle(t *testing.T) {
+	// Rerooting must not change inference results.
+	net, ids := bayesnet.Student()
+	tr, err := net.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := tr.Reroot(tr.SelectRoot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Build(rt)
+	ev := potential.Evidence{ids["Letter"]: 1}
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AbsorbEvidence(ev); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(st, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range ids {
+		if _, fixed := ev[v]; fixed {
+			continue
+		}
+		got, err := st.Marginal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := net.ExactMarginal(v, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want, 1e-9) {
+			t.Errorf("P(%s|e) = %v, oracle %v", name, got.Data, want.Data)
+		}
+	}
+}
+
+func TestRunEmptyGraph(t *testing.T) {
+	tr, err := jtree.Chain(1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MaterializeUniform(); err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Build(tr)
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(st, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tasks != 0 {
+		t.Errorf("empty graph completed %d tasks", m.Tasks)
+	}
+}
+
+func TestRunRejectsZeroWorkers(t *testing.T) {
+	tr, err := jtree.Chain(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MaterializeUniform(); err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Build(tr)
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(st, Options{Workers: 0}); err == nil {
+		t.Error("accepted 0 workers")
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	tr, err := jtree.Random(jtree.RandomConfig{N: 25, Width: 5, States: 2, Degree: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MaterializeRandom(2); err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Build(tr)
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(st, Options{Workers: 3, Threshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Workers) != 3 {
+		t.Fatalf("metrics for %d workers", len(m.Workers))
+	}
+	items := 0
+	for _, wm := range m.Workers {
+		if wm.Busy < 0 || wm.Overhead < 0 {
+			t.Error("negative metric")
+		}
+		items += wm.Tasks
+	}
+	if items == 0 {
+		t.Error("no items recorded")
+	}
+	if m.Pieces == 0 || m.Partition == 0 {
+		t.Errorf("partitioning not reflected in metrics: %+v", m)
+	}
+	if m.Elapsed <= 0 {
+		t.Error("elapsed not positive")
+	}
+}
+
+func TestPartitionThresholdOne(t *testing.T) {
+	// δ=1 forces maximal splitting; results must still be exact.
+	net, _ := bayesnet.Sprinkler()
+	tr, err := net.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Build(tr)
+	ref := referenceState(t, g, nil)
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(st, Options{Workers: 2, Threshold: 1}); err != nil {
+		t.Fatal(err)
+	}
+	compareStates(t, "δ=1", ref, st, tr.N())
+}
+
+func TestManyRunsStable(t *testing.T) {
+	// Repeated runs across goroutine interleavings must all agree.
+	tr, err := jtree.Random(jtree.RandomConfig{N: 16, Width: 4, States: 2, Degree: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MaterializeRandom(4); err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Build(tr)
+	ref := referenceState(t, g, nil)
+	for trial := 0; trial < 25; trial++ {
+		st, err := g.NewState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(st, Options{Workers: 4, Threshold: 8}); err != nil {
+			t.Fatal(err)
+		}
+		compareStates(t, "trial", ref, st, tr.N())
+	}
+}
+
+func TestStealingMatchesSerial(t *testing.T) {
+	tr, err := jtree.Random(jtree.RandomConfig{N: 28, Width: 5, States: 2, Degree: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MaterializeRandom(12); err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Build(tr)
+	ref := referenceState(t, g, nil)
+	for _, p := range []int{1, 2, 4, 8} {
+		for _, thr := range []int{0, 16} {
+			st, err := g.NewState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := RunStealing(st, Options{Workers: p, Threshold: thr})
+			if err != nil {
+				t.Fatalf("P=%d δ=%d: %v", p, thr, err)
+			}
+			if m.Tasks != g.N() {
+				t.Errorf("P=%d δ=%d: completed %d of %d", p, thr, m.Tasks, g.N())
+			}
+			compareStates(t, "stealing", ref, st, tr.N())
+		}
+	}
+}
+
+func TestStealingOracle(t *testing.T) {
+	net, ids := bayesnet.Asia()
+	tr, err := net.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Build(tr)
+	ev := potential.Evidence{ids["Dysp"]: 1}
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AbsorbEvidence(ev); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunStealing(st, Options{Workers: 4, Threshold: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Marginal(ids["Lung"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := net.ExactMarginal(ids["Lung"], ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-9) {
+		t.Errorf("stealing P(Lung|e) = %v, oracle %v", got.Data, want.Data)
+	}
+}
+
+func TestStealingEmptyAndErrors(t *testing.T) {
+	tr, err := jtree.Chain(1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MaterializeUniform(); err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Build(tr)
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := RunStealing(st, Options{Workers: 3}); err != nil || m.Tasks != 0 {
+		t.Errorf("empty graph: %v, %v", m, err)
+	}
+	if _, err := RunStealing(st, Options{Workers: 0}); err == nil {
+		t.Error("accepted 0 workers")
+	}
+}

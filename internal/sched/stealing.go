@@ -1,0 +1,259 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"evprop/internal/taskgraph"
+)
+
+// RunStealing executes the task graph with a work-stealing variant of the
+// collaborative scheduler — the direction the paper's Section 8 sketches
+// for the many-core era. Allocation still prefers the least-loaded worker,
+// but an idle worker steals from the tail of the most-loaded ready list
+// instead of sleeping, which removes the idle window between a bad
+// placement and the next allocation.
+//
+// The variant trades lock granularity for simplicity: all ready lists
+// share one mutex (stealing requires a consistent cross-list view), so at
+// high core counts its scheduling overhead grows faster than the
+// per-list-locked Run — exactly the contention trade-off the paper
+// anticipates.
+func RunStealing(st *taskgraph.State, opts Options) (*Metrics, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("sched: need at least 1 worker, got %d", opts.Workers)
+	}
+	g := st.Graph()
+	r := &stealRun{
+		st:        st,
+		g:         g,
+		opts:      opts,
+		deps:      g.DepCounts(),
+		lists:     make([][]item, opts.Workers),
+		weights:   make([]int64, opts.Workers),
+		remaining: int64(g.N()),
+		metrics:   make([]WorkerMetrics, opts.Workers),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	start := time.Now()
+	if g.N() == 0 {
+		return &Metrics{Workers: r.metrics, Elapsed: time.Since(start)}, nil
+	}
+	for i, id := range g.Sources() {
+		r.push(i%opts.Workers, r.item(id))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.worker(w)
+		}(w)
+	}
+	wg.Wait()
+	return &Metrics{
+		Workers:   r.metrics,
+		Elapsed:   time.Since(start),
+		Tasks:     g.N() - int(atomic.LoadInt64(&r.remaining)),
+		Pieces:    int(r.pieces),
+		Partition: int(r.parted),
+	}, r.err
+}
+
+type stealRun struct {
+	st   *taskgraph.State
+	g    *taskgraph.Graph
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	lists   [][]item
+	weights []int64
+	done    bool
+
+	deps      []int32
+	remaining int64
+	pieces    int64
+	parted    int64
+	errOnce   sync.Once
+	err       error
+	metrics   []WorkerMetrics
+}
+
+func (r *stealRun) item(id int) item {
+	return item{task: id, lo: 0, hi: -1, weight: int64(r.g.Tasks[id].Weight)}
+}
+
+// push appends under the shared lock and wakes one sleeper.
+func (r *stealRun) push(w int, it item) {
+	r.mu.Lock()
+	r.lists[w] = append(r.lists[w], it)
+	r.weights[w] += it.weight
+	r.mu.Unlock()
+	r.cond.Signal()
+}
+
+// fetch pops the head of the worker's own list, or steals the tail of the
+// heaviest other list, or sleeps.
+func (r *stealRun) fetch(w int) (item, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if len(r.lists[w]) > 0 {
+			it := r.lists[w][0]
+			r.lists[w] = r.lists[w][1:]
+			r.weights[w] -= it.weight
+			return it, true
+		}
+		// Steal from the heaviest victim's tail.
+		victim, best := -1, int64(0)
+		for v := range r.lists {
+			if v != w && len(r.lists[v]) > 0 && r.weights[v] > best {
+				victim, best = v, r.weights[v]
+			}
+		}
+		if victim >= 0 {
+			n := len(r.lists[victim])
+			it := r.lists[victim][n-1]
+			r.lists[victim] = r.lists[victim][:n-1]
+			r.weights[victim] -= it.weight
+			return it, true
+		}
+		if r.done {
+			return item{}, false
+		}
+		r.cond.Wait()
+	}
+}
+
+func (r *stealRun) finish(err error) {
+	if err != nil {
+		r.errOnce.Do(func() { r.err = err })
+	}
+	r.mu.Lock()
+	r.done = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+func (r *stealRun) worker(w int) {
+	for {
+		t0 := time.Now()
+		it, ok := r.fetch(w)
+		r.metrics[w].Overhead += time.Since(t0)
+		if !ok {
+			return
+		}
+		r.process(w, it)
+	}
+}
+
+func (r *stealRun) process(w int, it item) {
+	if r.loadFailed() {
+		return
+	}
+	switch {
+	case it.isComb:
+		t0 := time.Now()
+		err := r.st.Combine(it.task, it.comb.bufs)
+		r.metrics[w].Busy += time.Since(t0)
+		r.metrics[w].Tasks++
+		if err != nil {
+			r.finish(err)
+			return
+		}
+		r.complete(it.task)
+	case it.comb != nil:
+		t0 := time.Now()
+		err := r.st.ExecutePiece(it.task, it.lo, it.hi, it.buf)
+		r.metrics[w].Busy += time.Since(t0)
+		r.metrics[w].Tasks++
+		atomic.AddInt64(&r.pieces, 1)
+		if err != nil {
+			r.finish(err)
+			return
+		}
+		c := it.comb
+		if it.buf != nil {
+			c.mu.Lock()
+			c.bufs = append(c.bufs, it.buf)
+			c.mu.Unlock()
+		}
+		if atomic.AddInt32(&c.pending, -1) == 0 {
+			r.process(w, item{task: c.task, comb: c, isComb: true})
+		}
+	default:
+		size := r.st.PartitionSize(it.task)
+		if r.opts.Threshold > 0 && size > r.opts.Threshold {
+			r.partition(w, it.task, size)
+			return
+		}
+		t0 := time.Now()
+		err := r.st.Execute(it.task)
+		r.metrics[w].Busy += time.Since(t0)
+		r.metrics[w].Tasks++
+		if err != nil {
+			r.finish(err)
+			return
+		}
+		r.complete(it.task)
+	}
+}
+
+func (r *stealRun) partition(w int, id, size int) {
+	δ := r.opts.Threshold
+	n := (size + δ - 1) / δ
+	comb := &combiner{task: id, pending: int32(n)}
+	atomic.AddInt64(&r.parted, 1)
+	pieceW := int64(r.g.Tasks[id].Weight)/int64(n) + 1
+	var first item
+	for k := 0; k < n; k++ {
+		lo := k * δ
+		hi := lo + δ
+		if hi > size {
+			hi = size
+		}
+		it := item{task: id, lo: lo, hi: hi, comb: comb, weight: pieceW,
+			buf: r.st.NewPartialBuffer(id)}
+		if k == 0 {
+			first = it
+			continue
+		}
+		r.push((w+k)%r.opts.Workers, it)
+	}
+	r.process(w, first)
+}
+
+func (r *stealRun) complete(id int) {
+	for _, s := range r.g.Tasks[id].Succs {
+		if atomic.AddInt32(&r.deps[s], -1) == 0 {
+			r.allocate(r.item(s))
+		}
+	}
+	if atomic.AddInt64(&r.remaining, -1) == 0 {
+		r.finish(nil)
+	}
+}
+
+// allocate routes a ready task to the least-loaded list.
+func (r *stealRun) allocate(it item) {
+	r.mu.Lock()
+	best, bestW := 0, int64(1)<<62
+	for w, load := range r.weights {
+		if load < bestW {
+			best, bestW = w, load
+		}
+	}
+	r.lists[best] = append(r.lists[best], it)
+	r.weights[best] += it.weight
+	r.mu.Unlock()
+	r.cond.Signal()
+}
+
+func (r *stealRun) loadFailed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done && r.err != nil
+}

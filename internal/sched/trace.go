@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Event is one executed item (task, piece or combiner) on a worker's
+// timeline, with times relative to the run's start.
+type Event struct {
+	Worker int
+	Task   int
+	Lo, Hi int // piece range; Lo==0 && Hi==-1 for whole tasks
+	Comb   bool
+	Start  time.Duration
+	End    time.Duration
+}
+
+// Trace is the execution timeline of one collaborative-scheduler run,
+// recorded when Options.Trace is set.
+type Trace struct {
+	Workers int
+	Events  []Event // ordered by (Worker, Start)
+	Total   time.Duration
+}
+
+// sortEvents normalizes the event order after the per-worker buffers merge.
+func (tr *Trace) sortEvents() {
+	sort.Slice(tr.Events, func(i, j int) bool {
+		a, b := tr.Events[i], tr.Events[j]
+		if a.Worker != b.Worker {
+			return a.Worker < b.Worker
+		}
+		return a.Start < b.Start
+	})
+}
+
+// BusySpans returns, for one worker, the merged [start,end) spans during
+// which it executed primitives.
+func (tr *Trace) BusySpans(worker int) [][2]time.Duration {
+	var spans [][2]time.Duration
+	for _, e := range tr.Events {
+		if e.Worker != worker {
+			continue
+		}
+		if n := len(spans); n > 0 && e.Start <= spans[n-1][1] {
+			if e.End > spans[n-1][1] {
+				spans[n-1][1] = e.End
+			}
+			continue
+		}
+		spans = append(spans, [2]time.Duration{e.Start, e.End})
+	}
+	return spans
+}
+
+// Gantt renders the trace as a fixed-width text chart, one row per worker:
+// '█' marks time executing primitives, '·' idle or scheduling time. It is
+// the real-execution counterpart of the paper's Fig. 8.
+func (tr *Trace) Gantt(w io.Writer, width int) {
+	if width < 10 {
+		width = 10
+	}
+	if tr.Total <= 0 {
+		fmt.Fprintln(w, "(empty trace)")
+		return
+	}
+	fmt.Fprintf(w, "gantt: %d workers over %v ('█' executing, '·' idle/scheduling)\n", tr.Workers, tr.Total)
+	scale := float64(width) / float64(tr.Total)
+	for worker := 0; worker < tr.Workers; worker++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, span := range tr.BusySpans(worker) {
+			lo := int(float64(span[0]) * scale)
+			hi := int(float64(span[1]) * scale)
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				row[i] = '#'
+			}
+		}
+		// Swap in the display runes (byte slice keeps the hot loop simple).
+		line := make([]rune, width)
+		for i, b := range row {
+			if b == '#' {
+				line[i] = '█'
+			} else {
+				line[i] = '·'
+			}
+		}
+		fmt.Fprintf(w, "w%-2d %s\n", worker, string(line))
+	}
+}
+
+// Utilization returns the busy fraction of each worker's timeline.
+func (tr *Trace) Utilization() []float64 {
+	out := make([]float64, tr.Workers)
+	if tr.Total <= 0 {
+		return out
+	}
+	for worker := 0; worker < tr.Workers; worker++ {
+		var busy time.Duration
+		for _, span := range tr.BusySpans(worker) {
+			busy += span[1] - span[0]
+		}
+		out[worker] = float64(busy) / float64(tr.Total)
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+package taskgraph
+
+import (
+	"fmt"
+
+	"evprop/internal/potential"
+)
+
+// Mode selects the semiring a State propagates over.
+type Mode int
+
+const (
+	// SumProduct computes posterior marginals (ordinary evidence
+	// propagation).
+	SumProduct Mode = iota
+	// MaxProduct computes max-marginals, turning propagation into a
+	// most-probable-explanation solver: the Marginalize primitive
+	// maximizes instead of summing; the other primitives are unchanged.
+	MaxProduct
+)
+
+func (m Mode) String() string {
+	if m == MaxProduct {
+		return "max-product"
+	}
+	return "sum-product"
+}
+
+// State holds the working tables for one execution of a task graph: cloned
+// clique and separator potentials plus the per-edge message and extension
+// buffers. Two tasks may touch the same buffer only if the dependency graph
+// orders them, so a State may be driven by any number of worker goroutines
+// that respect the graph.
+type State struct {
+	g    *Graph
+	mode Mode
+	// Clique[i] is the working potential of clique i.
+	Clique []*potential.Potential
+	// Sep[c] is the stored separator potential ψS of the edge (c, parent).
+	Sep []*potential.Potential
+	// sepNew[c] receives the freshly marginalized ψ*S, then holds the
+	// ratio ψ*S/ψS after the Divide step.
+	sepNew []*potential.Potential
+	// tempUp[c] / tempDown[c] receive the extension of the ratio onto the
+	// parent's / child's domain.
+	tempUp   []*potential.Potential
+	tempDown []*potential.Potential
+}
+
+// NewState allocates working storage for one sum-product propagation over
+// the graph's tree, which must be materialized (clique and separator
+// potentials non-nil). The tree itself is left untouched.
+func (g *Graph) NewState() (*State, error) { return g.NewStateMode(SumProduct) }
+
+// NewStateMode is NewState with an explicit semiring.
+func (g *Graph) NewStateMode(mode Mode) (*State, error) {
+	t := g.Tree
+	st := &State{
+		g:        g,
+		mode:     mode,
+		Clique:   make([]*potential.Potential, t.N()),
+		Sep:      make([]*potential.Potential, t.N()),
+		sepNew:   make([]*potential.Potential, t.N()),
+		tempUp:   make([]*potential.Potential, t.N()),
+		tempDown: make([]*potential.Potential, t.N()),
+	}
+	for i := range t.Cliques {
+		c := &t.Cliques[i]
+		if c.Pot == nil {
+			return nil, fmt.Errorf("taskgraph: clique %d not materialized", i)
+		}
+		st.Clique[i] = c.Pot.Clone()
+		if c.Parent < 0 {
+			continue
+		}
+		if c.SepPot == nil {
+			return nil, fmt.Errorf("taskgraph: clique %d separator not materialized", i)
+		}
+		st.Sep[i] = c.SepPot.Clone()
+		st.sepNew[i] = c.SepPot.CloneZero()
+		up, err := potential.New(t.Cliques[c.Parent].Vars, t.Cliques[c.Parent].Card)
+		if err != nil {
+			return nil, err
+		}
+		st.tempUp[i] = up
+		down, err := potential.New(c.Vars, c.Card)
+		if err != nil {
+			return nil, err
+		}
+		st.tempDown[i] = down
+	}
+	return st, nil
+}
+
+// AbsorbEvidence reduces every working clique potential on the evidence.
+// Call once before executing the graph.
+func (st *State) AbsorbEvidence(ev potential.Evidence) error {
+	for i, p := range st.Clique {
+		if err := p.Reduce(ev); err != nil {
+			return fmt.Errorf("taskgraph: clique %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// AbsorbLikelihood multiplies soft (virtual) evidence into the state: each
+// variable's weight vector is applied to exactly one clique containing it
+// (applying it more than once would square the weights).
+func (st *State) AbsorbLikelihood(like potential.Likelihood) error {
+	for v := range like {
+		ci := st.g.Tree.CliqueOf(v)
+		if ci < 0 {
+			return fmt.Errorf("taskgraph: likelihood on unknown variable %d", v)
+		}
+		if err := st.Clique[ci].ApplyLikelihood(like, v); err != nil {
+			return fmt.Errorf("taskgraph: clique %d: %w", ci, err)
+		}
+	}
+	return nil
+}
+
+// Graph returns the graph this state executes.
+func (st *State) Graph() *Graph { return st.g }
+
+// Mode returns the semiring this state propagates over.
+func (st *State) Mode() Mode { return st.mode }
+
+// Execute runs the whole task (no partitioning).
+func (st *State) Execute(id int) error {
+	t := &st.g.Tasks[id]
+	if t.Kind == Marginalize {
+		dst := st.sepNew[t.Edge]
+		for i := range dst.Data {
+			dst.Data[i] = 0
+		}
+		return st.ExecutePiece(id, 0, st.PartitionSize(id), dst)
+	}
+	return st.ExecutePiece(id, 0, st.PartitionSize(id), nil)
+}
+
+// PartitionSize returns the length of the index range over which the task
+// may be split into independent pieces.
+func (st *State) PartitionSize(id int) int {
+	t := &st.g.Tasks[id]
+	switch t.Kind {
+	case Marginalize:
+		return st.Clique[t.Source].Len() // input-partitioned
+	case Divide:
+		return st.sepNew[t.Edge].Len()
+	case Extend:
+		if t.Dir == Collect {
+			return st.tempUp[t.Edge].Len()
+		}
+		return st.tempDown[t.Edge].Len()
+	case Multiply:
+		return st.Clique[t.Target].Len()
+	}
+	return 0
+}
+
+// NewPartialBuffer returns a zeroed private accumulation buffer for a piece
+// of a Marginalize task, and nil for every other kind (their pieces write
+// disjoint output ranges and need no buffer).
+func (st *State) NewPartialBuffer(id int) *potential.Potential {
+	t := &st.g.Tasks[id]
+	if t.Kind != Marginalize {
+		return nil
+	}
+	return st.sepNew[t.Edge].CloneZero()
+}
+
+// ExecutePiece runs the [lo,hi) slice of the task. For Marginalize, buf is
+// the accumulation target (a private buffer from NewPartialBuffer, or the
+// shared sepNew buffer when running unpartitioned); other kinds ignore buf.
+func (st *State) ExecutePiece(id, lo, hi int, buf *potential.Potential) error {
+	t := &st.g.Tasks[id]
+	switch t.Kind {
+	case Marginalize:
+		if buf == nil {
+			return fmt.Errorf("taskgraph: marginalize piece without buffer")
+		}
+		if st.mode == MaxProduct {
+			return st.Clique[t.Source].MaxMarginalInto(buf, lo, hi)
+		}
+		return st.Clique[t.Source].MarginalInto(buf, lo, hi)
+	case Divide:
+		return st.divideRange(t.Edge, lo, hi)
+	case Extend:
+		ratio := st.sepNew[t.Edge]
+		if t.Dir == Collect {
+			return ratio.ExtendInto(st.tempUp[t.Edge], lo, hi)
+		}
+		return ratio.ExtendInto(st.tempDown[t.Edge], lo, hi)
+	case Multiply:
+		if t.Dir == Collect {
+			return st.Clique[t.Target].MulRange(st.tempUp[t.Edge], lo, hi)
+		}
+		return st.Clique[t.Target].MulRange(st.tempDown[t.Edge], lo, hi)
+	}
+	return fmt.Errorf("taskgraph: unknown kind %v", t.Kind)
+}
+
+// Combine finishes a partitioned Marginalize: it zeroes the shared sepNew
+// buffer and adds every private piece buffer into it. For other kinds it
+// is a no-op (their pieces already wrote the output).
+func (st *State) Combine(id int, bufs []*potential.Potential) error {
+	t := &st.g.Tasks[id]
+	if t.Kind != Marginalize {
+		return nil
+	}
+	dst := st.sepNew[t.Edge]
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for _, b := range bufs {
+		if st.mode == MaxProduct {
+			if err := dst.MaxWith(b); err != nil {
+				return err
+			}
+		} else if err := dst.Add(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// divideRange performs the fused Divide step over separator entries
+// [lo,hi): ratio = ψ*S / ψS with 0/0 = 0, storing the ratio in sepNew and
+// the new ψ*S into the stored separator, as Eq. 1 of the paper requires.
+func (st *State) divideRange(edge, lo, hi int) error {
+	num := st.sepNew[edge].Data
+	den := st.Sep[edge].Data
+	if lo < 0 || hi < lo || hi > len(num) {
+		return fmt.Errorf("taskgraph: divide range [%d,%d) invalid for %d entries", lo, hi, len(num))
+	}
+	for i := lo; i < hi; i++ {
+		fresh := num[i]
+		if den[i] == 0 {
+			num[i] = 0
+		} else {
+			num[i] = fresh / den[i]
+		}
+		den[i] = fresh
+	}
+	return nil
+}
+
+// RunSerial executes every task in topological order on this state. It is
+// the reference executor; all parallel schedulers must produce bitwise the
+// same clique potentials (up to floating-point associativity in partitioned
+// marginalizations).
+func (st *State) RunSerial() error {
+	order, err := st.g.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, id := range order {
+		if err := st.Execute(id); err != nil {
+			return fmt.Errorf("taskgraph: task %s: %w", st.g.Tasks[id].String(), err)
+		}
+	}
+	return nil
+}
+
+// Marginal extracts the normalized posterior of variable v from the state
+// after propagation, by marginalizing a clique that contains v.
+func (st *State) Marginal(v int) (*potential.Potential, error) {
+	ci := st.g.Tree.CliqueOf(v)
+	if ci < 0 {
+		return nil, fmt.Errorf("taskgraph: no clique contains variable %d", v)
+	}
+	m, err := st.Clique[ci].Marginal([]int{v})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Normalize(); err != nil {
+		return nil, fmt.Errorf("taskgraph: variable %d has zero posterior mass (impossible evidence?): %w", v, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,516 @@
+package taskgraph
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"evprop/internal/bayesnet"
+	"evprop/internal/jtree"
+	"evprop/internal/potential"
+)
+
+func chainTree(t *testing.T, n int) *jtree.Tree {
+	t.Helper()
+	tr, err := jtree.Chain(n, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildTaskCount(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 17} {
+		tr := chainTree(t, n)
+		g := Build(tr)
+		if got, want := g.N(), 8*(n-1); got != want {
+			t.Errorf("n=%d: %d tasks, want %d", n, got, want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBuildOnRandomTreesValidates(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tr, err := jtree.Random(jtree.RandomConfig{N: 40, Width: 4, States: 2, Degree: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := Build(tr)
+		if err := g.Validate(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestSourcesAreLeafCollectMarginalize(t *testing.T) {
+	tr, err := jtree.Star(4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(tr)
+	for _, id := range g.Sources() {
+		task := &g.Tasks[id]
+		if task.Kind != Marginalize || task.Dir != Collect {
+			t.Errorf("source task %s is not a collect marginalize", task)
+		}
+		if len(tr.Cliques[task.Source].Children) != 0 {
+			t.Errorf("source task %s does not start at a leaf", task)
+		}
+	}
+	if len(g.Sources()) != 4 {
+		t.Errorf("star has %d sources, want 4", len(g.Sources()))
+	}
+}
+
+func TestTopoOrderRespectsDeps(t *testing.T) {
+	tr, err := jtree.Balanced(3, 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(tr)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, g.N())
+	for k, id := range order {
+		pos[id] = k
+	}
+	for i := range g.Tasks {
+		for _, s := range g.Tasks[i].Succs {
+			if pos[i] >= pos[s] {
+				t.Fatalf("task %s not before successor %s", &g.Tasks[i], &g.Tasks[s])
+			}
+		}
+	}
+}
+
+func TestCollectBeforeDistributePerEdge(t *testing.T) {
+	tr := chainTree(t, 6)
+	g := Build(tr)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, g.N())
+	for k, id := range order {
+		pos[id] = k
+	}
+	// For each edge, the collect Multiply must precede the distribute
+	// Marginalize of the same edge in every topological order induced by
+	// the dependency structure — verify via reachability.
+	reach := reachability(g)
+	byEdge := map[int]map[string]int{}
+	for i := range g.Tasks {
+		task := &g.Tasks[i]
+		key := task.Dir.String() + "/" + task.Kind.String()
+		if byEdge[task.Edge] == nil {
+			byEdge[task.Edge] = map[string]int{}
+		}
+		byEdge[task.Edge][key] = i
+	}
+	for edge, m := range byEdge {
+		cu, du := m["collect/multiply"], m["distribute/marginalize"]
+		if !reach[cu][du] {
+			t.Errorf("edge %d: distribute marginalize not ordered after collect multiply", edge)
+		}
+	}
+}
+
+// reachability computes the transitive closure (small graphs only).
+func reachability(g *Graph) []map[int]bool {
+	order, _ := g.TopoOrder()
+	reach := make([]map[int]bool, g.N())
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		reach[id] = map[int]bool{}
+		for _, s := range g.Tasks[id].Succs {
+			reach[id][s] = true
+			for r := range reach[s] {
+				reach[id][r] = true
+			}
+		}
+	}
+	return reach
+}
+
+func TestMultipliesIntoSameCliqueOrdered(t *testing.T) {
+	tr, err := jtree.Star(5, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(tr)
+	reach := reachability(g)
+	var cus []int
+	for i := range g.Tasks {
+		task := &g.Tasks[i]
+		if task.Kind == Multiply && task.Dir == Collect && task.Target == tr.Root {
+			cus = append(cus, i)
+		}
+	}
+	if len(cus) != 5 {
+		t.Fatalf("found %d collect multiplies into root, want 5", len(cus))
+	}
+	for i := range cus {
+		for j := range cus {
+			if i != j && !reach[cus[i]][cus[j]] && !reach[cus[j]][cus[i]] {
+				t.Errorf("multiplies %d and %d into the root are unordered (write race)", cus[i], cus[j])
+			}
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	tr := chainTree(t, 4)
+	g := Build(tr)
+	levels := g.Levels()
+	total := 0
+	for l, ids := range levels {
+		total += len(ids)
+		for _, id := range ids {
+			for _, s := range g.Tasks[id].Succs {
+				found := false
+				for l2 := l + 1; l2 < len(levels); l2++ {
+					for _, x := range levels[l2] {
+						if x == s {
+							found = true
+						}
+					}
+				}
+				if !found {
+					t.Fatalf("successor of level-%d task not in a later level", l)
+				}
+			}
+		}
+	}
+	if total != g.N() {
+		t.Errorf("levels cover %d of %d tasks", total, g.N())
+	}
+}
+
+func TestWeights(t *testing.T) {
+	tr := chainTree(t, 3)
+	g := Build(tr)
+	if g.TotalWeight() <= 0 {
+		t.Error("total weight not positive")
+	}
+	cp := g.CriticalPathWeight()
+	if cp <= 0 || cp > g.TotalWeight()+1e-9 {
+		t.Errorf("critical path %v vs total %v", cp, g.TotalWeight())
+	}
+	maxW := 0.0
+	for i := range g.Tasks {
+		if g.Tasks[i].Weight > maxW {
+			maxW = g.Tasks[i].Weight
+		}
+	}
+	if cp < maxW {
+		t.Errorf("critical path %v below max task weight %v", cp, maxW)
+	}
+}
+
+func TestSingleCliqueGraphIsEmpty(t *testing.T) {
+	tr := chainTree(t, 1)
+	g := Build(tr)
+	if g.N() != 0 {
+		t.Errorf("single-clique graph has %d tasks", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("empty graph invalid: %v", err)
+	}
+}
+
+func TestKindDirectionStrings(t *testing.T) {
+	if Marginalize.String() != "marginalize" || Divide.String() != "divide" ||
+		Extend.String() != "extend" || Multiply.String() != "multiply" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind empty")
+	}
+	if Collect.String() != "collect" || Distribute.String() != "distribute" {
+		t.Error("Direction strings wrong")
+	}
+}
+
+// --- execution tests ---
+
+func TestRunSerialMatchesOracleAsia(t *testing.T) {
+	net, ids := bayesnet.Asia()
+	tr, err := net.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []potential.Evidence{
+		nil,
+		{ids["XRay"]: 1},
+		{ids["Asia"]: 1, ids["Smoke"]: 1},
+		{ids["Dysp"]: 1, ids["Bronc"]: 0},
+	}
+	for ci, ev := range cases {
+		g := Build(tr)
+		st, err := g.NewState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.AbsorbEvidence(ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.RunSerial(); err != nil {
+			t.Fatal(err)
+		}
+		for name, v := range ids {
+			if _, fixed := ev[v]; fixed {
+				continue
+			}
+			got, err := st.Marginal(v)
+			if err != nil {
+				t.Fatalf("case %d %s: %v", ci, name, err)
+			}
+			want, err := net.ExactMarginal(v, ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want, 1e-9) {
+				t.Errorf("case %d: P(%s|e) = %v, oracle %v", ci, name, got.Data, want.Data)
+			}
+		}
+	}
+}
+
+func TestRunSerialMatchesOracleRandomNetworks(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		net := bayesnet.RandomNetwork(9, 2, 2, seed)
+		tr, err := net.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := Build(tr)
+		st, err := g.NewState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := potential.Evidence{0: 1}
+		if err := st.AbsorbEvidence(ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.RunSerial(); err != nil {
+			t.Fatal(err)
+		}
+		for v := 1; v < net.N(); v++ {
+			got, err := st.Marginal(v)
+			if err != nil {
+				t.Fatalf("seed %d var %d: %v", seed, v, err)
+			}
+			want, err := net.ExactMarginal(v, ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want, 1e-9) {
+				t.Errorf("seed %d: P(%d|e) = %v, oracle %v", seed, v, got.Data, want.Data)
+			}
+		}
+	}
+}
+
+func TestRunSerialCalibratesRandomTree(t *testing.T) {
+	// After a full two-pass propagation every pair of adjacent cliques
+	// must agree on their separator (Hugin calibration).
+	tr, err := jtree.Random(jtree.RandomConfig{N: 25, Width: 4, States: 2, Degree: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MaterializeRandom(7); err != nil {
+		t.Fatal(err)
+	}
+	g := Build(tr)
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RunSerial(); err != nil {
+		t.Fatal(err)
+	}
+	for c := range tr.Cliques {
+		p := tr.Cliques[c].Parent
+		if p < 0 {
+			continue
+		}
+		mc, err := st.Clique[c].Marginal(tr.Cliques[c].SepVars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := st.Clique[p].Marginal(tr.Cliques[c].SepVars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mc.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		if err := mp.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		if !mc.Equal(mp, 1e-9) {
+			t.Errorf("edge (%d,%d) not calibrated: %v vs %v", c, p, mc.Data, mp.Data)
+		}
+	}
+	// All cliques must also agree on single-variable marginals.
+	vars, _ := tr.Variables()
+	for _, v := range vars {
+		var ref *potential.Potential
+		for c := range tr.Cliques {
+			if !st.Clique[c].HasVar(v) {
+				continue
+			}
+			m, err := st.Clique[c].Marginal([]int{v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Normalize(); err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = m
+			} else if !ref.Equal(m, 1e-9) {
+				t.Errorf("variable %d marginal differs across cliques", v)
+			}
+		}
+	}
+}
+
+func TestPartitionedExecutionMatchesSerial(t *testing.T) {
+	net, _ := bayesnet.Asia()
+	tr, err := net.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(tr)
+
+	serial, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.RunSerial(); err != nil {
+		t.Fatal(err)
+	}
+
+	parted, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 3
+	for _, id := range order {
+		size := parted.PartitionSize(id)
+		var bufs []*potential.Potential
+		for lo := 0; lo < size; lo += chunk {
+			hi := lo + chunk
+			if hi > size {
+				hi = size
+			}
+			buf := parted.NewPartialBuffer(id)
+			if err := parted.ExecutePiece(id, lo, hi, buf); err != nil {
+				t.Fatalf("task %s piece [%d,%d): %v", &g.Tasks[id], lo, hi, err)
+			}
+			if buf != nil {
+				bufs = append(bufs, buf)
+			}
+		}
+		if err := parted.Combine(id, bufs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range serial.Clique {
+		if !serial.Clique[i].Equal(parted.Clique[i], 1e-9) {
+			t.Errorf("clique %d differs between serial and partitioned execution", i)
+		}
+	}
+}
+
+func TestStateRequiresMaterializedTree(t *testing.T) {
+	tr := chainTree(t, 3) // skeleton
+	g := Build(tr)
+	if _, err := g.NewState(); err == nil {
+		t.Error("NewState accepted a skeleton tree")
+	}
+}
+
+func TestAbsorbEvidenceErrors(t *testing.T) {
+	tr := chainTree(t, 2)
+	if err := tr.MaterializeUniform(); err != nil {
+		t.Fatal(err)
+	}
+	g := Build(tr)
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AbsorbEvidence(potential.Evidence{0: 99}); err == nil {
+		t.Error("accepted out-of-range evidence")
+	}
+}
+
+func TestMarginalErrors(t *testing.T) {
+	tr := chainTree(t, 2)
+	if err := tr.MaterializeUniform(); err != nil {
+		t.Fatal(err)
+	}
+	g := Build(tr)
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Marginal(10_000); err == nil {
+		t.Error("Marginal of unknown variable succeeded")
+	}
+}
+
+func TestPropagationPreservesTotalMass(t *testing.T) {
+	// Without evidence, the root's total mass is invariant under
+	// collection (messages are ratio-calibrated), so the normalizing
+	// constant equals the original network mass.
+	net, _ := bayesnet.Sprinkler()
+	tr, err := net.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(tr)
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RunSerial(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Clique[tr.Root].Sum(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("root mass after propagation = %v, want 1", got)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	tr := chainTree(t, 3)
+	g := Build(tr)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph taskgraph") {
+		t.Error("missing digraph header")
+	}
+	if strings.Count(out, "->") == 0 {
+		t.Error("no edges rendered")
+	}
+	for _, want := range []string{"marginalize", "divide", "extend", "multiply", "lightsalmon"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in DOT output", want)
+		}
+	}
+}
