@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-serving check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1s .
+
+bench-serving:
+	$(GO) test -run xxx -bench 'BenchmarkConcurrentQuery|BenchmarkMutexSerializedQuery' -benchtime 2s -cpu 4 .
+
+# The PR gate: static checks plus the full test suite under the race
+# detector (includes the concurrent-engine stress tests).
+check: vet race

@@ -1,0 +1,94 @@
+package evprop
+
+import (
+	"sync"
+	"testing"
+
+	"evprop/internal/sched"
+	"evprop/internal/taskgraph"
+)
+
+// servingEngine compiles the serving-benchmark workload: a mid-size random
+// network queried with fixed evidence, as a server would under load.
+func servingEngine(b *testing.B) (*Engine, Evidence) {
+	b.Helper()
+	net := RandomNetwork(40, 2, 3, 7)
+	eng, err := net.Compile(Options{Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close)
+	vars := net.Variables()
+	return eng, Evidence{vars[3]: 1, vars[17]: 0}
+}
+
+// BenchmarkConcurrentQuery measures the concurrent serving path: parallel
+// client goroutines share one engine with no external lock, and each query
+// is one pooled propagation from which P(e) and all posteriors derive.
+// Compare against BenchmarkMutexSerializedQuery, the seed server's
+// request path; run with -cpu 4 (or higher) for the serving contract.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	eng, ev := servingEngine(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := eng.Propagate(ev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.Posteriors(); err != nil {
+				b.Fatal(err)
+			}
+			res.Close()
+		}
+	})
+}
+
+// BenchmarkMutexSerializedQuery reproduces the original server's request
+// path as a baseline: a global mutex serializes queries, and each query
+// costs two propagations (one for P(e), one for the posteriors), each with
+// freshly allocated propagation state and transiently spawned workers —
+// exactly what Engine.Propagate did before pooling.
+func BenchmarkMutexSerializedQuery(b *testing.B) {
+	eng, ev := servingEngine(b)
+	g := eng.inner.Graph()
+	iev, err := eng.net.evidence(ev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	threshold := eng.inner.Options().PartitionThreshold
+	propagate := func() *taskgraph.State {
+		st, err := g.NewStateMode(taskgraph.SumProduct)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.AbsorbEvidence(iev); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sched.Run(st, sched.Options{Workers: 4, Threshold: threshold}); err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	var mu sync.Mutex
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			// Propagation 1: P(e), as the seed handler's first call.
+			st := propagate()
+			_ = st.Clique[g.Tree.Root].Sum()
+			// Propagation 2: posteriors for every non-evidence variable.
+			st = propagate()
+			for v := 0; v < eng.net.inner.N(); v++ {
+				if _, fixed := iev[v]; fixed {
+					continue
+				}
+				if _, err := st.Marginal(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			mu.Unlock()
+		}
+	})
+}

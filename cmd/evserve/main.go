@@ -1,15 +1,24 @@
-// Command evserve serves exact inference over HTTP.
+// Command evserve serves exact inference over HTTP. Requests propagate
+// concurrently on one shared engine — handlers take no lock — and each
+// query costs exactly one evidence propagation.
 //
 //	evserve -network asia -addr :8080
 //	evserve -bif model.bif
 //
-// Endpoints (JSON):
+// Versioned endpoints (JSON):
 //
-//	GET  /model   → {"variables": [{"name": "...", "states": n}, …]}
-//	POST /query   ← {"evidence": {"XRay": 1}, "query": ["Lung"]}
-//	              → {"p_evidence": 0.11, "posteriors": {"Lung": [0.51, 0.49]}}
-//	POST /mpe     ← {"evidence": {"XRay": 1}}
-//	              → {"assignment": {"Lung": 1, …}, "probability": 0.37}
+//	GET  /v1/model  → {"variables": [{"name": "...", "states": n}, …]}
+//	POST /v1/query  ← {"evidence": {"XRay": 1}, "query": ["Lung"]}
+//	                → {"p_evidence": 0.11, "posteriors": {"Lung": [0.51, 0.49]}}
+//	POST /v1/batch  ← {"queries": [{"evidence": …, "query": …}, …]}
+//	                → {"results": [{"p_evidence": …, "posteriors": …}, …]}
+//	POST /v1/mpe    ← {"evidence": {"XRay": 1}}
+//	                → {"assignment": {"Lung": 1, …}, "probability": 0.37}
+//	POST /v1/dsep   ← {"x": ["Asia"], "y": ["Smoke"], "z": []}
+//	                → {"separated": true}
+//	GET  /v1/stats  → request counters, scheduler invocations, latency
+//
+// The pre-/v1 paths /model, /query, /mpe and /dsep remain as aliases.
 package main
 
 import (

@@ -1,21 +1,50 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"evprop"
 )
 
-// server wraps one compiled engine behind HTTP handlers. Propagations are
-// independent per request; the mutex only guards the engine's lazily built
-// per-target caches against the CLI's unknown concurrency expectations.
+// server wraps one compiled engine behind HTTP handlers. The engine is safe
+// for fully concurrent propagation, so handlers run lock-free: every request
+// propagates independently on the shared engine, and request cancellation
+// propagates into the scheduler via the request context.
 type server struct {
-	net *evprop.Network
-	eng *evprop.Engine
-	mu  sync.Mutex
+	net   *evprop.Network
+	eng   *evprop.Engine
+	stats serverStats
+}
+
+// serverStats aggregates request counters and propagation latency with
+// atomics so concurrent handlers never serialize on a lock.
+type serverStats struct {
+	queries      atomic.Int64
+	batches      atomic.Int64
+	mpes         atomic.Int64
+	errors       atomic.Int64
+	observed     atomic.Int64
+	latencyNsSum atomic.Int64
+	latencyNsMax atomic.Int64
+}
+
+func (st *serverStats) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	st.observed.Add(1)
+	st.latencyNsSum.Add(ns)
+	for {
+		cur := st.latencyNsMax.Load()
+		if ns <= cur || st.latencyNsMax.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
 }
 
 func newServer(net *evprop.Network, opts evprop.Options) (*server, error) {
@@ -26,13 +55,38 @@ func newServer(net *evprop.Network, opts evprop.Options) (*server, error) {
 	return &server{net: net, eng: eng}, nil
 }
 
+// mux routes the versioned /v1 API plus the original unversioned paths,
+// kept as aliases so pre-/v1 clients keep working.
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
+	m.HandleFunc("/v1/model", s.handleModel)
+	m.HandleFunc("/v1/query", s.handleQuery)
+	m.HandleFunc("/v1/batch", s.handleBatch)
+	m.HandleFunc("/v1/mpe", s.handleMPE)
+	m.HandleFunc("/v1/dsep", s.handleDSep)
+	m.HandleFunc("/v1/stats", s.handleStats)
 	m.HandleFunc("/model", s.handleModel)
 	m.HandleFunc("/query", s.handleQuery)
 	m.HandleFunc("/mpe", s.handleMPE)
 	m.HandleFunc("/dsep", s.handleDSep)
 	return m
+}
+
+// statusFor maps engine errors onto HTTP statuses via errors.Is.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, evprop.ErrZeroProbabilityEvidence):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, evprop.ErrUncompiled), errors.Is(err, evprop.ErrResultClosed):
+		return http.StatusInternalServerError
+	default:
+		// ErrUnknownVariable, ErrBadState and remaining input problems.
+		return http.StatusBadRequest
+	}
 }
 
 type modelResponse struct {
@@ -66,33 +120,84 @@ type queryResponse struct {
 	Posteriors map[string][]float64 `json:"posteriors"`
 }
 
+// runQuery answers one query with exactly one evidence propagation: P(e)
+// and the posteriors both derive from the same QueryResult.
+func (s *server) runQuery(ctx context.Context, req queryRequest) (*queryResponse, error) {
+	start := time.Now()
+	res, err := s.eng.PropagateContext(ctx, req.Evidence)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Close()
+	resp := &queryResponse{PEvidence: res.ProbabilityOfEvidence(), Posteriors: map[string][]float64{}}
+	if resp.PEvidence > 0 {
+		post, err := res.Posteriors(req.Query...)
+		if err != nil {
+			return nil, err
+		}
+		resp.Posteriors = post
+	}
+	s.stats.observe(time.Since(start))
+	return resp, nil
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pe, err := s.eng.ProbabilityOfEvidence(req.Evidence)
+	s.stats.queries.Add(1)
+	resp, err := s.runQuery(r.Context(), req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		s.stats.errors.Add(1)
+		httpError(w, statusFor(err), err.Error())
 		return
 	}
-	resp := queryResponse{PEvidence: pe, Posteriors: map[string][]float64{}}
-	if pe > 0 {
-		var post map[string][]float64
-		if len(req.Query) == 0 {
-			post, err = s.eng.QueryAll(req.Evidence)
-		} else {
-			post, err = s.eng.Query(req.Evidence, req.Query...)
-		}
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		resp.Posteriors = post
-	}
 	writeJSON(w, resp)
+}
+
+type batchRequest struct {
+	Queries []queryRequest `json:"queries"`
+}
+
+type batchResponse struct {
+	Results []batchResult `json:"results"`
+}
+
+// batchResult is one query's outcome; exactly one of Error or the query
+// fields is meaningful. Failures are reported in place so one bad query
+// does not void its siblings.
+type batchResult struct {
+	PEvidence  float64              `json:"p_evidence,omitempty"`
+	Posteriors map[string][]float64 `json:"posteriors,omitempty"`
+	Error      string               `json:"error,omitempty"`
+}
+
+// handleBatch answers many queries in one round trip, propagating them
+// concurrently on the shared engine (one propagation per query).
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.stats.batches.Add(1)
+	results := make([]batchResult, len(req.Queries))
+	var wg sync.WaitGroup
+	for i, q := range req.Queries {
+		wg.Add(1)
+		go func(i int, q queryRequest) {
+			defer wg.Done()
+			resp, err := s.runQuery(r.Context(), q)
+			if err != nil {
+				s.stats.errors.Add(1)
+				results[i] = batchResult{Error: err.Error()}
+				return
+			}
+			results[i] = batchResult{PEvidence: resp.PEvidence, Posteriors: resp.Posteriors}
+		}(i, q)
+	}
+	wg.Wait()
+	writeJSON(w, batchResponse{Results: results})
 }
 
 type mpeRequest struct {
@@ -109,13 +214,22 @@ func (s *server) handleMPE(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	assignment, p, err := s.eng.MostProbableExplanation(req.Evidence)
+	s.stats.mpes.Add(1)
+	start := time.Now()
+	res, err := s.eng.PropagateContext(r.Context(), req.Evidence)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		s.stats.errors.Add(1)
+		httpError(w, statusFor(err), err.Error())
 		return
 	}
+	defer res.Close()
+	assignment, p, err := res.MPE()
+	if err != nil {
+		s.stats.errors.Add(1)
+		httpError(w, statusFor(err), err.Error())
+		return
+	}
+	s.stats.observe(time.Since(start))
 	writeJSON(w, mpeResponse{Assignment: assignment, Probability: p})
 }
 
@@ -136,10 +250,47 @@ func (s *server) handleDSep(w http.ResponseWriter, r *http.Request) {
 	}
 	sep, err := s.net.DSeparated(req.X, req.Y, req.Z)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		s.stats.errors.Add(1)
+		httpError(w, statusFor(err), err.Error())
 		return
 	}
 	writeJSON(w, dsepResponse{Separated: sep})
+}
+
+type statsResponse struct {
+	Queries        int64   `json:"queries"`
+	Batches        int64   `json:"batches"`
+	MPEs           int64   `json:"mpes"`
+	Errors         int64   `json:"errors"`
+	Propagations   int64   `json:"propagations"`
+	Workers        int     `json:"workers"`
+	Scheduler      string  `json:"scheduler"`
+	AvgLatencyUsec float64 `json:"avg_latency_usec"`
+	MaxLatencyUsec float64 `json:"max_latency_usec"`
+}
+
+// handleStats reports request counters, the engine's scheduler invocation
+// count, and propagation latency aggregates.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	es := s.eng.Stats()
+	resp := statsResponse{
+		Queries:      s.stats.queries.Load(),
+		Batches:      s.stats.batches.Load(),
+		MPEs:         s.stats.mpes.Load(),
+		Errors:       s.stats.errors.Load(),
+		Propagations: es.Propagations,
+		Workers:      es.Workers,
+		Scheduler:    es.Scheduler,
+	}
+	if n := s.stats.observed.Load(); n > 0 {
+		resp.AvgLatencyUsec = float64(s.stats.latencyNsSum.Load()) / float64(n) / 1e3
+	}
+	resp.MaxLatencyUsec = float64(s.stats.latencyNsMax.Load()) / 1e3
+	writeJSON(w, resp)
 }
 
 func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {

@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"evprop"
@@ -186,5 +188,192 @@ func TestDSepEndpoint(t *testing.T) {
 	resp = post(t, ts.URL+"/dsep", dsepRequest{X: []string{"missing"}, Y: []string{"Smoke"}})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("unknown variable status %d", resp.StatusCode)
+	}
+}
+
+func TestV1Aliases(t *testing.T) {
+	ts := testServer(t)
+	// The same query through the legacy and versioned paths must agree.
+	var legacy, v1 queryResponse
+	decode(t, post(t, ts.URL+"/query", queryRequest{Evidence: evprop.Evidence{"XRay": 1}, Query: []string{"Lung"}}), &legacy)
+	decode(t, post(t, ts.URL+"/v1/query", queryRequest{Evidence: evprop.Evidence{"XRay": 1}, Query: []string{"Lung"}}), &v1)
+	if legacy.PEvidence != v1.PEvidence {
+		t.Errorf("p_evidence: legacy %v vs v1 %v", legacy.PEvidence, v1.PEvidence)
+	}
+	if len(legacy.Posteriors["Lung"]) != len(v1.Posteriors["Lung"]) {
+		t.Error("posterior shape differs between legacy and v1 paths")
+	}
+	resp, err := http.Get(ts.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /v1/model status %d", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts := testServer(t)
+	req := batchRequest{Queries: []queryRequest{
+		{Evidence: evprop.Evidence{"XRay": 1}, Query: []string{"Lung"}},
+		{Evidence: evprop.Evidence{"Dysp": 1}},
+		{Query: []string{"nope"}}, // fails in place
+	}}
+	resp := post(t, ts.URL+"/v1/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var b batchResponse
+	decode(t, resp, &b)
+	if len(b.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(b.Results))
+	}
+	if math.Abs(b.Results[0].PEvidence-0.11029) > 1e-4 {
+		t.Errorf("result 0 p_evidence = %v", b.Results[0].PEvidence)
+	}
+	if len(b.Results[1].Posteriors) != 7 {
+		t.Errorf("result 1 has %d posteriors, want 7", len(b.Results[1].Posteriors))
+	}
+	if b.Results[2].Error == "" {
+		t.Error("result 2 should carry an error")
+	}
+	if b.Results[0].Error != "" || b.Results[1].Error != "" {
+		t.Error("healthy results carry errors")
+	}
+}
+
+func statsSnapshot(t *testing.T, ts *httptest.Server) statsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/stats status %d", resp.StatusCode)
+	}
+	var s statsResponse
+	decode(t, resp, &s)
+	return s
+}
+
+// TestQuerySinglePropagation verifies the serving contract: one HTTP query
+// costs exactly one scheduler invocation, with P(e) and the posteriors
+// derived from the same propagation.
+func TestQuerySinglePropagation(t *testing.T) {
+	ts := testServer(t)
+	before := statsSnapshot(t, ts)
+	resp := post(t, ts.URL+"/v1/query", queryRequest{Evidence: evprop.Evidence{"XRay": 1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var q queryResponse
+	decode(t, resp, &q)
+	if q.PEvidence <= 0 || len(q.Posteriors) != 7 {
+		t.Fatalf("p_evidence %v, %d posteriors", q.PEvidence, len(q.Posteriors))
+	}
+	after := statsSnapshot(t, ts)
+	if delta := after.Propagations - before.Propagations; delta != 1 {
+		t.Errorf("one query cost %d propagations, want 1", delta)
+	}
+	if after.Queries != before.Queries+1 {
+		t.Errorf("query counter %d → %d", before.Queries, after.Queries)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	post(t, ts.URL+"/v1/query", queryRequest{Evidence: evprop.Evidence{"XRay": 1}})
+	post(t, ts.URL+"/v1/mpe", mpeRequest{Evidence: evprop.Evidence{"XRay": 1}})
+	post(t, ts.URL+"/v1/batch", batchRequest{Queries: []queryRequest{{}, {}}})
+	s := statsSnapshot(t, ts)
+	if s.Queries != 1 || s.MPEs != 1 || s.Batches != 1 {
+		t.Errorf("counters: queries %d mpes %d batches %d", s.Queries, s.MPEs, s.Batches)
+	}
+	if s.Scheduler == "" || s.Workers <= 0 {
+		t.Errorf("scheduler %q workers %d", s.Scheduler, s.Workers)
+	}
+	// 1 query + 2 MPE (sum + max) + 2 batch queries = 5 propagations.
+	if s.Propagations != 5 {
+		t.Errorf("propagations %d, want 5", s.Propagations)
+	}
+	if s.AvgLatencyUsec <= 0 || s.MaxLatencyUsec < s.AvgLatencyUsec {
+		t.Errorf("latency avg %v max %v", s.AvgLatencyUsec, s.MaxLatencyUsec)
+	}
+	if s.Errors != 0 {
+		t.Errorf("errors %d", s.Errors)
+	}
+}
+
+// TestConcurrentHTTPQueries drives the lock-free handlers from many client
+// goroutines; under -race this verifies the server needs no engine mutex.
+func TestConcurrentHTTPQueries(t *testing.T) {
+	ts := testServer(t)
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				buf, _ := json.Marshal(queryRequest{Evidence: evprop.Evidence{"XRay": 1}, Query: []string{"Lung"}})
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(buf))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var q queryResponse
+				err = json.NewDecoder(resp.Body).Decode(&q)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if math.Abs(q.PEvidence-0.11029) > 1e-4 {
+					errc <- fmt.Errorf("p_evidence = %v", q.PEvidence)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func TestZeroProbabilityEvidenceStatus(t *testing.T) {
+	ts := testServer(t)
+	// Asia's CPTs are strictly positive, so force an impossible observation
+	// through a deterministic two-node network instead.
+	net := evprop.NewNetwork()
+	net.MustAddVariable("Cause", 2, nil, []float64{1, 0})
+	net.MustAddVariable("Effect", 2, []string{"Cause"}, []float64{1, 0, 0, 1})
+	srv, err := newServer(net, evprop.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv.mux())
+	t.Cleanup(ts2.Close)
+	resp := post(t, ts2.URL+"/v1/mpe", mpeRequest{Evidence: evprop.Evidence{"Effect": 1}})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("impossible-evidence MPE status %d, want 422", resp.StatusCode)
+	}
+	// A zero-probability plain query still succeeds with empty posteriors.
+	q := post(t, ts2.URL+"/v1/query", queryRequest{Evidence: evprop.Evidence{"Effect": 1}})
+	if q.StatusCode != http.StatusOK {
+		t.Errorf("impossible-evidence query status %d", q.StatusCode)
+	}
+	var qr queryResponse
+	decode(t, q, &qr)
+	if qr.PEvidence != 0 || len(qr.Posteriors) != 0 {
+		t.Errorf("p_evidence %v, %d posteriors", qr.PEvidence, len(qr.Posteriors))
+	}
+	// Bad state index maps to 400 via ErrBadState.
+	r := post(t, ts.URL+"/v1/query", queryRequest{Evidence: evprop.Evidence{"XRay": 5}})
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad state status %d", r.StatusCode)
 	}
 }

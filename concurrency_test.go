@@ -1,0 +1,162 @@
+package evprop
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPropagate hammers one shared engine from many goroutines
+// with no external locking and checks every posterior bitwise-close against
+// a sequentially computed baseline. Run under -race this is the contract
+// test for the engine's concurrency guarantee.
+func TestConcurrentPropagate(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 50
+	)
+	net := RandomNetwork(40, 2, 3, 7)
+	eng, err := net.Compile(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	vars := net.Variables()
+	cases := []Evidence{
+		{},
+		{vars[0]: 0},
+		{vars[3]: 1, vars[17]: 0},
+		{vars[10]: 1, vars[25]: 1, vars[39]: 0},
+		{vars[5]: 0, vars[20]: 1},
+	}
+	// Sequential baseline, computed before any concurrency starts.
+	baseline := make([]map[string][]float64, len(cases))
+	for i, ev := range cases {
+		post, err := eng.QueryAll(ev)
+		if err != nil {
+			t.Fatalf("baseline case %d: %v", i, err)
+		}
+		baseline[i] = post
+	}
+
+	before := eng.Stats().Propagations
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				ci := (g*rounds + round) % len(cases)
+				res, err := eng.Propagate(cases[ci])
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d round %d: %v", g, round, err)
+					return
+				}
+				post, err := res.Posteriors()
+				res.Close()
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d round %d: %v", g, round, err)
+					return
+				}
+				for name, want := range baseline[ci] {
+					got := post[name]
+					for s := range want {
+						if math.Abs(got[s]-want[s]) > 1e-9 {
+							errc <- fmt.Errorf("goroutine %d round %d case %d: %s[%d] = %v, want %v",
+								g, round, ci, name, s, got[s], want[s])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Each Propagate call costs exactly one scheduler invocation.
+	if delta := eng.Stats().Propagations - before; delta != goroutines*rounds {
+		t.Errorf("propagation counter advanced by %d, want %d", delta, goroutines*rounds)
+	}
+}
+
+// TestConcurrentMixedQueries exercises the convenience wrappers (which
+// recycle pooled state) concurrently with session results that stay open
+// across other goroutines' propagations.
+func TestConcurrentMixedQueries(t *testing.T) {
+	net := Asia()
+	eng, err := net.Compile(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	wantLung, err := net.ExactMarginal("Lung", Evidence{"XRay": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				res, err := eng.Propagate(Evidence{"XRay": 1})
+				if err != nil {
+					errc <- err
+					return
+				}
+				// Interleave wrapper queries while res is still open.
+				if _, err := eng.Query(Evidence{"Dysp": 1}, "Bronc"); err != nil {
+					errc <- err
+					res.Close()
+					return
+				}
+				lung, err := res.Posterior("Lung")
+				res.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if math.Abs(lung[1]-wantLung[1]) > 1e-9 {
+					errc <- fmt.Errorf("goroutine %d iter %d: Lung = %v, want %v", g, i, lung, wantLung)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestPropagateContextCancelled checks that an already-cancelled context
+// fails fast without corrupting the engine for later queries.
+func TestPropagateContextCancelled(t *testing.T) {
+	eng, err := Asia().Compile(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.PropagateContext(ctx, Evidence{"XRay": 1}); err == nil {
+		t.Fatal("cancelled context did not fail")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// The engine must still answer after a cancelled run.
+	if _, err := eng.Query(Evidence{"XRay": 1}, "Lung"); err != nil {
+		t.Fatalf("engine broken after cancellation: %v", err)
+	}
+}

@@ -1,0 +1,31 @@
+package evprop
+
+import "errors"
+
+// Sentinel errors for the conditions callers routinely branch on. They are
+// wrapped with %w throughout the package, so match them with errors.Is:
+//
+//	post, err := res.Posterior("Lung")
+//	if errors.Is(err, evprop.ErrZeroProbabilityEvidence) { ... }
+var (
+	// ErrUnknownVariable reports a variable name that does not exist in
+	// the network — in evidence, in a query list, or as a CPT parent.
+	ErrUnknownVariable = errors.New("evprop: unknown variable")
+
+	// ErrBadState reports an observed state index outside [0, states) for
+	// the observed variable.
+	ErrBadState = errors.New("evprop: evidence state out of range")
+
+	// ErrZeroProbabilityEvidence reports evidence with P(e) = 0: the
+	// observation is impossible under the model, so posteriors and MPE are
+	// undefined.
+	ErrZeroProbabilityEvidence = errors.New("evprop: evidence has zero probability")
+
+	// ErrUncompiled reports use of a nil or zero-value Engine; engines
+	// come from Network.Compile.
+	ErrUncompiled = errors.New("evprop: engine not compiled")
+
+	// ErrResultClosed reports use of a QueryResult after Close recycled
+	// its propagation state.
+	ErrResultClosed = errors.New("evprop: query result closed")
+)

@@ -1,0 +1,201 @@
+package evprop
+
+import (
+	"errors"
+	"testing"
+)
+
+// impossibleNet builds a two-variable network in which observing Effect=1
+// while Cause is deterministic makes the evidence impossible: P(e) = 0.
+func impossibleNet(t *testing.T) *Engine {
+	t.Helper()
+	net := NewNetwork()
+	net.MustAddVariable("Cause", 2, nil, []float64{1, 0})
+	net.MustAddVariable("Effect", 2, []string{"Cause"}, []float64{
+		1, 0, // Cause = 0 → Effect deterministically 0
+		0, 1,
+	})
+	eng, err := net.Compile(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	return eng
+}
+
+func TestErrUnknownVariable(t *testing.T) {
+	eng, err := Asia().Compile(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Query(Evidence{"Ghost": 1}, "Lung"); !errors.Is(err, ErrUnknownVariable) {
+		t.Errorf("evidence on unknown variable: %v", err)
+	}
+	if _, err := eng.Query(nil, "Ghost"); !errors.Is(err, ErrUnknownVariable) {
+		t.Errorf("query of unknown variable: %v", err)
+	}
+	if _, err := eng.QueryJoint(nil, "Lung", "Ghost"); !errors.Is(err, ErrUnknownVariable) {
+		t.Errorf("joint over unknown variable: %v", err)
+	}
+	if _, err := eng.QuerySoft(nil, SoftEvidence{"Ghost": {1, 1}}, "Lung"); !errors.Is(err, ErrUnknownVariable) {
+		t.Errorf("soft evidence on unknown variable: %v", err)
+	}
+	res, err := eng.Propagate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if _, err := res.Posterior("Ghost"); !errors.Is(err, ErrUnknownVariable) {
+		t.Errorf("session posterior of unknown variable: %v", err)
+	}
+	if _, err := res.MutualInformation("Lung", "Ghost"); !errors.Is(err, ErrUnknownVariable) {
+		t.Errorf("session MI with unknown variable: %v", err)
+	}
+}
+
+func TestErrBadState(t *testing.T) {
+	eng, err := Asia().Compile(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Query(Evidence{"XRay": 2}, "Lung"); !errors.Is(err, ErrBadState) {
+		t.Errorf("state above range: %v", err)
+	}
+	if _, err := eng.Propagate(Evidence{"XRay": -1}); !errors.Is(err, ErrBadState) {
+		t.Errorf("negative state: %v", err)
+	}
+	if _, err := eng.QuerySoft(nil, SoftEvidence{"XRay": {1, 1, 1}}, "Lung"); !errors.Is(err, ErrBadState) {
+		t.Errorf("soft evidence weight-length mismatch: %v", err)
+	}
+}
+
+func TestErrZeroProbabilityEvidence(t *testing.T) {
+	eng := impossibleNet(t)
+	res, err := eng.Propagate(Evidence{"Effect": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if pe := res.ProbabilityOfEvidence(); pe != 0 {
+		t.Fatalf("P(e) = %v, want 0", pe)
+	}
+	if _, err := res.Posterior("Cause"); !errors.Is(err, ErrZeroProbabilityEvidence) {
+		t.Errorf("posterior under impossible evidence: %v", err)
+	}
+	if _, _, err := res.MPE(); !errors.Is(err, ErrZeroProbabilityEvidence) {
+		t.Errorf("MPE under impossible evidence: %v", err)
+	}
+	if _, err := res.Joint("Cause", "Effect"); !errors.Is(err, ErrZeroProbabilityEvidence) {
+		t.Errorf("joint under impossible evidence: %v", err)
+	}
+	if _, _, err := eng.MostProbableExplanation(Evidence{"Effect": 1}); !errors.Is(err, ErrZeroProbabilityEvidence) {
+		t.Errorf("wrapper MPE under impossible evidence: %v", err)
+	}
+}
+
+func TestErrUncompiled(t *testing.T) {
+	var eng *Engine
+	if _, err := eng.Propagate(nil); !errors.Is(err, ErrUncompiled) {
+		t.Errorf("nil engine Propagate: %v", err)
+	}
+	if _, err := eng.Query(nil, "X"); !errors.Is(err, ErrUncompiled) {
+		t.Errorf("nil engine Query: %v", err)
+	}
+	if _, err := eng.QueryOne(nil, "X"); !errors.Is(err, ErrUncompiled) {
+		t.Errorf("nil engine QueryOne: %v", err)
+	}
+	zero := &Engine{}
+	if _, err := zero.Propagate(nil); !errors.Is(err, ErrUncompiled) {
+		t.Errorf("zero-value engine Propagate: %v", err)
+	}
+	if st := eng.Stats(); st != (EngineStats{}) {
+		t.Errorf("nil engine stats = %+v", st)
+	}
+	eng.Close() // must not panic
+}
+
+func TestErrResultClosed(t *testing.T) {
+	eng, err := Asia().Compile(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	res, err := eng.Propagate(Evidence{"XRay": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := res.ProbabilityOfEvidence()
+	if err := res.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := res.Posterior("Lung"); !errors.Is(err, ErrResultClosed) {
+		t.Errorf("posterior after Close: %v", err)
+	}
+	if _, err := res.Posteriors(); !errors.Is(err, ErrResultClosed) {
+		t.Errorf("posteriors after Close: %v", err)
+	}
+	if _, err := res.Joint("Lung", "Bronc"); !errors.Is(err, ErrResultClosed) {
+		t.Errorf("joint after Close: %v", err)
+	}
+	if _, _, err := res.MPE(); !errors.Is(err, ErrResultClosed) {
+		t.Errorf("MPE after Close: %v", err)
+	}
+	// P(e) is cached at propagation time and survives Close.
+	if got := res.ProbabilityOfEvidence(); got != pe {
+		t.Errorf("P(e) after Close = %v, want %v", got, pe)
+	}
+}
+
+// TestSessionResultDerivations checks the session object's contract: many
+// quantities, one propagation.
+func TestSessionResultDerivations(t *testing.T) {
+	net := Asia()
+	eng, err := net.Compile(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	before := eng.Stats().Propagations
+	res, err := eng.Propagate(Evidence{"XRay": 1, "Dysp": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if _, err := res.Posterior("Lung"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Posteriors(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Joint("Lung", "Bronc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.MutualInformation("Lung", "Smoke"); err != nil {
+		t.Fatal(err)
+	}
+	if res.ProbabilityOfEvidence() <= 0 {
+		t.Fatal("P(e) not positive")
+	}
+	if ev := res.Evidence(); ev["XRay"] != 1 || ev["Dysp"] != 1 {
+		t.Errorf("evidence snapshot = %v", ev)
+	}
+	if delta := eng.Stats().Propagations - before; delta != 1 {
+		t.Errorf("derivations cost %d propagations, want 1", delta)
+	}
+	// MPE lazily adds exactly one max-product propagation, cached across
+	// repeated calls.
+	if _, _, err := res.MPE(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.MPE(); err != nil {
+		t.Fatal(err)
+	}
+	if delta := eng.Stats().Propagations - before; delta != 2 {
+		t.Errorf("MPE cost %d extra propagations, want 1", delta-1)
+	}
+}

@@ -56,7 +56,7 @@ func (n *Network) AddVariable(name string, states int, parents []string, cpt []f
 	for i, p := range parents {
 		id := n.inner.ID(p)
 		if id < 0 {
-			return fmt.Errorf("evprop: unknown parent %q of %q", p, name)
+			return fmt.Errorf("%w: parent %q of %q", ErrUnknownVariable, p, name)
 		}
 		ids[i] = id
 	}
@@ -101,7 +101,7 @@ func (n *Network) Validate() error { return n.inner.Validate() }
 func (n *Network) ExactMarginal(name string, ev Evidence) ([]float64, error) {
 	id := n.inner.ID(name)
 	if id < 0 {
-		return nil, fmt.Errorf("evprop: unknown variable %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownVariable, name)
 	}
 	iev, err := n.evidence(ev)
 	if err != nil {
@@ -119,11 +119,30 @@ func (n *Network) evidence(ev Evidence) (potential.Evidence, error) {
 	for name, state := range ev {
 		id := n.inner.ID(name)
 		if id < 0 {
-			return nil, fmt.Errorf("evprop: evidence on unknown variable %q", name)
+			return nil, fmt.Errorf("%w: evidence on %q", ErrUnknownVariable, name)
+		}
+		if card := n.inner.Nodes[id].Card; state < 0 || state >= card {
+			return nil, fmt.Errorf("%w: %q has %d states, got state %d", ErrBadState, name, card, state)
 		}
 		iev[id] = state
 	}
 	return iev, nil
+}
+
+func (n *Network) likelihood(soft SoftEvidence) (potential.Likelihood, error) {
+	like := potential.Likelihood{}
+	for name, weights := range soft {
+		id := n.inner.ID(name)
+		if id < 0 {
+			return nil, fmt.Errorf("%w: soft evidence on %q", ErrUnknownVariable, name)
+		}
+		if len(weights) != n.inner.Nodes[id].Card {
+			return nil, fmt.Errorf("%w: soft evidence on %q has %d weights for %d states",
+				ErrBadState, name, len(weights), n.inner.Nodes[id].Card)
+		}
+		like[id] = append([]float64(nil), weights...)
+	}
+	return like, nil
 }
 
 // Scheduler names accepted by Options.Scheduler.
@@ -152,10 +171,50 @@ type Options struct {
 	PartitionThreshold int
 }
 
-// Engine answers posterior queries over a compiled network.
+// Engine answers posterior queries over a compiled network. An Engine is
+// safe for fully concurrent use: any number of goroutines may call
+// Propagate (and every Query* convenience wrapper) simultaneously with no
+// external locking. Propagation state is pooled and recycled across calls,
+// and a persistent worker pool executes the task graphs, so steady-state
+// queries allocate little and spawn no goroutines.
 type Engine struct {
 	net   *Network
 	inner *core.Engine
+}
+
+// Close releases the engine's persistent worker pool. It is optional —
+// engines are finalized on garbage collection — and idempotent; an engine
+// keeps answering queries after Close, falling back to transient workers.
+func (e *Engine) Close() {
+	if e == nil || e.inner == nil {
+		return
+	}
+	e.inner.Close()
+}
+
+// EngineStats is a snapshot of an engine's lifetime counters and
+// configuration.
+type EngineStats struct {
+	// Propagations counts completed scheduler invocations: full two-pass
+	// propagations (sum- and max-product) and collect-only runs.
+	Propagations int64
+	// Workers is the configured number of propagation goroutines.
+	Workers int
+	// Scheduler is the configured scheduler name.
+	Scheduler string
+}
+
+// Stats returns the engine's lifetime counters and configuration.
+func (e *Engine) Stats() EngineStats {
+	if e == nil || e.inner == nil {
+		return EngineStats{}
+	}
+	opts := e.inner.Options()
+	return EngineStats{
+		Propagations: e.inner.Propagations(),
+		Workers:      opts.Workers,
+		Scheduler:    opts.Scheduler.String(),
+	}
 }
 
 // Compile converts the network into a junction tree and prepares the
@@ -202,25 +261,19 @@ func (n *Network) Compile(opts Options) (*Engine, error) {
 }
 
 // Query runs one evidence propagation and returns the posterior
-// distribution of each requested variable given the evidence.
+// distribution of each requested variable given the evidence. It is a
+// convenience wrapper over Propagate; hold the *QueryResult instead when
+// several quantities are needed from the same evidence.
 func (e *Engine) Query(ev Evidence, vars ...string) (map[string][]float64, error) {
-	res, err := e.propagate(ev)
+	res, err := e.Propagate(ev)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string][]float64, len(vars))
-	for _, name := range vars {
-		id := e.net.inner.ID(name)
-		if id < 0 {
-			return nil, fmt.Errorf("evprop: unknown variable %q", name)
-		}
-		m, err := res.Marginal(id)
-		if err != nil {
-			return nil, fmt.Errorf("evprop: %q: %w", name, err)
-		}
-		out[name] = append([]float64(nil), m.Data...)
+	defer res.Close()
+	if len(vars) == 0 {
+		return map[string][]float64{}, nil
 	}
-	return out, nil
+	return res.Posteriors(vars...)
 }
 
 // SoftEvidence maps variable names to per-state likelihood weights (soft
@@ -230,57 +283,41 @@ func (e *Engine) Query(ev Evidence, vars ...string) (map[string][]float64, error
 type SoftEvidence map[string][]float64
 
 // QuerySoft runs one propagation with both hard and soft evidence and
-// returns posteriors for the requested variables.
+// returns posteriors for the requested variables. It is a convenience
+// wrapper over PropagateSoft.
 func (e *Engine) QuerySoft(ev Evidence, soft SoftEvidence, vars ...string) (map[string][]float64, error) {
-	iev, err := e.net.evidence(ev)
+	res, err := e.PropagateSoft(ev, soft)
 	if err != nil {
 		return nil, err
 	}
-	like := potential.Likelihood{}
-	for name, weights := range soft {
-		id := e.net.inner.ID(name)
-		if id < 0 {
-			return nil, fmt.Errorf("evprop: soft evidence on unknown variable %q", name)
-		}
-		like[id] = append([]float64(nil), weights...)
+	defer res.Close()
+	if len(vars) == 0 {
+		return map[string][]float64{}, nil
 	}
-	res, err := e.inner.PropagateSoft(iev, like)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string][]float64, len(vars))
-	for _, name := range vars {
-		id := e.net.inner.ID(name)
-		if id < 0 {
-			return nil, fmt.Errorf("evprop: unknown variable %q", name)
-		}
-		m, err := res.Marginal(id)
-		if err != nil {
-			return nil, fmt.Errorf("evprop: %q: %w", name, err)
-		}
-		out[name] = append([]float64(nil), m.Data...)
-	}
-	return out, nil
+	return res.Posteriors(vars...)
 }
 
-// QueryAll returns the posterior of every non-evidence variable.
+// QueryAll returns the posterior of every non-evidence variable from one
+// propagation. It is a convenience wrapper over Propagate + Posteriors.
 func (e *Engine) QueryAll(ev Evidence) (map[string][]float64, error) {
-	var vars []string
-	for _, name := range e.net.Variables() {
-		if _, fixed := ev[name]; !fixed {
-			vars = append(vars, name)
-		}
+	res, err := e.Propagate(ev)
+	if err != nil {
+		return nil, err
 	}
-	return e.Query(ev, vars...)
+	defer res.Close()
+	return res.Posteriors()
 }
 
 // QueryOne answers a single-variable query using a collection-only
 // propagation toward the clique containing the variable — roughly half the
 // work of a full Query, useful when only one posterior is needed.
 func (e *Engine) QueryOne(ev Evidence, name string) ([]float64, error) {
+	if e == nil || e.inner == nil || e.net == nil {
+		return nil, ErrUncompiled
+	}
 	id := e.net.inner.ID(name)
 	if id < 0 {
-		return nil, fmt.Errorf("evprop: unknown variable %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownVariable, name)
 	}
 	iev, err := e.net.evidence(ev)
 	if err != nil {
@@ -316,30 +353,18 @@ func (j *Joint) At(states ...int) float64 {
 // subtree of calibrated cliques spanning them). Cost grows exponentially
 // with the number of requested variables.
 func (e *Engine) QueryJoint(ev Evidence, vars ...string) (*Joint, error) {
-	ids := make([]int, len(vars))
-	for i, name := range vars {
-		id := e.net.inner.ID(name)
-		if id < 0 {
-			return nil, fmt.Errorf("evprop: unknown variable %q", name)
-		}
-		ids[i] = id
+	if e == nil || e.inner == nil || e.net == nil {
+		return nil, ErrUncompiled
 	}
-	res, err := e.propagate(ev)
+	if _, err := e.net.names(vars); err != nil {
+		return nil, err // fail before propagating on unknown names
+	}
+	res, err := e.Propagate(ev)
 	if err != nil {
 		return nil, err
 	}
-	m, err := res.JointMarginalAny(ids)
-	if err != nil {
-		return nil, err
-	}
-	out := &Joint{
-		Card: append([]int(nil), m.Card...),
-		P:    append([]float64(nil), m.Data...),
-	}
-	for _, id := range m.Vars {
-		out.Vars = append(out.Vars, e.net.inner.Name(id))
-	}
-	return out, nil
+	defer res.Close()
+	return res.Joint(vars...)
 }
 
 // MutualInformation returns I(x; y | evidence) in bits: how much observing
@@ -347,29 +372,25 @@ func (e *Engine) QueryJoint(ev Evidence, vars ...string) (*Joint, error) {
 // already known. It is the value-of-information measure behind
 // BestObservation.
 func (e *Engine) MutualInformation(ev Evidence, x, y string) (float64, error) {
-	ids, err := e.net.names([]string{x, y})
+	res, err := e.Propagate(ev)
 	if err != nil {
 		return 0, err
 	}
-	if ids[0] == ids[1] {
-		return 0, fmt.Errorf("evprop: mutual information of %q with itself", x)
-	}
-	res, err := e.propagate(ev)
-	if err != nil {
-		return 0, err
-	}
-	joint, err := res.JointMarginalAny(ids)
-	if err != nil {
-		return 0, err
-	}
-	return joint.MutualInformation()
+	defer res.Close()
+	return res.MutualInformation(x, y)
 }
 
 // BestObservation ranks candidate variables by how informative observing
 // each would be about the target, given the current evidence — the classic
 // "which test should we run next" query. It returns the candidates sorted
-// by decreasing mutual information with the target.
+// by decreasing mutual information with the target. All candidates are
+// scored against one shared propagation.
 func (e *Engine) BestObservation(ev Evidence, target string, candidates ...string) ([]string, []float64, error) {
+	res, err := e.Propagate(ev)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer res.Close()
 	type scored struct {
 		name string
 		mi   float64
@@ -379,7 +400,7 @@ func (e *Engine) BestObservation(ev Evidence, target string, candidates ...strin
 		if _, observed := ev[c]; observed || c == target {
 			continue
 		}
-		mi, err := e.MutualInformation(ev, target, c)
+		mi, err := res.MutualInformation(target, c)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -396,22 +417,28 @@ func (e *Engine) BestObservation(ev Evidence, target string, candidates ...strin
 }
 
 // ProbabilityOfEvidence returns P(e), the likelihood of the observation.
+// It is a convenience wrapper over Propagate.
 func (e *Engine) ProbabilityOfEvidence(ev Evidence) (float64, error) {
-	res, err := e.propagate(ev)
+	res, err := e.Propagate(ev)
 	if err != nil {
 		return 0, err
 	}
+	res.Close()
 	return res.ProbabilityOfEvidence(), nil
 }
 
 // MostProbableState returns the argmax state and its posterior probability
 // for the named variable given the evidence.
 func (e *Engine) MostProbableState(ev Evidence, name string) (int, float64, error) {
-	post, err := e.Query(ev, name)
+	res, err := e.Propagate(ev)
 	if err != nil {
 		return 0, 0, err
 	}
-	dist := post[name]
+	defer res.Close()
+	dist, err := res.Posterior(name)
+	if err != nil {
+		return 0, 0, err
+	}
 	best, bestP := 0, dist[0]
 	for s, p := range dist {
 		if p > bestP {
@@ -421,45 +448,19 @@ func (e *Engine) MostProbableState(ev Evidence, name string) (int, float64, erro
 	return best, bestP, nil
 }
 
-func (e *Engine) propagate(ev Evidence) (*core.Result, error) {
-	iev, err := e.net.evidence(ev)
-	if err != nil {
-		return nil, err
-	}
-	return e.inner.Propagate(iev)
-}
-
 // MostProbableExplanation computes the jointly most probable assignment of
 // all variables given the evidence (MPE / Viterbi decoding), via
 // max-product evidence propagation over the same task graph and scheduler.
 // It returns the assignment by variable name and its conditional
-// probability P(assignment | evidence).
+// probability P(assignment | evidence). It is a convenience wrapper over
+// Propagate + MPE.
 func (e *Engine) MostProbableExplanation(ev Evidence) (map[string]int, float64, error) {
-	iev, err := e.net.evidence(ev)
+	res, err := e.Propagate(ev)
 	if err != nil {
 		return nil, 0, err
 	}
-	maxRes, err := e.inner.PropagateMax(iev)
-	if err != nil {
-		return nil, 0, err
-	}
-	assignment, joint, err := maxRes.MostProbableExplanation()
-	if err != nil {
-		return nil, 0, err
-	}
-	sumRes, err := e.inner.Propagate(iev)
-	if err != nil {
-		return nil, 0, err
-	}
-	pe := sumRes.ProbabilityOfEvidence()
-	if pe <= 0 {
-		return nil, 0, fmt.Errorf("evprop: evidence has zero probability")
-	}
-	named := make(map[string]int, len(assignment))
-	for id, state := range assignment {
-		named[e.net.inner.Name(id)] = state
-	}
-	return named, joint / pe, nil
+	defer res.Close()
+	return res.MPE()
 }
 
 // Cliques reports the compiled junction tree's size (number of cliques and
@@ -487,7 +488,7 @@ func (n *Network) names(vars []string) ([]int, error) {
 	for i, name := range vars {
 		id := n.inner.ID(name)
 		if id < 0 {
-			return nil, fmt.Errorf("evprop: unknown variable %q", name)
+			return nil, fmt.Errorf("%w: %q", ErrUnknownVariable, name)
 		}
 		out[i] = id
 	}
@@ -638,7 +639,7 @@ func (n *Network) DSeparated(x, y, z []string) (bool, error) {
 func (n *Network) MarkovBlanket(name string) ([]string, error) {
 	id := n.inner.ID(name)
 	if id < 0 {
-		return nil, fmt.Errorf("evprop: unknown variable %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownVariable, name)
 	}
 	mb, err := n.inner.MarkovBlanket(id)
 	if err != nil {

@@ -3,12 +3,22 @@
 // Algorithm 1 to minimize the critical path, builds the task dependency
 // graph, absorbs evidence, runs one of the schedulers, and exposes
 // posterior queries.
+//
+// An Engine is safe for fully concurrent use: any number of goroutines may
+// call Propagate (and friends) on one compiled engine with no external
+// locking. Everything structure-dependent — the junction tree, the task
+// graph, the collect-only graphs, the worker pool — is built once and read
+// concurrently; everything propagation-dependent lives in a per-run
+// taskgraph.State, which is recycled through a sync.Pool so steady-state
+// propagation does near-zero allocation.
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"evprop/internal/baseline"
@@ -82,8 +92,13 @@ type Options struct {
 	Trace bool
 }
 
+// ErrReleased is returned by Result methods after Release recycled the
+// result's propagation state.
+var ErrReleased = fmt.Errorf("core: result released")
+
 // Engine owns a prepared junction tree and its task dependency graph, and
-// runs any number of independent propagations over it.
+// runs any number of independent propagations over it, concurrently if the
+// caller wishes.
 type Engine struct {
 	opts  Options
 	tree  *jtree.Tree
@@ -95,8 +110,30 @@ type Engine struct {
 	// overhead the paper reports as negligible (24 µs for 512 cliques).
 	RerootTime time.Duration
 
+	// statePools recycles propagation states per semiring. States carry no
+	// evidence residue: Reset re-copies the tree potentials on reuse.
+	statePools [2]sync.Pool
+
+	// pool holds the persistent collaborative-scheduler workers, created
+	// lazily on first use so serial engines never spawn goroutines.
+	poolMu     sync.Mutex
+	pool       *sched.Pool
+	poolClosed bool
+
+	// propagations counts scheduler invocations (full and collect-only),
+	// the observable that lets tests prove a query cost exactly one
+	// propagation.
+	propagations atomic.Int64
+
 	collectMu     sync.Mutex
-	collectGraphs map[int]*taskgraph.Graph // per-target collect-only graphs
+	collectGraphs map[int]*collectEntry // per-target collect-only graphs
+}
+
+// collectEntry caches the collect-only graph toward one target clique plus
+// a pool of reusable states for it.
+type collectEntry struct {
+	g      *taskgraph.Graph
+	states sync.Pool
 }
 
 // NewEngine validates and prepares the junction tree. The tree is cloned;
@@ -128,7 +165,44 @@ func NewEngine(t *jtree.Tree, opts Options) (*Engine, error) {
 	if err := e.graph.Validate(); err != nil {
 		return nil, err
 	}
+	// Engines dropped without Close would otherwise leak their parked
+	// worker goroutines; the finalizer is the safety net for short-lived
+	// engines in tests and experiments.
+	runtime.SetFinalizer(e, (*Engine).Close)
 	return e, nil
+}
+
+// Close releases the engine's persistent worker pool. It is idempotent and
+// optional — a finalizer closes abandoned engines — but long-running
+// programs that create many engines should Close them deterministically.
+// Propagations after Close fall back to transient per-call workers.
+func (e *Engine) Close() {
+	e.poolMu.Lock()
+	p := e.pool
+	e.pool = nil
+	e.poolClosed = true
+	e.poolMu.Unlock()
+	if p != nil {
+		p.Close()
+	}
+}
+
+// workerPool returns the persistent pool, creating it on first use, or nil
+// after Close.
+func (e *Engine) workerPool() *sched.Pool {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	if e.poolClosed {
+		return nil
+	}
+	if e.pool == nil {
+		p, err := sched.NewPool(e.opts.Workers)
+		if err != nil {
+			return nil
+		}
+		e.pool = p
+	}
+	return e.pool
 }
 
 // Tree returns the engine's (possibly rerooted) junction tree.
@@ -140,9 +214,32 @@ func (e *Engine) Graph() *taskgraph.Graph { return e.graph }
 // Options returns the engine's configuration.
 func (e *Engine) Options() Options { return e.opts }
 
+// Propagations returns how many scheduler runs (full propagations and
+// collect-only passes) the engine has executed.
+func (e *Engine) Propagations() int64 { return e.propagations.Load() }
+
+// getState returns a recycled state for the mode, or allocates one.
+func (e *Engine) getState(mode taskgraph.Mode) (*taskgraph.State, error) {
+	if v := e.statePools[mode].Get(); v != nil {
+		st := v.(*taskgraph.State)
+		st.Reset(mode)
+		return st, nil
+	}
+	return e.graph.NewStateMode(mode)
+}
+
+// putState recycles a state whose run completed (or never started). States
+// of failed or cancelled scheduler runs must NOT be recycled: pool workers
+// may still be draining their queued items.
+func (e *Engine) putState(st *taskgraph.State) {
+	e.statePools[st.Mode()].Put(st)
+}
+
 // Result is one completed propagation.
 type Result struct {
+	eng   *Engine
 	state *taskgraph.State
+	pe    float64 // root-clique mass, cached so it survives Release
 	// Elapsed is the wall-clock propagation time (excluding evidence
 	// absorption and state allocation).
 	Elapsed time.Duration
@@ -151,65 +248,95 @@ type Result struct {
 	Sched *sched.Metrics
 }
 
-// Propagate absorbs the evidence into a fresh working state and runs the
-// full two-pass evidence propagation with the configured scheduler.
+// Propagate absorbs the evidence into a working state and runs the full
+// two-pass evidence propagation with the configured scheduler. It is safe
+// to call from any number of goroutines concurrently.
 func (e *Engine) Propagate(ev potential.Evidence) (*Result, error) {
-	return e.propagateFull(ev, nil, taskgraph.SumProduct)
+	return e.propagateFull(context.Background(), ev, nil, taskgraph.SumProduct)
+}
+
+// PropagateContext is Propagate with cancellation: a cancelled context
+// stops the scheduler run at the next task boundary and returns ctx.Err().
+func (e *Engine) PropagateContext(ctx context.Context, ev potential.Evidence) (*Result, error) {
+	return e.propagateFull(ctx, ev, nil, taskgraph.SumProduct)
 }
 
 // PropagateSoft additionally absorbs soft (likelihood) evidence before
 // propagating: each weight vector scales the corresponding variable's
 // states instead of fixing one.
 func (e *Engine) PropagateSoft(ev potential.Evidence, like potential.Likelihood) (*Result, error) {
-	return e.propagateFull(ev, like, taskgraph.SumProduct)
+	return e.propagateFull(context.Background(), ev, like, taskgraph.SumProduct)
+}
+
+// PropagateSoftContext is PropagateSoft with cancellation.
+func (e *Engine) PropagateSoftContext(ctx context.Context, ev potential.Evidence, like potential.Likelihood) (*Result, error) {
+	return e.propagateFull(ctx, ev, like, taskgraph.SumProduct)
 }
 
 // PropagateMax runs max-product propagation: afterwards every clique holds
 // max-marginals and Result.MostProbableExplanation extracts the MPE.
 func (e *Engine) PropagateMax(ev potential.Evidence) (*Result, error) {
-	return e.propagateMode(ev, taskgraph.MaxProduct)
+	return e.propagateFull(context.Background(), ev, nil, taskgraph.MaxProduct)
 }
 
-func (e *Engine) propagateMode(ev potential.Evidence, mode taskgraph.Mode) (*Result, error) {
-	return e.propagateFull(ev, nil, mode)
+// PropagateMaxContext is PropagateMax with cancellation.
+func (e *Engine) PropagateMaxContext(ctx context.Context, ev potential.Evidence) (*Result, error) {
+	return e.propagateFull(ctx, ev, nil, taskgraph.MaxProduct)
 }
 
-func (e *Engine) propagateFull(ev potential.Evidence, like potential.Likelihood, mode taskgraph.Mode) (*Result, error) {
-	st, err := e.graph.NewStateMode(mode)
+func (e *Engine) propagateFull(ctx context.Context, ev potential.Evidence, like potential.Likelihood, mode taskgraph.Mode) (*Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	st, err := e.getState(mode)
 	if err != nil {
 		return nil, err
 	}
 	if err := st.AbsorbEvidence(ev); err != nil {
+		e.putState(st) // never ran; Reset restores the partial reduction
 		return nil, err
 	}
 	if err := st.AbsorbLikelihood(like); err != nil {
+		e.putState(st)
 		return nil, err
 	}
-	res := &Result{state: st}
+	res := &Result{eng: e, state: st}
 	start := time.Now()
-	m, err := e.runScheduler(st)
+	m, err := e.runScheduler(ctx, st)
 	if err != nil {
+		// The state may still be referenced by pool workers draining the
+		// failed run's queue — drop it to the GC instead of recycling.
 		return nil, err
 	}
 	res.Sched = m
 	res.Elapsed = time.Since(start)
+	res.pe = st.Clique[st.Graph().Tree.Root].Sum()
 	return res, nil
 }
 
 // runScheduler executes the state's graph with the configured strategy,
 // returning collaborative-scheduler metrics when applicable.
-func (e *Engine) runScheduler(st *taskgraph.State) (*sched.Metrics, error) {
+func (e *Engine) runScheduler(ctx context.Context, st *taskgraph.State) (*sched.Metrics, error) {
+	e.propagations.Add(1)
 	switch e.opts.Scheduler {
 	case Collaborative:
-		return sched.Run(st, sched.Options{
+		opts := sched.Options{
 			Workers:   e.opts.Workers,
 			Threshold: e.opts.PartitionThreshold,
 			Trace:     e.opts.Trace,
-		})
+			Ctx:       ctx,
+		}
+		if p := e.workerPool(); p != nil {
+			return p.Run(st, opts)
+		}
+		return sched.Run(st, opts)
 	case WorkStealing:
 		return sched.RunStealing(st, sched.Options{
 			Workers:   e.opts.Workers,
 			Threshold: e.opts.PartitionThreshold,
+			Ctx:       ctx,
 		})
 	case Serial:
 		_, err := baseline.Serial(st)
@@ -236,39 +363,41 @@ func (e *Engine) runScheduler(st *taskgraph.State) (*sched.Metrics, error) {
 // propagation: the tree is rerooted at a clique containing v, the
 // leaves-to-root half of the task graph runs, and the posterior is read
 // from the root — roughly half the work of Propagate. The collect-only
-// graph is built per target clique and cached.
+// graph is built per target clique and cached; its states are pooled like
+// the full-propagation states.
 func (e *Engine) CollectMarginal(ev potential.Evidence, v int) (*potential.Potential, error) {
+	return e.CollectMarginalContext(context.Background(), ev, v)
+}
+
+// CollectMarginalContext is CollectMarginal with cancellation.
+func (e *Engine) CollectMarginalContext(ctx context.Context, ev potential.Evidence, v int) (*potential.Potential, error) {
 	ci := e.tree.CliqueOf(v)
 	if ci < 0 {
 		return nil, fmt.Errorf("core: no clique contains variable %d", v)
 	}
-	e.collectMu.Lock()
-	g, ok := e.collectGraphs[ci]
-	if !ok {
-		rt, err := e.tree.Reroot(ci)
-		if err != nil {
-			e.collectMu.Unlock()
-			return nil, err
-		}
-		g = taskgraph.BuildCollectOnly(rt)
-		if e.collectGraphs == nil {
-			e.collectGraphs = map[int]*taskgraph.Graph{}
-		}
-		e.collectGraphs[ci] = g
-	}
-	e.collectMu.Unlock()
-
-	st, err := g.NewState()
+	entry, err := e.collectEntryFor(ci)
 	if err != nil {
 		return nil, err
 	}
+	var st *taskgraph.State
+	if v := entry.states.Get(); v != nil {
+		st = v.(*taskgraph.State)
+		st.Reset(taskgraph.SumProduct)
+	} else {
+		st, err = entry.g.NewState()
+		if err != nil {
+			return nil, err
+		}
+	}
 	if err := st.AbsorbEvidence(ev); err != nil {
+		entry.states.Put(st)
 		return nil, err
 	}
-	if _, err := e.runScheduler(st); err != nil {
-		return nil, err
+	if _, err := e.runScheduler(ctx, st); err != nil {
+		return nil, err // state possibly still referenced; drop it
 	}
-	m, err := st.Clique[g.Tree.Root].Marginal([]int{v})
+	m, err := st.Clique[entry.g.Tree.Root].Marginal([]int{v})
+	entry.states.Put(st)
 	if err != nil {
 		return nil, err
 	}
@@ -278,15 +407,57 @@ func (e *Engine) CollectMarginal(ev potential.Evidence, v int) (*potential.Poten
 	return m, nil
 }
 
+// collectEntryFor builds (once) and returns the collect-only cache entry
+// for the target clique.
+func (e *Engine) collectEntryFor(ci int) (*collectEntry, error) {
+	e.collectMu.Lock()
+	defer e.collectMu.Unlock()
+	if entry, ok := e.collectGraphs[ci]; ok {
+		return entry, nil
+	}
+	rt, err := e.tree.Reroot(ci)
+	if err != nil {
+		return nil, err
+	}
+	entry := &collectEntry{g: taskgraph.BuildCollectOnly(rt)}
+	if e.collectGraphs == nil {
+		e.collectGraphs = map[int]*collectEntry{}
+	}
+	e.collectGraphs[ci] = entry
+	return entry, nil
+}
+
+// Release recycles the result's propagation state into the engine's pool.
+// After Release, only ProbabilityOfEvidence (cached) remains usable; the
+// other accessors return ErrReleased. Posterior slices previously returned
+// are copies and stay valid. Release is optional — unreleased states are
+// garbage collected — and must not race with the result's other methods.
+func (r *Result) Release() {
+	if r == nil || r.state == nil {
+		return
+	}
+	st := r.state
+	r.state = nil
+	if r.eng != nil {
+		r.eng.putState(st)
+	}
+}
+
 // Marginal returns the normalized posterior P(v | evidence) from the
 // propagation result.
 func (r *Result) Marginal(v int) (*potential.Potential, error) {
+	if r.state == nil {
+		return nil, ErrReleased
+	}
 	return r.state.Marginal(v)
 }
 
 // JointMarginal returns the normalized posterior over a set of variables,
 // which must all be contained in one clique.
 func (r *Result) JointMarginal(vars []int) (*potential.Potential, error) {
+	if r.state == nil {
+		return nil, ErrReleased
+	}
 	tree := r.state.Graph().Tree
 	for i := range tree.Cliques {
 		all := true
@@ -313,12 +484,12 @@ func (r *Result) JointMarginal(vars []int) (*potential.Potential, error) {
 
 // ProbabilityOfEvidence returns P(e): after absorption and propagation the
 // total mass of any clique equals the (unnormalized) evidence likelihood.
-func (r *Result) ProbabilityOfEvidence() float64 {
-	tree := r.state.Graph().Tree
-	return r.state.Clique[tree.Root].Sum()
-}
+// The value is cached at propagation time, so it remains available after
+// Release.
+func (r *Result) ProbabilityOfEvidence() float64 { return r.pe }
 
-// State exposes the underlying propagation state for instrumentation.
+// State exposes the underlying propagation state for instrumentation. It
+// is nil after Release.
 func (r *Result) State() *taskgraph.State { return r.state }
 
 // CheckCalibration verifies the Hugin invariant on the propagation result:
@@ -327,6 +498,9 @@ func (r *Result) State() *taskgraph.State { return r.state }
 // is calibrated — the structural proof that propagation completed
 // correctly, independent of any query.
 func (r *Result) CheckCalibration(tol float64) error {
+	if r.state == nil {
+		return ErrReleased
+	}
 	tree := r.state.Graph().Tree
 	for c := range tree.Cliques {
 		p := tree.Cliques[c].Parent
@@ -364,6 +538,9 @@ func (r *Result) CheckCalibration(tol float64) error {
 // already fixed by its ancestors, which max-calibration guarantees is
 // globally consistent.
 func (r *Result) MostProbableExplanation() (map[int]int, float64, error) {
+	if r.state == nil {
+		return nil, 0, ErrReleased
+	}
 	if r.state.Mode() != taskgraph.MaxProduct {
 		return nil, 0, fmt.Errorf("core: MostProbableExplanation requires a PropagateMax result (state is %v)", r.state.Mode())
 	}

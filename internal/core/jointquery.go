@@ -18,6 +18,9 @@ func (r *Result) JointMarginalAny(vars []int) (*potential.Potential, error) {
 	if len(vars) == 0 {
 		return nil, fmt.Errorf("core: empty joint query")
 	}
+	if r.state == nil {
+		return nil, ErrReleased
+	}
 	query := append([]int(nil), vars...)
 	sort.Ints(query)
 	for i := 1; i < len(query); i++ {

@@ -49,9 +49,15 @@ func TestRerootOverheadNegligible(t *testing.T) {
 	}
 	// Paper: 24 µs vs ~1e5 µs (< 0.1%). Our Algorithm 1 runs in a few
 	// hundred µs (Go, deep-copy reroot); require clear negligibility with
-	// margin for wall-clock noise.
-	if r.FractionPercent > 2.0 {
-		t.Errorf("rerooting overhead %.3f%% of propagation, want ≪ 2%%", r.FractionPercent)
+	// margin for wall-clock noise. The race detector slows the measured
+	// reroot several-fold while the simulated denominator stays fixed, so
+	// the bound is relaxed under -race.
+	bound := 2.0
+	if raceEnabled {
+		bound = 10.0
+	}
+	if r.FractionPercent > bound {
+		t.Errorf("rerooting overhead %.3f%% of propagation, want ≪ %.0f%%", r.FractionPercent, bound)
 	}
 	var buf bytes.Buffer
 	r.Write(&buf)

@@ -17,9 +17,18 @@
 // There is no dedicated scheduler thread — scheduling work is performed
 // collaboratively by whichever worker completes a task, which is the
 // paper's key difference from the centralized (Cell BE) design.
+//
+// Workers live in a Pool and park between propagations rather than being
+// respawned per run. A Pool multiplexes any number of concurrent runs over
+// the same P workers: every queued item carries a pointer to its run, so
+// independent propagations interleave on the ready lists and keep all cores
+// busy under concurrent serving load (the throughput regime of Zheng &
+// Mengshoel's belief-update workloads). The one-shot Run helper preserves
+// the original spawn-per-call behavior for benchmarks that want it.
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -31,7 +40,8 @@ import (
 
 // Options configures a collaborative-scheduler run.
 type Options struct {
-	// Workers is the number of worker goroutines P (≥1).
+	// Workers is the number of worker goroutines P (≥1). Pool.Run ignores
+	// it in favor of the pool's own size.
 	Workers int
 	// Threshold is δ: a task whose partitionable table has more entries
 	// than this is split. 0 disables task partitioning (as in the paper's
@@ -40,6 +50,10 @@ type Options struct {
 	// Trace records a per-worker execution timeline in Metrics.Trace
 	// (small constant overhead per executed item).
 	Trace bool
+	// Ctx optionally cancels the run: it is polled between items, so a
+	// cancelled run stops at the next task boundary instead of running to
+	// completion. nil means never cancelled.
+	Ctx context.Context
 }
 
 // WorkerMetrics records per-worker accounting for the paper's Fig. 8.
@@ -47,8 +61,9 @@ type WorkerMetrics struct {
 	// Busy is the time spent inside node-level primitives ("computation
 	// time" in the paper).
 	Busy time.Duration
-	// Overhead is the time spent in the Allocate, Fetch and Partition
-	// modules (lock waits included).
+	// Overhead is the time spent in the Allocate and Partition modules
+	// (lock waits included). Fetch waits are not attributed: pooled
+	// workers park across unrelated runs while idle.
 	Overhead time.Duration
 	// Tasks counts executed items (tasks, pieces and combiners).
 	Tasks int
@@ -65,8 +80,10 @@ type Metrics struct {
 	Trace *Trace
 }
 
-// item is one unit of work on a local ready list.
+// item is one unit of work on a local ready list. The run pointer lets a
+// pool worker process items from interleaved concurrent runs.
 type item struct {
+	r      *run
 	task   int
 	lo, hi int
 	buf    *potential.Potential // private buffer for marginalize pieces
@@ -86,10 +103,17 @@ type combiner struct {
 // localList is a worker's local ready list (LL) with its weight counter.
 // Any worker may push (the Allocate module), so it is lock-protected.
 type localList struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []item
-	weight int64 // sum of queued item weights (the paper's W_i)
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []item
+	weight  int64 // sum of queued item weights (the paper's W_i)
+	stopped bool
+}
+
+func newLocalList() *localList {
+	l := &localList{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
 }
 
 func (l *localList) push(it item) {
@@ -100,127 +124,9 @@ func (l *localList) push(it item) {
 	l.cond.Signal()
 }
 
-// run drives one execution of the task graph.
-type run struct {
-	st        *taskgraph.State
-	g         *taskgraph.Graph
-	opts      Options
-	deps      []int32
-	lists     []*localList
-	remaining int64 // original tasks not yet complete
-	done      int32
-	failed    int32
-	rr        int64 // round-robin cursor for spreading pieces
-	errOnce   sync.Once
-	err       error
-	metrics   []WorkerMetrics
-	pieces    int64
-	parted    int64
-	start     time.Time
-	traces    [][]Event // per-worker, merged after the run when tracing
-}
-
-// Run executes the state's task graph with the collaborative scheduler and
-// returns per-worker metrics. The state's potentials hold the propagation
-// result afterwards.
-func Run(st *taskgraph.State, opts Options) (*Metrics, error) {
-	if opts.Workers < 1 {
-		return nil, fmt.Errorf("sched: need at least 1 worker, got %d", opts.Workers)
-	}
-	g := st.Graph()
-	r := &run{
-		st:        st,
-		g:         g,
-		opts:      opts,
-		deps:      g.DepCounts(),
-		lists:     make([]*localList, opts.Workers),
-		remaining: int64(g.N()),
-		metrics:   make([]WorkerMetrics, opts.Workers),
-	}
-	for i := range r.lists {
-		l := &localList{}
-		l.cond = sync.NewCond(&l.mu)
-		r.lists[i] = l
-	}
-	start := time.Now()
-	r.start = start
-	if opts.Trace {
-		r.traces = make([][]Event, opts.Workers)
-	}
-	if g.N() == 0 {
-		m := &Metrics{Workers: r.metrics, Elapsed: time.Since(start)}
-		if opts.Trace {
-			m.Trace = &Trace{Workers: opts.Workers}
-		}
-		return m, nil
-	}
-	// Line 1 of Algorithm 2: distribute the initially ready tasks evenly.
-	for i, id := range g.Sources() {
-		r.lists[i%opts.Workers].push(r.wholeItem(id))
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			r.worker(w)
-		}(w)
-	}
-	wg.Wait()
-	m := &Metrics{
-		Workers:   r.metrics,
-		Elapsed:   time.Since(start),
-		Tasks:     g.N() - int(atomic.LoadInt64(&r.remaining)),
-		Pieces:    int(atomic.LoadInt64(&r.pieces)),
-		Partition: int(atomic.LoadInt64(&r.parted)),
-	}
-	if opts.Trace {
-		tr := &Trace{Workers: opts.Workers, Total: m.Elapsed}
-		for _, evs := range r.traces {
-			tr.Events = append(tr.Events, evs...)
-		}
-		tr.sortEvents()
-		m.Trace = tr
-	}
-	return m, r.err
-}
-
-func (r *run) wholeItem(id int) item {
-	return item{task: id, lo: 0, hi: -1, weight: int64(r.g.Tasks[id].Weight)}
-}
-
-func (r *run) fail(err error) {
-	r.errOnce.Do(func() { r.err = err })
-	atomic.StoreInt32(&r.failed, 1)
-	r.finish()
-}
-
-func (r *run) finish() {
-	atomic.StoreInt32(&r.done, 1)
-	for _, l := range r.lists {
-		l.mu.Lock()
-		l.cond.Broadcast()
-		l.mu.Unlock()
-	}
-}
-
-// worker is the per-thread loop of Algorithm 2 (lines 3–19).
-func (r *run) worker(w int) {
-	l := r.lists[w]
-	for {
-		tFetch := time.Now()
-		it, ok := r.fetch(l)
-		r.metrics[w].Overhead += time.Since(tFetch)
-		if !ok {
-			return
-		}
-		r.process(w, it)
-	}
-}
-
-// fetch blocks until an item is available on the worker's list or the run
-// is finished.
-func (r *run) fetch(l *localList) (item, bool) {
+// fetch blocks until an item is available or the list is stopped. Queued
+// items are always drained before a stop takes effect.
+func (l *localList) fetch() (item, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
@@ -230,11 +136,176 @@ func (r *run) fetch(l *localList) (item, bool) {
 			atomic.AddInt64(&l.weight, -it.weight)
 			return it, true
 		}
-		if atomic.LoadInt32(&r.done) == 1 {
+		if l.stopped {
 			return item{}, false
 		}
 		l.cond.Wait()
 	}
+}
+
+func (l *localList) stop() {
+	l.mu.Lock()
+	l.stopped = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// Pool is a set of persistent collaborative-scheduler workers. Workers park
+// on their local ready lists between propagations, so the per-propagation
+// cost of a Run is pushing the source tasks — no goroutine spawn, no stack
+// growth, no scheduler warm-up. A Pool may execute any number of concurrent
+// runs; their items interleave on the shared ready lists.
+type Pool struct {
+	lists  []*localList
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// NewPool starts workers parked goroutines and returns the pool. Close
+// releases them.
+func NewPool(workers int) (*Pool, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("sched: need at least 1 worker, got %d", workers)
+	}
+	p := &Pool{lists: make([]*localList, workers)}
+	for i := range p.lists {
+		p.lists[i] = newLocalList()
+	}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func(w int) {
+			defer p.wg.Done()
+			l := p.lists[w]
+			for {
+				it, ok := l.fetch()
+				if !ok {
+					return
+				}
+				it.r.process(w, it)
+			}
+		}(w)
+	}
+	return p, nil
+}
+
+// Workers returns the pool size P.
+func (p *Pool) Workers() int { return len(p.lists) }
+
+// Close stops the workers after the queued items drain and waits for them
+// to exit. Close is idempotent; Run after Close returns an error.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	for _, l := range p.lists {
+		l.stop()
+	}
+	p.wg.Wait()
+}
+
+// run is the per-propagation bookkeeping shared by the pool workers.
+type run struct {
+	st        *taskgraph.State
+	g         *taskgraph.Graph
+	opts      Options
+	ctx       context.Context
+	deps      []int32
+	lists     []*localList
+	remaining int64 // original tasks not yet complete
+	failed    int32
+	rr        int64 // round-robin cursor for spreading pieces
+	errOnce   sync.Once
+	err       error
+	doneOnce  sync.Once
+	done      chan struct{}
+	metrics   []WorkerMetrics
+	pieces    int64
+	parted    int64
+	start     time.Time
+	traces    [][]Event // per-worker, merged after the run when tracing
+}
+
+// Run executes the state's task graph on the pool's workers and returns
+// per-worker metrics. The state's potentials hold the propagation result
+// afterwards. Run blocks until the propagation completes, fails, or its
+// context is cancelled; any number of Runs may be in flight concurrently.
+func (p *Pool) Run(st *taskgraph.State, opts Options) (*Metrics, error) {
+	if p.closed.Load() {
+		return nil, fmt.Errorf("sched: pool is closed")
+	}
+	g := st.Graph()
+	r := &run{
+		st:        st,
+		g:         g,
+		opts:      opts,
+		ctx:       opts.Ctx,
+		deps:      g.DepCounts(),
+		lists:     p.lists,
+		remaining: int64(g.N()),
+		metrics:   make([]WorkerMetrics, len(p.lists)),
+		done:      make(chan struct{}),
+	}
+	start := time.Now()
+	r.start = start
+	if opts.Trace {
+		r.traces = make([][]Event, len(p.lists))
+	}
+	if g.N() == 0 {
+		m := &Metrics{Workers: r.metrics, Elapsed: time.Since(start)}
+		if opts.Trace {
+			m.Trace = &Trace{Workers: len(p.lists)}
+		}
+		return m, nil
+	}
+	// Line 1 of Algorithm 2: distribute the initially ready tasks evenly.
+	for i, id := range g.Sources() {
+		r.lists[i%len(r.lists)].push(r.wholeItem(id))
+	}
+	<-r.done
+	m := &Metrics{
+		Workers:   r.metrics,
+		Elapsed:   time.Since(start),
+		Tasks:     g.N() - int(atomic.LoadInt64(&r.remaining)),
+		Pieces:    int(atomic.LoadInt64(&r.pieces)),
+		Partition: int(atomic.LoadInt64(&r.parted)),
+	}
+	if opts.Trace {
+		tr := &Trace{Workers: len(p.lists), Total: m.Elapsed}
+		for _, evs := range r.traces {
+			tr.Events = append(tr.Events, evs...)
+		}
+		tr.sortEvents()
+		m.Trace = tr
+	}
+	return m, r.err
+}
+
+// Run executes the state's task graph with the collaborative scheduler on a
+// transient pool of opts.Workers goroutines, preserving the original
+// spawn-per-call behavior. Long-lived engines should hold a Pool instead.
+func Run(st *taskgraph.State, opts Options) (*Metrics, error) {
+	p, err := NewPool(opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	return p.Run(st, opts)
+}
+
+func (r *run) wholeItem(id int) item {
+	return item{r: r, task: id, lo: 0, hi: -1, weight: int64(r.g.Tasks[id].Weight)}
+}
+
+func (r *run) fail(err error) {
+	r.errOnce.Do(func() { r.err = err })
+	atomic.StoreInt32(&r.failed, 1)
+	r.finish()
+}
+
+// finish releases the Run call. Pool workers are untouched: leftover items
+// of a failed run are drained as no-ops by the failed-flag check.
+func (r *run) finish() {
+	r.doneOnce.Do(func() { close(r.done) })
 }
 
 // process runs one fetched item through Partition and Execute, then
@@ -242,6 +313,12 @@ func (r *run) fetch(l *localList) (item, bool) {
 func (r *run) process(w int, it item) {
 	if atomic.LoadInt32(&r.failed) == 1 {
 		return
+	}
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			r.fail(err)
+			return
+		}
 	}
 	switch {
 	case it.isComb:
@@ -286,7 +363,7 @@ func (r *run) partition(w int, id, size int) {
 		if hi > size {
 			hi = size
 		}
-		it := item{task: id, lo: lo, hi: hi, comb: comb, weight: pieceW,
+		it := item{r: r, task: id, lo: lo, hi: hi, comb: comb, weight: pieceW,
 			buf: r.st.NewPartialBuffer(id)}
 		if k == 0 {
 			first = it
@@ -319,7 +396,7 @@ func (r *run) runPiece(w int, it item) {
 	}
 	if atomic.AddInt32(&c.pending, -1) == 0 {
 		// This worker finished the last piece: it runs T̂n itself.
-		r.process(w, item{task: c.task, comb: c, isComb: true,
+		r.process(w, item{r: r, task: c.task, comb: c, isComb: true,
 			weight: int64(r.g.Tasks[c.task].Weight)})
 	}
 }

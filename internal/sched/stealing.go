@@ -154,6 +154,12 @@ func (r *stealRun) process(w int, it item) {
 	if r.loadFailed() {
 		return
 	}
+	if r.opts.Ctx != nil {
+		if err := r.opts.Ctx.Err(); err != nil {
+			r.finish(err)
+			return
+		}
+	}
 	switch {
 	case it.isComb:
 		t0 := time.Now()

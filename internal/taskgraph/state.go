@@ -2,6 +2,7 @@ package taskgraph
 
 import (
 	"fmt"
+	"sync"
 
 	"evprop/internal/potential"
 )
@@ -45,6 +46,13 @@ type State struct {
 	// parent's / child's domain.
 	tempUp   []*potential.Potential
 	tempDown []*potential.Potential
+	// bufFree recycles the private accumulation buffers of partitioned
+	// Marginalize tasks, per edge (both passes over an edge share one
+	// separator domain). Buffers are handed out by NewPartialBuffer and
+	// returned by Combine, so a pooled State reaches steady-state
+	// propagation with no per-run buffer allocation.
+	bufMu   sync.Mutex
+	bufFree [][]*potential.Potential
 }
 
 // NewState allocates working storage for one sum-product propagation over
@@ -90,6 +98,27 @@ func (g *Graph) NewStateMode(mode Mode) (*State, error) {
 		st.tempDown[i] = down
 	}
 	return st, nil
+}
+
+// Reset re-primes a previously executed state for a fresh propagation with
+// the given semiring, copying the tree's clique and separator potentials
+// back into the existing tables without allocating. The sepNew buffers need
+// no zeroing (Marginalize zeroes its destination before accumulating, both
+// whole and via Combine) and the temp extension buffers are fully
+// overwritten by Extend before Multiply reads them, so only the tables the
+// previous run calibrated are restored. Reset plus reuse is the pooling
+// layer that makes steady-state propagation near-allocation-free.
+func (st *State) Reset(mode Mode) {
+	st.mode = mode
+	t := st.g.Tree
+	for i := range t.Cliques {
+		c := &t.Cliques[i]
+		copy(st.Clique[i].Data, c.Pot.Data)
+		if c.Parent < 0 {
+			continue
+		}
+		copy(st.Sep[i].Data, c.SepPot.Data)
+	}
 }
 
 // AbsorbEvidence reduces every working clique potential on the evidence.
@@ -160,13 +189,44 @@ func (st *State) PartitionSize(id int) int {
 
 // NewPartialBuffer returns a zeroed private accumulation buffer for a piece
 // of a Marginalize task, and nil for every other kind (their pieces write
-// disjoint output ranges and need no buffer).
+// disjoint output ranges and need no buffer). Buffers recycled by an
+// earlier Combine on the same edge are reused before allocating; the method
+// is safe for concurrent use by workers partitioning different tasks.
 func (st *State) NewPartialBuffer(id int) *potential.Potential {
 	t := &st.g.Tasks[id]
 	if t.Kind != Marginalize {
 		return nil
 	}
+	st.bufMu.Lock()
+	if st.bufFree != nil {
+		if free := st.bufFree[t.Edge]; len(free) > 0 {
+			b := free[len(free)-1]
+			free[len(free)-1] = nil
+			st.bufFree[t.Edge] = free[:len(free)-1]
+			st.bufMu.Unlock()
+			for i := range b.Data {
+				b.Data[i] = 0
+			}
+			return b
+		}
+	}
+	st.bufMu.Unlock()
 	return st.sepNew[t.Edge].CloneZero()
+}
+
+// recycleBuffers returns the piece buffers of a combined Marginalize task to
+// the per-edge free list for reuse by a later partitioning of either pass
+// over the same edge.
+func (st *State) recycleBuffers(edge int, bufs []*potential.Potential) {
+	if len(bufs) == 0 {
+		return
+	}
+	st.bufMu.Lock()
+	if st.bufFree == nil {
+		st.bufFree = make([][]*potential.Potential, st.g.Tree.N())
+	}
+	st.bufFree[edge] = append(st.bufFree[edge], bufs...)
+	st.bufMu.Unlock()
 }
 
 // ExecutePiece runs the [lo,hi) slice of the task. For Marginalize, buf is
@@ -221,6 +281,7 @@ func (st *State) Combine(id int, bufs []*potential.Potential) error {
 			return err
 		}
 	}
+	st.recycleBuffers(t.Edge, bufs)
 	return nil
 }
 

@@ -1,0 +1,265 @@
+package evprop
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"evprop/internal/core"
+	"evprop/internal/potential"
+)
+
+// QueryResult is one completed evidence propagation, the session object of
+// the query API: posteriors, the probability of evidence, joint marginals,
+// mutual information and the most probable explanation are all derived
+// from it without re-propagating. Obtain one from Engine.Propagate, read
+// any number of quantities, then Close it to recycle the propagation state
+// into the engine's pool:
+//
+//	res, err := eng.Propagate(evprop.Evidence{"XRay": 1})
+//	if err != nil { ... }
+//	defer res.Close()
+//	pe := res.ProbabilityOfEvidence()
+//	lung, err := res.Posterior("Lung")
+//
+// A QueryResult is safe for concurrent use until Close; every returned
+// slice or map is a copy that stays valid afterwards. The one quantity
+// that needs extra work is MPE, which lazily runs a single max-product
+// propagation on first call and caches it.
+type QueryResult struct {
+	eng *Engine
+	ev  Evidence
+	iev potential.Evidence
+
+	mu     sync.Mutex
+	res    *core.Result
+	maxRes *core.Result // lazy max-product companion for MPE
+	closed bool
+}
+
+// Propagate runs one evidence propagation and returns the session result.
+// Any number of goroutines may Propagate on the same engine concurrently;
+// no external locking is needed.
+func (e *Engine) Propagate(ev Evidence) (*QueryResult, error) {
+	return e.PropagateContext(context.Background(), ev)
+}
+
+// PropagateContext is Propagate with cancellation: a cancelled context
+// stops the scheduler run at the next task boundary and returns ctx.Err().
+func (e *Engine) PropagateContext(ctx context.Context, ev Evidence) (*QueryResult, error) {
+	return e.propagateSession(ctx, ev, nil)
+}
+
+// PropagateSoft runs one propagation with both hard and soft (likelihood)
+// evidence and returns the session result.
+func (e *Engine) PropagateSoft(ev Evidence, soft SoftEvidence) (*QueryResult, error) {
+	return e.propagateSession(context.Background(), ev, soft)
+}
+
+// PropagateSoftContext is PropagateSoft with cancellation.
+func (e *Engine) PropagateSoftContext(ctx context.Context, ev Evidence, soft SoftEvidence) (*QueryResult, error) {
+	return e.propagateSession(ctx, ev, soft)
+}
+
+func (e *Engine) propagateSession(ctx context.Context, ev Evidence, soft SoftEvidence) (*QueryResult, error) {
+	if e == nil || e.inner == nil || e.net == nil {
+		return nil, ErrUncompiled
+	}
+	iev, err := e.net.evidence(ev)
+	if err != nil {
+		return nil, err
+	}
+	var res *core.Result
+	if len(soft) == 0 {
+		res, err = e.inner.PropagateContext(ctx, iev)
+	} else {
+		var like potential.Likelihood
+		like, err = e.net.likelihood(soft)
+		if err != nil {
+			return nil, err
+		}
+		res, err = e.inner.PropagateSoftContext(ctx, iev, like)
+	}
+	if err != nil {
+		return nil, err
+	}
+	evCopy := make(Evidence, len(ev))
+	for k, v := range ev {
+		evCopy[k] = v
+	}
+	return &QueryResult{eng: e, ev: evCopy, iev: iev, res: res}, nil
+}
+
+// Close recycles the propagation state into the engine's pool. Quantities
+// already returned (slices, maps) remain valid; further derivations return
+// ErrResultClosed, except ProbabilityOfEvidence, which is cached. Close is
+// idempotent and optional — unclosed results are garbage collected, they
+// just cost the pool a state.
+func (r *QueryResult) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.res.Release()
+	if r.maxRes != nil {
+		r.maxRes.Release()
+		r.maxRes = nil
+	}
+	return nil
+}
+
+// ProbabilityOfEvidence returns P(e), the likelihood of the observation
+// under the model. It is derived at propagation time, so it works even
+// after Close.
+func (r *QueryResult) ProbabilityOfEvidence() float64 {
+	return r.res.ProbabilityOfEvidence()
+}
+
+// Evidence returns a copy of the evidence this result conditions on.
+func (r *QueryResult) Evidence() Evidence {
+	out := make(Evidence, len(r.ev))
+	for k, v := range r.ev {
+		out[k] = v
+	}
+	return out
+}
+
+// Posterior returns the posterior distribution P(name | evidence).
+func (r *QueryResult) Posterior(name string) ([]float64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.posteriorLocked(name)
+}
+
+func (r *QueryResult) posteriorLocked(name string) ([]float64, error) {
+	if r.closed {
+		return nil, ErrResultClosed
+	}
+	id := r.eng.net.inner.ID(name)
+	if id < 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownVariable, name)
+	}
+	if r.res.ProbabilityOfEvidence() <= 0 {
+		return nil, fmt.Errorf("%w: posterior of %q undefined", ErrZeroProbabilityEvidence, name)
+	}
+	m, err := r.res.Marginal(id)
+	if err != nil {
+		return nil, fmt.Errorf("evprop: %q: %w", name, err)
+	}
+	return append([]float64(nil), m.Data...), nil
+}
+
+// Posteriors returns the posterior of each named variable; with no names it
+// returns the posterior of every non-evidence variable.
+func (r *QueryResult) Posteriors(names ...string) (map[string][]float64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(names) == 0 {
+		for _, name := range r.eng.net.Variables() {
+			if _, fixed := r.ev[name]; !fixed {
+				names = append(names, name)
+			}
+		}
+	}
+	out := make(map[string][]float64, len(names))
+	for _, name := range names {
+		p, err := r.posteriorLocked(name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = p
+	}
+	return out, nil
+}
+
+// Joint computes the posterior over an arbitrary set of variables, even
+// when they do not share a clique (the minimal subtree of calibrated
+// cliques spanning them is folded). Cost grows exponentially with the
+// number of requested variables.
+func (r *QueryResult) Joint(vars ...string) (*Joint, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, err := r.jointAnyLocked(vars)
+	if err != nil {
+		return nil, err
+	}
+	out := &Joint{
+		Card: append([]int(nil), m.Card...),
+		P:    append([]float64(nil), m.Data...),
+	}
+	for _, id := range m.Vars {
+		out.Vars = append(out.Vars, r.eng.net.inner.Name(id))
+	}
+	return out, nil
+}
+
+func (r *QueryResult) jointAnyLocked(vars []string) (*potential.Potential, error) {
+	if r.closed {
+		return nil, ErrResultClosed
+	}
+	ids, err := r.eng.net.names(vars)
+	if err != nil {
+		return nil, err
+	}
+	if r.res.ProbabilityOfEvidence() <= 0 {
+		return nil, fmt.Errorf("%w: joint over %v undefined", ErrZeroProbabilityEvidence, vars)
+	}
+	return r.res.JointMarginalAny(ids)
+}
+
+// MutualInformation returns I(x; y | evidence) in bits, derived from this
+// propagation without re-propagating.
+func (r *QueryResult) MutualInformation(x, y string) (float64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	xid := r.eng.net.inner.ID(x)
+	yid := r.eng.net.inner.ID(y)
+	if xid < 0 {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownVariable, x)
+	}
+	if yid < 0 {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownVariable, y)
+	}
+	if xid == yid {
+		return 0, fmt.Errorf("evprop: mutual information of %q with itself", x)
+	}
+	joint, err := r.jointAnyLocked([]string{x, y})
+	if err != nil {
+		return 0, err
+	}
+	return joint.MutualInformation()
+}
+
+// MPE returns the jointly most probable assignment of all variables given
+// the evidence and its conditional probability P(assignment | evidence).
+// The first call runs one max-product propagation (the only derivation
+// that needs a different semiring) and caches it; repeated calls are free.
+func (r *QueryResult) MPE() (map[string]int, float64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, 0, ErrResultClosed
+	}
+	pe := r.res.ProbabilityOfEvidence()
+	if pe <= 0 {
+		return nil, 0, fmt.Errorf("%w: no explanation exists", ErrZeroProbabilityEvidence)
+	}
+	if r.maxRes == nil {
+		mr, err := r.eng.inner.PropagateMax(r.iev)
+		if err != nil {
+			return nil, 0, err
+		}
+		r.maxRes = mr
+	}
+	assignment, joint, err := r.maxRes.MostProbableExplanation()
+	if err != nil {
+		return nil, 0, err
+	}
+	named := make(map[string]int, len(assignment))
+	for id, state := range assignment {
+		named[r.eng.net.inner.Name(id)] = state
+	}
+	return named, joint / pe, nil
+}
