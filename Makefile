@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-serving check
+.PHONY: build test race vet fmt-check bench bench-serving trace check
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,10 @@ test:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 race:
 	$(GO) test -race ./...
 
@@ -20,6 +24,11 @@ bench:
 bench-serving:
 	$(GO) test -run xxx -bench 'BenchmarkConcurrentQuery|BenchmarkMutexSerializedQuery' -benchtime 2s -cpu 4 .
 
-# The PR gate: static checks plus the full test suite under the race
-# detector (includes the concurrent-engine stress tests).
-check: vet race
+# Smoke-test the Chrome trace export: one traced propagation, written as
+# trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev).
+trace:
+	$(GO) run ./cmd/evbench -trace /tmp/evprop-trace.json
+
+# The PR gate: formatting and static checks plus the full test suite under
+# the race detector (includes the concurrent-engine stress tests).
+check: fmt-check vet race

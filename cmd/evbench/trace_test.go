@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteTraceRoundTrip runs the -trace mode end to end: the exported file
+// must be valid Chrome trace_event JSON whose slices stay within the run's
+// makespan and map onto real worker tids.
+func TestWriteTraceRoundTrip(t *testing.T) {
+	const workers = 3
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var summary strings.Builder
+	if err := writeTrace(path, workers, &summary); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary.String(), "load balance") {
+		t.Errorf("summary missing the observability report:\n%s", summary.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Ph  string   `json:"ph"`
+			Ts  float64  `json:"ts"`
+			Dur *float64 `json:"dur"`
+			Tid int      `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	slices, pieces := 0, 0
+	var maxEnd float64
+	for _, e := range f.TraceEvents {
+		if e.Tid < 0 || e.Tid >= workers {
+			t.Errorf("event tid %d out of range", e.Tid)
+		}
+		if e.Ph != "X" {
+			continue
+		}
+		slices++
+		if e.Ts < 0 {
+			t.Errorf("slice starts at %v", e.Ts)
+		}
+		if e.Dur != nil && e.Ts+*e.Dur > maxEnd {
+			maxEnd = e.Ts + *e.Dur
+		}
+	}
+	if slices == 0 {
+		t.Fatal("trace has no slices")
+	}
+	// The workload is sized so partitioning fires: some slice names carry a
+	// piece range. Check via the raw text to keep the decode struct small.
+	if strings.Contains(string(raw), "[0,") {
+		pieces++
+	}
+	if pieces == 0 {
+		t.Error("no partitioned pieces in the trace; the -trace workload should split tasks")
+	}
+	if maxEnd <= 0 {
+		t.Error("no slice has positive extent")
+	}
+}

@@ -39,6 +39,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random network: seed")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		addr    = flag.String("addr", ":8080", "listen address")
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "evserve:", err)
 		os.Exit(1)
 	}
+	srv.pprofEnabled = *pprofOn
 	log.Printf("evserve: %d variables on %s", len(net.Variables()), *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
 }

@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"evprop"
+	"evprop/internal/obs"
 )
 
 // server wraps one compiled engine behind HTTP handlers. The engine is safe
@@ -21,31 +23,27 @@ type server struct {
 	net   *evprop.Network
 	eng   *evprop.Engine
 	stats serverStats
+	// pprofEnabled wires net/http/pprof under /debug/pprof/ (opt-in via
+	// the -pprof flag: profiling endpoints expose internals and should not
+	// be on by default).
+	pprofEnabled bool
 }
 
 // serverStats aggregates request counters and propagation latency with
-// atomics so concurrent handlers never serialize on a lock.
+// atomics and a lock-free histogram so concurrent handlers never serialize.
 type serverStats struct {
-	queries      atomic.Int64
-	batches      atomic.Int64
-	mpes         atomic.Int64
-	errors       atomic.Int64
-	observed     atomic.Int64
-	latencyNsSum atomic.Int64
-	latencyNsMax atomic.Int64
+	queries atomic.Int64
+	batches atomic.Int64
+	mpes    atomic.Int64
+	// errors counts HTTP error responses, incremented exactly once per
+	// request inside httpError (the single choke point). Per-query
+	// failures inside a /v1/batch body are reported in place and are not
+	// HTTP errors.
+	errors  atomic.Int64
+	latency obs.Histogram
 }
 
-func (st *serverStats) observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	st.observed.Add(1)
-	st.latencyNsSum.Add(ns)
-	for {
-		cur := st.latencyNsMax.Load()
-		if ns <= cur || st.latencyNsMax.CompareAndSwap(cur, ns) {
-			return
-		}
-	}
-}
+func (st *serverStats) observe(d time.Duration) { st.latency.Observe(d) }
 
 func newServer(net *evprop.Network, opts evprop.Options) (*server, error) {
 	eng, err := net.Compile(opts)
@@ -65,10 +63,18 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("/v1/mpe", s.handleMPE)
 	m.HandleFunc("/v1/dsep", s.handleDSep)
 	m.HandleFunc("/v1/stats", s.handleStats)
+	m.HandleFunc("/v1/metrics", s.handleMetrics)
 	m.HandleFunc("/model", s.handleModel)
 	m.HandleFunc("/query", s.handleQuery)
 	m.HandleFunc("/mpe", s.handleMPE)
 	m.HandleFunc("/dsep", s.handleDSep)
+	if s.pprofEnabled {
+		m.HandleFunc("/debug/pprof/", pprof.Index)
+		m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return m
 }
 
@@ -100,14 +106,14 @@ type modelVariable struct {
 
 func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	resp := modelResponse{}
 	for _, name := range s.net.Variables() {
 		resp.Variables = append(resp.Variables, modelVariable{Name: name, States: s.net.States(name)})
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 type queryRequest struct {
@@ -143,17 +149,16 @@ func (s *server) runQuery(ctx context.Context, req queryRequest) (*queryResponse
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	s.stats.queries.Add(1)
 	resp, err := s.runQuery(r.Context(), req)
 	if err != nil {
-		s.stats.errors.Add(1)
-		httpError(w, statusFor(err), err.Error())
+		s.httpError(w, statusFor(err), err.Error())
 		return
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 type batchRequest struct {
@@ -177,7 +182,7 @@ type batchResult struct {
 // concurrently on the shared engine (one propagation per query).
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	s.stats.batches.Add(1)
@@ -189,7 +194,6 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			resp, err := s.runQuery(r.Context(), q)
 			if err != nil {
-				s.stats.errors.Add(1)
 				results[i] = batchResult{Error: err.Error()}
 				return
 			}
@@ -197,7 +201,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(i, q)
 	}
 	wg.Wait()
-	writeJSON(w, batchResponse{Results: results})
+	s.writeJSON(w, batchResponse{Results: results})
 }
 
 type mpeRequest struct {
@@ -211,26 +215,24 @@ type mpeResponse struct {
 
 func (s *server) handleMPE(w http.ResponseWriter, r *http.Request) {
 	var req mpeRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	s.stats.mpes.Add(1)
 	start := time.Now()
 	res, err := s.eng.PropagateContext(r.Context(), req.Evidence)
 	if err != nil {
-		s.stats.errors.Add(1)
-		httpError(w, statusFor(err), err.Error())
+		s.httpError(w, statusFor(err), err.Error())
 		return
 	}
 	defer res.Close()
 	assignment, p, err := res.MPE()
 	if err != nil {
-		s.stats.errors.Add(1)
-		httpError(w, statusFor(err), err.Error())
+		s.httpError(w, statusFor(err), err.Error())
 		return
 	}
 	s.stats.observe(time.Since(start))
-	writeJSON(w, mpeResponse{Assignment: assignment, Probability: p})
+	s.writeJSON(w, mpeResponse{Assignment: assignment, Probability: p})
 }
 
 type dsepRequest struct {
@@ -245,16 +247,15 @@ type dsepResponse struct {
 
 func (s *server) handleDSep(w http.ResponseWriter, r *http.Request) {
 	var req dsepRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	sep, err := s.net.DSeparated(req.X, req.Y, req.Z)
 	if err != nil {
-		s.stats.errors.Add(1)
-		httpError(w, statusFor(err), err.Error())
+		s.httpError(w, statusFor(err), err.Error())
 		return
 	}
-	writeJSON(w, dsepResponse{Separated: sep})
+	s.writeJSON(w, dsepResponse{Separated: sep})
 }
 
 type statsResponse struct {
@@ -265,57 +266,108 @@ type statsResponse struct {
 	Propagations   int64   `json:"propagations"`
 	Workers        int     `json:"workers"`
 	Scheduler      string  `json:"scheduler"`
+	Observed       int64   `json:"observed"`
 	AvgLatencyUsec float64 `json:"avg_latency_usec"`
 	MaxLatencyUsec float64 `json:"max_latency_usec"`
+	P50LatencyUsec float64 `json:"p50_latency_usec"`
+	P95LatencyUsec float64 `json:"p95_latency_usec"`
+	P99LatencyUsec float64 `json:"p99_latency_usec"`
+	// LoadBalance and SchedOverheadFrac are the most recent propagation's
+	// Fig. 8 gauges (max/mean per-worker busy time; scheduling fraction of
+	// total worker time).
+	LoadBalance       float64 `json:"load_balance"`
+	SchedOverheadFrac float64 `json:"sched_overhead_fraction"`
 }
 
 // handleStats reports request counters, the engine's scheduler invocation
-// count, and propagation latency aggregates.
+// count, and propagation latency aggregates. Every latency field derives
+// from the histogram, and the observed == 0 case yields plain zeros —
+// never a 0/0 NaN, which would be invalid JSON.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	es := s.eng.Stats()
+	sr := s.eng.SchedulerReport()
+	h := &s.stats.latency
 	resp := statsResponse{
-		Queries:      s.stats.queries.Load(),
-		Batches:      s.stats.batches.Load(),
-		MPEs:         s.stats.mpes.Load(),
-		Errors:       s.stats.errors.Load(),
-		Propagations: es.Propagations,
-		Workers:      es.Workers,
-		Scheduler:    es.Scheduler,
+		Queries:           s.stats.queries.Load(),
+		Batches:           s.stats.batches.Load(),
+		MPEs:              s.stats.mpes.Load(),
+		Errors:            s.stats.errors.Load(),
+		Propagations:      es.Propagations,
+		Workers:           es.Workers,
+		Scheduler:         es.Scheduler,
+		Observed:          h.Count(),
+		LoadBalance:       sr.LastLoadBalance,
+		SchedOverheadFrac: sr.LastOverheadFraction,
 	}
-	if n := s.stats.observed.Load(); n > 0 {
-		resp.AvgLatencyUsec = float64(s.stats.latencyNsSum.Load()) / float64(n) / 1e3
+	if resp.Observed > 0 {
+		resp.AvgLatencyUsec = float64(h.Mean()) / 1e3
+		resp.MaxLatencyUsec = float64(h.Max()) / 1e3
+		resp.P50LatencyUsec = float64(h.Quantile(0.50)) / 1e3
+		resp.P95LatencyUsec = float64(h.Quantile(0.95)) / 1e3
+		resp.P99LatencyUsec = float64(h.Quantile(0.99)) / 1e3
 	}
-	resp.MaxLatencyUsec = float64(s.stats.latencyNsMax.Load()) / 1e3
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
-func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+// handleMetrics serves the Prometheus text exposition: request counters,
+// the latency histogram, and the engine's scheduler observability (load
+// balance, overhead fraction, per-kind time breakdown).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteHeader(w, "evprop_http_requests_total", "HTTP requests by kind.", "counter")
+	obs.WriteSample(w, "evprop_http_requests_total", map[string]string{"kind": "query"}, float64(s.stats.queries.Load()))
+	obs.WriteSample(w, "evprop_http_requests_total", map[string]string{"kind": "batch"}, float64(s.stats.batches.Load()))
+	obs.WriteSample(w, "evprop_http_requests_total", map[string]string{"kind": "mpe"}, float64(s.stats.mpes.Load()))
+	obs.WriteHeader(w, "evprop_http_errors_total", "HTTP error responses.", "counter")
+	obs.WriteSample(w, "evprop_http_errors_total", nil, float64(s.stats.errors.Load()))
+	es := s.eng.Stats()
+	obs.WriteHeader(w, "evprop_propagations_total", "Completed scheduler invocations.", "counter")
+	obs.WriteSample(w, "evprop_propagations_total", nil, float64(es.Propagations))
+	obs.WriteHeader(w, "evprop_workers", "Configured propagation workers.", "gauge")
+	obs.WriteSample(w, "evprop_workers", nil, float64(es.Workers))
+	s.stats.latency.WritePrometheus(w, "evprop_request_duration_seconds", "End-to-end propagation latency of successful requests.")
+	s.eng.WriteSchedulerMetrics(w, "evprop_sched")
+}
+
+// readJSON decodes a POST body, answering the error response itself (and
+// returning false) when the method or payload is wrong.
+func (s *server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		s.httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return false
 	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
 		return false
 	}
 	return true
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func (s *server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(v); err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		// The response is already committed, so no error body can follow;
+		// count the failure without writing a second header.
+		s.stats.errors.Add(1)
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
+// httpError writes the error response and increments the error counter —
+// the one place it is incremented, so a request that fails is counted
+// exactly once no matter which handler path rejected it.
+func (s *server) httpError(w http.ResponseWriter, code int, msg string) {
+	s.stats.errors.Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})

@@ -27,11 +27,13 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"time"
 
 	"evprop/internal/approx"
 	"evprop/internal/bayesnet"
 	"evprop/internal/bif"
 	"evprop/internal/core"
+	"evprop/internal/obs"
 	"evprop/internal/potential"
 )
 
@@ -215,6 +217,69 @@ func (e *Engine) Stats() EngineStats {
 		Workers:      opts.Workers,
 		Scheduler:    opts.Scheduler.String(),
 	}
+}
+
+// SchedulerReport aggregates the engine's scheduler observability across
+// all completed runs: lifetime busy/overhead totals, item counters, a
+// per-primitive-kind time breakdown, and the most recent run's Fig. 8
+// gauges. Engines running the serial or baseline schedulers report zeros.
+type SchedulerReport struct {
+	// Runs counts scheduler runs that reported metrics.
+	Runs int64
+	// Busy and Overhead are lifetime totals across all runs and workers.
+	Busy, Overhead time.Duration
+	// OverheadFraction is the lifetime scheduling fraction of total worker
+	// time; LastOverheadFraction and LastLoadBalance are the most recent
+	// run's Fig. 8 gauges.
+	OverheadFraction     float64
+	LastOverheadFraction float64
+	LastLoadBalance      float64
+	// LastElapsed and LastWorkers describe the most recent run.
+	LastElapsed time.Duration
+	LastWorkers int
+	// Tasks, Pieces, Partitioned and Steals are lifetime item counters.
+	Tasks, Pieces, Partitioned, Steals int64
+	// BusyByKind splits lifetime computation time across the four
+	// node-level primitives.
+	BusyByKind map[string]time.Duration
+}
+
+// SchedulerReport returns the engine's aggregated observability report.
+func (e *Engine) SchedulerReport() SchedulerReport {
+	if e == nil || e.inner == nil {
+		return SchedulerReport{LastLoadBalance: 1}
+	}
+	s := e.inner.ObsSnapshot()
+	r := SchedulerReport{
+		Runs:                 s.Runs,
+		Busy:                 s.Busy,
+		Overhead:             s.Overhead,
+		OverheadFraction:     s.OverheadFraction(),
+		LastOverheadFraction: s.LastOverheadFraction,
+		LastLoadBalance:      s.LastLoadBalance,
+		LastElapsed:          s.LastElapsed,
+		LastWorkers:          s.LastWorkers,
+		Tasks:                s.Tasks,
+		Pieces:               s.Pieces,
+		Partitioned:          s.Partitioned,
+		Steals:               s.Steals,
+		BusyByKind:           make(map[string]time.Duration, len(obs.KindNames)),
+	}
+	for k, name := range obs.KindNames {
+		r.BusyByKind[name] = s.KindBusy[k]
+	}
+	return r
+}
+
+// WriteSchedulerMetrics writes the engine's aggregated scheduler
+// observability in Prometheus text exposition format under the given
+// metric prefix (e.g. "evprop_sched") — the engine half of an HTTP
+// /metrics endpoint.
+func (e *Engine) WriteSchedulerMetrics(w io.Writer, prefix string) {
+	if e == nil || e.inner == nil {
+		return
+	}
+	e.inner.ObsSnapshot().WritePrometheus(w, prefix)
 }
 
 // Compile converts the network into a junction tree and prepares the

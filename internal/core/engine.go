@@ -23,6 +23,7 @@ import (
 
 	"evprop/internal/baseline"
 	"evprop/internal/jtree"
+	"evprop/internal/obs"
 	"evprop/internal/potential"
 	"evprop/internal/sched"
 	"evprop/internal/taskgraph"
@@ -125,6 +126,10 @@ type Engine struct {
 	// propagation.
 	propagations atomic.Int64
 
+	// obsAgg accumulates per-run observability reports (Fig. 8 metrics)
+	// for the schedulers that produce sched.Metrics.
+	obsAgg obs.Aggregate
+
 	collectMu     sync.Mutex
 	collectGraphs map[int]*collectEntry // per-target collect-only graphs
 }
@@ -217,6 +222,12 @@ func (e *Engine) Options() Options { return e.opts }
 // Propagations returns how many scheduler runs (full propagations and
 // collect-only passes) the engine has executed.
 func (e *Engine) Propagations() int64 { return e.propagations.Load() }
+
+// ObsSnapshot returns the engine's aggregated observability counters: the
+// lifetime busy/overhead/per-kind totals and the most recent run's Fig. 8
+// load-balance and overhead-fraction gauges. Only schedulers that report
+// sched.Metrics (collaborative, stealing) contribute.
+func (e *Engine) ObsSnapshot() obs.AggregateSnapshot { return e.obsAgg.Snapshot() }
 
 // getState returns a recycled state for the mode, or allocates one.
 func (e *Engine) getState(mode taskgraph.Mode) (*taskgraph.State, error) {
@@ -328,16 +339,22 @@ func (e *Engine) runScheduler(ctx context.Context, st *taskgraph.State) (*sched.
 			Trace:     e.opts.Trace,
 			Ctx:       ctx,
 		}
+		var m *sched.Metrics
+		var err error
 		if p := e.workerPool(); p != nil {
-			return p.Run(st, opts)
+			m, err = p.Run(st, opts)
+		} else {
+			m, err = sched.Run(st, opts)
 		}
-		return sched.Run(st, opts)
+		return e.observeRun(m, err)
 	case WorkStealing:
-		return sched.RunStealing(st, sched.Options{
+		m, err := sched.RunStealing(st, sched.Options{
 			Workers:   e.opts.Workers,
 			Threshold: e.opts.PartitionThreshold,
+			Trace:     e.opts.Trace,
 			Ctx:       ctx,
 		})
+		return e.observeRun(m, err)
 	case Serial:
 		_, err := baseline.Serial(st)
 		return nil, err
@@ -357,6 +374,15 @@ func (e *Engine) runScheduler(ctx context.Context, st *taskgraph.State) (*sched.
 	default:
 		return nil, fmt.Errorf("core: unknown scheduler %v", e.opts.Scheduler)
 	}
+}
+
+// observeRun folds a successful run's metrics into the engine's
+// observability aggregate before handing them to the caller.
+func (e *Engine) observeRun(m *sched.Metrics, err error) (*sched.Metrics, error) {
+	if err == nil && m != nil {
+		e.obsAgg.Observe(obs.FromSched(m))
+	}
+	return m, err
 }
 
 // CollectMarginal answers a single-variable query with a collection-only

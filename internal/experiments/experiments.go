@@ -14,6 +14,7 @@ import (
 
 	"evprop/internal/jtree"
 	"evprop/internal/machine"
+	"evprop/internal/obs"
 	"evprop/internal/taskgraph"
 )
 
@@ -345,6 +346,12 @@ type Fig8Point struct {
 	BusySeconds  []float64 // per-thread computation time
 	OverheadPct  []float64 // per-thread scheduling time / makespan
 	MakespanSecs float64
+	// LoadBalance and OverheadFrac are the figure's two summary gauges,
+	// computed by internal/obs with the same definitions used for real
+	// runs: max/mean per-thread busy time, and scheduling time over total
+	// worker time.
+	LoadBalance  float64
+	OverheadFrac float64
 }
 
 // Fig8Result reproduces Fig. 8 on Junction tree 1.
@@ -370,6 +377,9 @@ func Fig8(cm machine.CostModel) (*Fig8Result, error) {
 			pt.BusySeconds = append(pt.BusySeconds, res.Busy[c])
 			pt.OverheadPct = append(pt.OverheadPct, 100*res.Overhead[c]/res.Makespan)
 		}
+		rep := obs.FromSim(pt.BusySeconds, res.Overhead[:p], res.Makespan)
+		pt.LoadBalance = rep.LoadBalance
+		pt.OverheadFrac = rep.OverheadFraction
 		out.Points = append(out.Points, pt)
 	}
 	return out, nil
@@ -379,7 +389,8 @@ func Fig8(cm machine.CostModel) (*Fig8Result, error) {
 func (r *Fig8Result) Write(w io.Writer) {
 	fmt.Fprintln(w, "Fig. 8 — load balance and scheduling overhead (Junction tree 1)")
 	for _, pt := range r.Points {
-		fmt.Fprintf(w, "P=%d makespan=%.4fs\n", pt.P, pt.MakespanSecs)
+		fmt.Fprintf(w, "P=%d makespan=%.4fs load-balance=%.3f sched-frac=%.5f\n",
+			pt.P, pt.MakespanSecs, pt.LoadBalance, pt.OverheadFrac)
 		fmt.Fprint(w, "  busy(s):   ")
 		for _, b := range pt.BusySeconds {
 			fmt.Fprintf(w, " %7.4f", b)

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("fresh histogram not zero")
+	}
+	// The observed == 0 guard: quantiles of an empty histogram are 0, not
+	// NaN — this is what keeps a fresh server's /v1/stats valid JSON.
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{1000, 0},              // 1µs: upper bound of bucket 0
+		{1001, 1},              // just past 1µs
+		{2000, 1},              // 2µs
+		{2001, 2},              // just past 2µs
+		{4000, 2},              // 4µs
+		{1 << 62, histBuckets}, // far past the finite range: overflow
+	}
+	for _, c := range cases {
+		if got := histBucketOf(c.ns); got != c.want {
+			t.Errorf("histBucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Each finite bucket's upper bound maps into that bucket, and one more
+	// nanosecond maps into the next.
+	for i := 0; i < histBuckets-1; i++ {
+		ub := histUpperBoundNs(i)
+		if histBucketOf(ub) != i {
+			t.Errorf("bound %d of bucket %d maps to %d", ub, i, histBucketOf(ub))
+		}
+		if histBucketOf(ub+1) != i+1 {
+			t.Errorf("bound+1 of bucket %d maps to %d", i, histBucketOf(ub+1))
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations: 1ms ×90, 10ms ×9, 100ms ×1.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	h.Observe(100 * time.Millisecond)
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Errorf("max %v", h.Max())
+	}
+	// Log-spaced buckets report the bucket upper bound: an overestimate of
+	// at most 2×, never below the true quantile.
+	if q := h.Quantile(0.5); q < time.Millisecond || q > 2*time.Millisecond {
+		t.Errorf("p50 %v outside [1ms, 2ms]", q)
+	}
+	if q := h.Quantile(0.95); q < 10*time.Millisecond || q > 20*time.Millisecond {
+		t.Errorf("p95 %v outside [10ms, 20ms]", q)
+	}
+	// p100 lands on the single 100ms observation; the reported bound is
+	// clamped to the observed max.
+	if q := h.Quantile(1); q != 100*time.Millisecond {
+		t.Errorf("p100 %v, want 100ms", q)
+	}
+	// Quantiles are monotone in q.
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5 * time.Second)
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Errorf("count %d sum %v after negative observation", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Microsecond)     // bucket 0
+	h.Observe(3 * time.Microsecond) // bucket 2 (2µs, 4µs]
+	bounds, cum := h.Buckets()
+	if len(bounds) != histBuckets+1 || len(cum) != histBuckets+1 {
+		t.Fatalf("%d bounds, %d counts", len(bounds), len(cum))
+	}
+	if !math.IsInf(bounds[len(bounds)-1], 1) {
+		t.Error("last bound is not +Inf")
+	}
+	if cum[0] != 1 || cum[1] != 1 || cum[2] != 2 {
+		t.Errorf("cumulative = %v", cum[:4])
+	}
+	if cum[len(cum)-1] != h.Count() {
+		t.Error("+Inf bucket does not hold the total count")
+	}
+	// Cumulative counts are non-decreasing.
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative counts decrease at %d: %v", i, cum)
+		}
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; under
+// -race this verifies Observe and the read side need no lock.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, each = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(g*each+i) * time.Microsecond)
+				if i%100 == 0 {
+					// Concurrent readers must be safe too.
+					h.Quantile(0.95)
+					h.Buckets()
+					h.Mean()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*each {
+		t.Errorf("count %d, want %d", h.Count(), goroutines*each)
+	}
+	want := (goroutines*each - 1) * int64(time.Microsecond)
+	if h.Max() != time.Duration(want) {
+		t.Errorf("max %v, want %v", h.Max(), time.Duration(want))
+	}
+}

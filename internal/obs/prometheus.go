@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements just enough of the Prometheus text exposition format
+// (version 0.0.4) for /v1/metrics: HELP/TYPE headers, counters and gauges
+// with optional labels, and histograms with cumulative le buckets. Writing
+// the format by hand keeps the container dependency-free; any Prometheus
+// scraper parses it.
+
+// WriteHeader emits the # HELP and # TYPE lines for a metric.
+func WriteHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trip float, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WriteSample emits one sample line. Labels are rendered in sorted key
+// order so the output is deterministic (golden-testable).
+func WriteSample(w io.Writer, name string, labels map[string]string, value float64) {
+	if len(labels) == 0 {
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(value))
+		return
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabel(labels[k]))
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, b.String(), formatValue(value))
+}
+
+// WritePrometheus emits the histogram as a Prometheus histogram metric:
+// cumulative le buckets in seconds, plus _sum and _count.
+func (h *Histogram) WritePrometheus(w io.Writer, name, help string) {
+	WriteHeader(w, name, help, "histogram")
+	bounds, cumulative := h.Buckets()
+	for i, b := range bounds {
+		WriteSample(w, name+"_bucket", map[string]string{"le": formatValue(b)}, float64(cumulative[i]))
+	}
+	WriteSample(w, name+"_sum", nil, h.Sum().Seconds())
+	WriteSample(w, name+"_count", nil, float64(h.Count()))
+}
+
+// WritePrometheus emits the aggregate's counters and last-run gauges under
+// the given metric prefix — the scheduler half of /v1/metrics.
+func (s AggregateSnapshot) WritePrometheus(w io.Writer, prefix string) {
+	WriteHeader(w, prefix+"_runs_total", "Completed scheduler runs.", "counter")
+	WriteSample(w, prefix+"_runs_total", nil, float64(s.Runs))
+	WriteHeader(w, prefix+"_busy_seconds_total", "Worker time inside node-level primitives.", "counter")
+	WriteSample(w, prefix+"_busy_seconds_total", nil, s.Busy.Seconds())
+	WriteHeader(w, prefix+"_overhead_seconds_total", "Worker time in the Allocate and Partition scheduler modules.", "counter")
+	WriteSample(w, prefix+"_overhead_seconds_total", nil, s.Overhead.Seconds())
+	WriteHeader(w, prefix+"_kind_busy_seconds_total", "Computation time by primitive kind.", "counter")
+	for k, name := range KindNames {
+		WriteSample(w, prefix+"_kind_busy_seconds_total", map[string]string{"kind": name}, s.KindBusy[k].Seconds())
+	}
+	WriteHeader(w, prefix+"_tasks_total", "Executed items (tasks, pieces, combiners).", "counter")
+	WriteSample(w, prefix+"_tasks_total", nil, float64(s.Tasks))
+	WriteHeader(w, prefix+"_pieces_total", "Partitioned pieces executed.", "counter")
+	WriteSample(w, prefix+"_pieces_total", nil, float64(s.Pieces))
+	WriteHeader(w, prefix+"_partitions_total", "Tasks split by the Partition module.", "counter")
+	WriteSample(w, prefix+"_partitions_total", nil, float64(s.Partitioned))
+	WriteHeader(w, prefix+"_steals_total", "Items stolen from another worker's ready list.", "counter")
+	WriteSample(w, prefix+"_steals_total", nil, float64(s.Steals))
+	WriteHeader(w, prefix+"_load_balance", "Last run's max/mean per-worker busy time (1.0 = perfectly balanced).", "gauge")
+	WriteSample(w, prefix+"_load_balance", nil, s.LastLoadBalance)
+	WriteHeader(w, prefix+"_overhead_fraction", "Last run's scheduler-overhead fraction of total worker time.", "gauge")
+	WriteSample(w, prefix+"_overhead_fraction", nil, s.LastOverheadFraction)
+	WriteHeader(w, prefix+"_overhead_fraction_lifetime", "Lifetime scheduler-overhead fraction across all runs.", "gauge")
+	WriteSample(w, prefix+"_overhead_fraction_lifetime", nil, s.OverheadFraction())
+}

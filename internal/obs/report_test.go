@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"evprop/internal/jtree"
+	"evprop/internal/sched"
+	"evprop/internal/taskgraph"
+)
+
+func TestFromSimDerivation(t *testing.T) {
+	// Two workers, 3s and 1s busy: mean 2s, max 3s → load balance 1.5.
+	// Overhead 0.1s + 0.1s over 4.2s total worker time.
+	r := FromSim([]float64{3, 1}, []float64{0.1, 0.1}, 3.5)
+	if r.Workers != 2 {
+		t.Fatalf("workers %d", r.Workers)
+	}
+	if r.LoadBalance < 1.499 || r.LoadBalance > 1.501 {
+		t.Errorf("load balance %v, want 1.5", r.LoadBalance)
+	}
+	want := 0.2 / 4.2
+	if r.OverheadFraction < want-1e-9 || r.OverheadFraction > want+1e-9 {
+		t.Errorf("overhead fraction %v, want %v", r.OverheadFraction, want)
+	}
+	if r.Elapsed != 3500*time.Millisecond {
+		t.Errorf("elapsed %v", r.Elapsed)
+	}
+}
+
+func TestReportIdleRun(t *testing.T) {
+	// No busy time at all: load balance defaults to 1, overhead fraction 0.
+	r := FromSim([]float64{0, 0}, []float64{0, 0}, 0)
+	if r.LoadBalance != 1 || r.OverheadFraction != 0 {
+		t.Errorf("idle run: balance %v overhead %v", r.LoadBalance, r.OverheadFraction)
+	}
+}
+
+func realRun(t *testing.T, workers, threshold int) *sched.Metrics {
+	t.Helper()
+	tr, err := jtree.Random(jtree.RandomConfig{N: 64, Width: 10, States: 2, Degree: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MaterializeRandom(9); err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.Build(tr)
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sched.Run(st, sched.Options{Workers: workers, Threshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestFromSchedRealRun checks the Fig. 8 invariants on a real collaborative
+// run: a load-balance factor in [1, P], per-kind times that add up to total
+// busy time, and a scheduler-overhead fraction that stays a small minority
+// of worker time (the paper reports <0.9% on its testbeds; the bound here is
+// lenient because CI machines and -race instrumentation inflate the
+// scheduler's bookkeeping relative to the arithmetic).
+func TestFromSchedRealRun(t *testing.T) {
+	const workers = 4
+	m := realRun(t, workers, 256)
+	r := FromSched(m)
+	if r.Workers != workers {
+		t.Fatalf("workers %d", r.Workers)
+	}
+	if r.Tasks == 0 {
+		t.Fatal("no tasks recorded")
+	}
+	if r.LoadBalance < 1 || r.LoadBalance > workers+0.001 {
+		t.Errorf("load balance %v outside [1, %d]", r.LoadBalance, workers)
+	}
+	var kinds time.Duration
+	for _, d := range r.KindBusy {
+		if d < 0 {
+			t.Errorf("negative kind time %v", d)
+		}
+		kinds += d
+	}
+	if kinds != r.TotalBusy() {
+		t.Errorf("kind times sum to %v, busy total %v", kinds, r.TotalBusy())
+	}
+	if r.OverheadFraction < 0 || r.OverheadFraction >= 1 {
+		t.Fatalf("overhead fraction %v outside [0, 1)", r.OverheadFraction)
+	}
+	bound := 0.25
+	if raceEnabled {
+		bound = 0.60
+	}
+	if r.OverheadFraction > bound {
+		t.Errorf("overhead fraction %v exceeds %v", r.OverheadFraction, bound)
+	}
+	var buf strings.Builder
+	r.Write(&buf)
+	for _, want := range []string{"load balance", "overhead fraction"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var a Aggregate
+	s := a.Snapshot()
+	if s.Runs != 0 || s.LastLoadBalance != 1 || s.OverheadFraction() != 0 {
+		t.Errorf("fresh aggregate: %+v", s)
+	}
+	a.Observe(FromSim([]float64{2, 2}, []float64{0.5, 0.5}, 2.5))
+	a.Observe(FromSim([]float64{3, 1}, []float64{0, 0}, 3))
+	s = a.Snapshot()
+	if s.Runs != 2 {
+		t.Fatalf("runs %d", s.Runs)
+	}
+	if s.Busy != 8*time.Second || s.Overhead != time.Second {
+		t.Errorf("busy %v overhead %v", s.Busy, s.Overhead)
+	}
+	// Lifetime fraction spans both runs; the gauges track only the last.
+	if f := s.OverheadFraction(); f < 1.0/9-1e-9 || f > 1.0/9+1e-9 {
+		t.Errorf("lifetime overhead fraction %v", f)
+	}
+	if s.LastLoadBalance < 1.499 || s.LastLoadBalance > 1.501 {
+		t.Errorf("last load balance %v", s.LastLoadBalance)
+	}
+	if s.LastOverheadFraction != 0 {
+		t.Errorf("last overhead fraction %v", s.LastOverheadFraction)
+	}
+}
+
+// TestAggregateConcurrent folds reports from many goroutines while others
+// snapshot; run under -race this is the engine's concurrent-serving pattern.
+func TestAggregateConcurrent(t *testing.T) {
+	var a Aggregate
+	rep := FromSim([]float64{1, 1}, []float64{0.01, 0.01}, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a.Observe(rep)
+				if i%50 == 0 {
+					a.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := a.Snapshot(); s.Runs != 1600 {
+		t.Errorf("runs %d, want 1600", s.Runs)
+	}
+}

@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format ("X" complete
+// events plus "M" metadata). Timestamps and durations are microseconds, the
+// unit chrome://tracing and Perfetto expect.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTraceFile is the JSON Object Format of the trace_event spec; the
+// object form (rather than the bare array) lets viewers know the file is
+// complete and carries the display unit.
+type chromeTraceFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ToChromeTrace writes the trace in Chrome trace_event JSON: open the file
+// in chrome://tracing or https://ui.perfetto.dev to see each worker as a
+// timeline row with one slice per executed task, piece or combiner. Slice
+// names carry the primitive kind, and args hold the task id and piece
+// range for drill-down.
+func (tr *Trace) ToChromeTrace(w io.Writer) error {
+	out := chromeTraceFile{DisplayTimeUnit: "ms"}
+	for worker := 0; worker < tr.Workers; worker++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  worker,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", worker)},
+		})
+	}
+	for _, e := range tr.Events {
+		name := fmt.Sprintf("%s #%d", e.Kind, e.Task)
+		switch {
+		case e.Comb:
+			name = fmt.Sprintf("combine %s #%d", e.Kind, e.Task)
+		case e.Hi >= 0:
+			name = fmt.Sprintf("%s #%d [%d,%d)", e.Kind, e.Task, e.Lo, e.Hi)
+		}
+		dur := float64(e.End-e.Start) / 1e3
+		if dur < 0 {
+			dur = 0
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name,
+			Ph:   "X",
+			Ts:   float64(e.Start) / 1e3,
+			Dur:  &dur,
+			Pid:  1,
+			Tid:  e.Worker,
+			Args: map[string]any{
+				"task": e.Task,
+				"kind": e.Kind.String(),
+				"lo":   e.Lo,
+				"hi":   e.Hi,
+				"comb": e.Comb,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// chromeFile mirrors the trace_event JSON Object Format for decoding.
+type chromeFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  *float64       `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestChromeTraceRoundTrip exports a real partitioned run and decodes the
+// JSON back: every slice must land inside [0, Total], map to a real worker
+// tid, and the per-worker thread_name metadata must cover all workers.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	const workers = 3
+	m := tracedRun(t, workers, 8)
+	var buf bytes.Buffer
+	if err := m.Trace.ToChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", f.DisplayTimeUnit)
+	}
+	totalUs := float64(m.Trace.Total) / 1e3
+	meta := map[int]string{}
+	slices := 0
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name != "thread_name" {
+				t.Errorf("metadata event named %q", e.Name)
+			}
+			meta[e.Tid], _ = e.Args["name"].(string)
+		case "X":
+			slices++
+			if e.Tid < 0 || e.Tid >= workers {
+				t.Errorf("slice tid %d out of range", e.Tid)
+			}
+			if e.Dur == nil {
+				t.Fatalf("slice %q has no duration", e.Name)
+			}
+			if e.Ts < 0 || e.Ts+*e.Dur > totalUs+1 { // +1µs rounding slack
+				t.Errorf("slice %q spans [%v, %v], total %vµs", e.Name, e.Ts, e.Ts+*e.Dur, totalUs)
+			}
+			if e.Name == "" {
+				t.Error("unnamed slice")
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if slices != len(m.Trace.Events) {
+		t.Errorf("%d slices for %d trace events", slices, len(m.Trace.Events))
+	}
+	for w := 0; w < workers; w++ {
+		if want := fmt.Sprintf("worker %d", w); meta[w] != want {
+			t.Errorf("tid %d named %q, want %q", w, meta[w], want)
+		}
+	}
+}
+
+// TestChromeTraceEmpty checks an empty trace still produces valid JSON with
+// the worker metadata (a zero-task graph or trace-disabled run).
+func TestChromeTraceEmpty(t *testing.T) {
+	tr := &Trace{Workers: 2}
+	var buf bytes.Buffer
+	if err := tr.ToChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.TraceEvents) != 2 {
+		t.Errorf("%d events, want 2 metadata entries", len(f.TraceEvents))
+	}
+}

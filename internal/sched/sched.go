@@ -67,6 +67,8 @@ type WorkerMetrics struct {
 	Overhead time.Duration
 	// Tasks counts executed items (tasks, pieces and combiners).
 	Tasks int
+	// KindBusy splits Busy by primitive kind, indexed by taskgraph.Kind.
+	KindBusy [taskgraph.NumKinds]time.Duration
 }
 
 // Metrics aggregates a run.
@@ -76,6 +78,7 @@ type Metrics struct {
 	Tasks     int // original graph tasks completed
 	Pieces    int // partitioned pieces executed (0 when Threshold == 0)
 	Partition int // tasks that were partitioned
+	Steals    int // items taken from another worker's list (stealing only)
 	// Trace is the execution timeline (nil unless Options.Trace).
 	Trace *Trace
 }
@@ -213,16 +216,20 @@ type run struct {
 	lists     []*localList
 	remaining int64 // original tasks not yet complete
 	failed    int32
-	rr        int64 // round-robin cursor for spreading pieces
-	errOnce   sync.Once
-	err       error
-	doneOnce  sync.Once
-	done      chan struct{}
-	metrics   []WorkerMetrics
-	pieces    int64
-	parted    int64
-	start     time.Time
-	traces    [][]Event // per-worker, merged after the run when tracing
+	// rr is the round-robin cursor for spreading pieces. It is unsigned so
+	// the slot index stays valid across wraparound: the modulo is taken on
+	// the uint64 before converting, whereas int(signed)%n goes negative
+	// once the cursor wraps past MaxInt64 and would index out of range.
+	rr       uint64
+	errOnce  sync.Once
+	err      error
+	doneOnce sync.Once
+	done     chan struct{}
+	metrics  []WorkerMetrics
+	pieces   int64
+	parted   int64
+	start    time.Time
+	traces   [][]Event // per-worker, merged after the run when tracing
 }
 
 // Run executes the state's task graph on the pool's workers and returns
@@ -334,9 +341,11 @@ func (r *run) process(w int, it item) {
 		}
 		t0 := time.Now()
 		err := r.st.Execute(it.task)
-		r.metrics[w].Busy += time.Since(t0)
+		d := time.Since(t0)
+		r.metrics[w].Busy += d
+		r.metrics[w].KindBusy[r.g.Tasks[it.task].Kind] += d
 		r.metrics[w].Tasks++
-		r.record(w, Event{Worker: w, Task: it.task, Hi: -1,
+		r.record(w, Event{Worker: w, Task: it.task, Kind: r.g.Tasks[it.task].Kind, Hi: -1,
 			Start: t0.Sub(r.start), End: time.Since(r.start)})
 		if err != nil {
 			r.fail(fmt.Errorf("sched: task %s: %w", r.g.Tasks[it.task].String(), err))
@@ -369,7 +378,7 @@ func (r *run) partition(w int, id, size int) {
 			first = it
 			continue
 		}
-		slot := int(atomic.AddInt64(&r.rr, 1)) % len(r.lists)
+		slot := int(atomic.AddUint64(&r.rr, 1) % uint64(len(r.lists)))
 		r.lists[slot].push(it)
 	}
 	r.metrics[w].Overhead += time.Since(tPart)
@@ -379,10 +388,12 @@ func (r *run) partition(w int, id, size int) {
 func (r *run) runPiece(w int, it item) {
 	t0 := time.Now()
 	err := r.st.ExecutePiece(it.task, it.lo, it.hi, it.buf)
-	r.metrics[w].Busy += time.Since(t0)
+	d := time.Since(t0)
+	r.metrics[w].Busy += d
+	r.metrics[w].KindBusy[r.g.Tasks[it.task].Kind] += d
 	r.metrics[w].Tasks++
 	atomic.AddInt64(&r.pieces, 1)
-	r.record(w, Event{Worker: w, Task: it.task, Lo: it.lo, Hi: it.hi,
+	r.record(w, Event{Worker: w, Task: it.task, Kind: r.g.Tasks[it.task].Kind, Lo: it.lo, Hi: it.hi,
 		Start: t0.Sub(r.start), End: time.Since(r.start)})
 	if err != nil {
 		r.fail(fmt.Errorf("sched: piece [%d,%d) of %s: %w", it.lo, it.hi, r.g.Tasks[it.task].String(), err))
@@ -404,9 +415,11 @@ func (r *run) runPiece(w int, it item) {
 func (r *run) runCombiner(w int, it item) {
 	t0 := time.Now()
 	err := r.st.Combine(it.task, it.comb.bufs)
-	r.metrics[w].Busy += time.Since(t0)
+	d := time.Since(t0)
+	r.metrics[w].Busy += d
+	r.metrics[w].KindBusy[r.g.Tasks[it.task].Kind] += d
 	r.metrics[w].Tasks++
-	r.record(w, Event{Worker: w, Task: it.task, Comb: true, Hi: -1,
+	r.record(w, Event{Worker: w, Task: it.task, Kind: r.g.Tasks[it.task].Kind, Comb: true, Hi: -1,
 		Start: t0.Sub(r.start), End: time.Since(r.start)})
 	if err != nil {
 		r.fail(fmt.Errorf("sched: combine %s: %w", r.g.Tasks[it.task].String(), err))

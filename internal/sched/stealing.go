@@ -38,8 +38,16 @@ func RunStealing(st *taskgraph.State, opts Options) (*Metrics, error) {
 	}
 	r.cond = sync.NewCond(&r.mu)
 	start := time.Now()
+	r.start = start
+	if opts.Trace {
+		r.traces = make([][]Event, opts.Workers)
+	}
 	if g.N() == 0 {
-		return &Metrics{Workers: r.metrics, Elapsed: time.Since(start)}, nil
+		m := &Metrics{Workers: r.metrics, Elapsed: time.Since(start)}
+		if opts.Trace {
+			m.Trace = &Trace{Workers: opts.Workers}
+		}
+		return m, nil
 	}
 	for i, id := range g.Sources() {
 		r.push(i%opts.Workers, r.item(id))
@@ -53,13 +61,23 @@ func RunStealing(st *taskgraph.State, opts Options) (*Metrics, error) {
 		}(w)
 	}
 	wg.Wait()
-	return &Metrics{
+	m := &Metrics{
 		Workers:   r.metrics,
 		Elapsed:   time.Since(start),
 		Tasks:     g.N() - int(atomic.LoadInt64(&r.remaining)),
 		Pieces:    int(r.pieces),
 		Partition: int(r.parted),
-	}, r.err
+		Steals:    int(r.steals),
+	}
+	if opts.Trace {
+		tr := &Trace{Workers: opts.Workers, Total: m.Elapsed}
+		for _, evs := range r.traces {
+			tr.Events = append(tr.Events, evs...)
+		}
+		tr.sortEvents()
+		m.Trace = tr
+	}
+	return m, r.err
 }
 
 type stealRun struct {
@@ -77,9 +95,19 @@ type stealRun struct {
 	remaining int64
 	pieces    int64
 	parted    int64
+	steals    int64
 	errOnce   sync.Once
 	err       error
 	metrics   []WorkerMetrics
+	start     time.Time
+	traces    [][]Event // per-worker, merged after the run when tracing
+}
+
+// record appends a trace event to the worker's private buffer.
+func (r *stealRun) record(w int, e Event) {
+	if r.traces != nil {
+		r.traces[w] = append(r.traces[w], e)
+	}
 }
 
 func (r *stealRun) item(id int) item {
@@ -119,6 +147,7 @@ func (r *stealRun) fetch(w int) (item, bool) {
 			it := r.lists[victim][n-1]
 			r.lists[victim] = r.lists[victim][:n-1]
 			r.weights[victim] -= it.weight
+			atomic.AddInt64(&r.steals, 1)
 			return it, true
 		}
 		if r.done {
@@ -164,8 +193,12 @@ func (r *stealRun) process(w int, it item) {
 	case it.isComb:
 		t0 := time.Now()
 		err := r.st.Combine(it.task, it.comb.bufs)
-		r.metrics[w].Busy += time.Since(t0)
+		d := time.Since(t0)
+		r.metrics[w].Busy += d
+		r.metrics[w].KindBusy[r.g.Tasks[it.task].Kind] += d
 		r.metrics[w].Tasks++
+		r.record(w, Event{Worker: w, Task: it.task, Kind: r.g.Tasks[it.task].Kind, Comb: true, Hi: -1,
+			Start: t0.Sub(r.start), End: time.Since(r.start)})
 		if err != nil {
 			r.finish(err)
 			return
@@ -174,9 +207,13 @@ func (r *stealRun) process(w int, it item) {
 	case it.comb != nil:
 		t0 := time.Now()
 		err := r.st.ExecutePiece(it.task, it.lo, it.hi, it.buf)
-		r.metrics[w].Busy += time.Since(t0)
+		d := time.Since(t0)
+		r.metrics[w].Busy += d
+		r.metrics[w].KindBusy[r.g.Tasks[it.task].Kind] += d
 		r.metrics[w].Tasks++
 		atomic.AddInt64(&r.pieces, 1)
+		r.record(w, Event{Worker: w, Task: it.task, Kind: r.g.Tasks[it.task].Kind, Lo: it.lo, Hi: it.hi,
+			Start: t0.Sub(r.start), End: time.Since(r.start)})
 		if err != nil {
 			r.finish(err)
 			return
@@ -198,8 +235,12 @@ func (r *stealRun) process(w int, it item) {
 		}
 		t0 := time.Now()
 		err := r.st.Execute(it.task)
-		r.metrics[w].Busy += time.Since(t0)
+		d := time.Since(t0)
+		r.metrics[w].Busy += d
+		r.metrics[w].KindBusy[r.g.Tasks[it.task].Kind] += d
 		r.metrics[w].Tasks++
+		r.record(w, Event{Worker: w, Task: it.task, Kind: r.g.Tasks[it.task].Kind, Hi: -1,
+			Start: t0.Sub(r.start), End: time.Since(r.start)})
 		if err != nil {
 			r.finish(err)
 			return

@@ -37,6 +37,10 @@ const (
 	Divide
 	Extend
 	Multiply
+
+	// NumKinds is the number of primitive kinds, for arrays indexed by Kind
+	// (per-kind time breakdowns in sched.WorkerMetrics and internal/obs).
+	NumKinds = 4
 )
 
 func (k Kind) String() string {

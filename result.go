@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"evprop/internal/core"
+	"evprop/internal/obs"
 	"evprop/internal/potential"
 )
 
@@ -115,6 +117,62 @@ func (r *QueryResult) Close() error {
 // after Close.
 func (r *QueryResult) ProbabilityOfEvidence() float64 {
 	return r.res.ProbabilityOfEvidence()
+}
+
+// RunMetrics is the observability report of the propagation behind one
+// QueryResult — the paper's Fig. 8 quantities measured on a real run.
+type RunMetrics struct {
+	// Elapsed is the propagation's wall-clock makespan.
+	Elapsed time.Duration
+	// Workers is the number of scheduler workers P.
+	Workers int
+	// Tasks, Pieces, Partitioned and Steals count executed items, pieces
+	// of partitioned tasks, tasks split by the Partition module, and items
+	// taken from another worker's ready list (work-stealing only).
+	Tasks, Pieces, Partitioned, Steals int
+	// LoadBalance is max/mean per-worker busy time: 1.0 is perfect balance.
+	LoadBalance float64
+	// OverheadFraction is scheduling time / total worker time — the
+	// paper's "<0.9% scheduler overhead" number.
+	OverheadFraction float64
+	// BusyPerWorker and OverheadPerWorker are the per-worker columns of
+	// the paper's Fig. 8 bars.
+	BusyPerWorker     []time.Duration
+	OverheadPerWorker []time.Duration
+	// BusyByKind splits computation time across the four node-level
+	// primitives (marginalize, divide, extend, multiply).
+	BusyByKind map[string]time.Duration
+}
+
+// Metrics returns the run report of the propagation that produced this
+// result, or nil when the configured scheduler does not report metrics
+// (serial and the simulator baselines). It stays available after Close.
+func (r *QueryResult) Metrics() *RunMetrics {
+	if r.res == nil || r.res.Sched == nil {
+		return nil
+	}
+	return runMetricsFromReport(obs.FromSched(r.res.Sched))
+}
+
+// runMetricsFromReport converts an internal run report to the public type.
+func runMetricsFromReport(rep *obs.Report) *RunMetrics {
+	m := &RunMetrics{
+		Elapsed:           rep.Elapsed,
+		Workers:           rep.Workers,
+		Tasks:             rep.Tasks,
+		Pieces:            rep.Pieces,
+		Partitioned:       rep.Partitioned,
+		Steals:            rep.Steals,
+		LoadBalance:       rep.LoadBalance,
+		OverheadFraction:  rep.OverheadFraction,
+		BusyPerWorker:     append([]time.Duration(nil), rep.Busy...),
+		OverheadPerWorker: append([]time.Duration(nil), rep.Overhead...),
+		BusyByKind:        make(map[string]time.Duration, len(obs.KindNames)),
+	}
+	for k, name := range obs.KindNames {
+		m.BusyByKind[name] = rep.KindBusy[k]
+	}
+	return m
 }
 
 // Evidence returns a copy of the evidence this result conditions on.
