@@ -11,9 +11,13 @@ import (
 // servingEngine compiles the serving-benchmark workload: a mid-size random
 // network queried with fixed evidence, as a server would under load.
 func servingEngine(b *testing.B) (*Engine, Evidence) {
+	return servingEngineOpts(b, Options{Workers: 4})
+}
+
+func servingEngineOpts(b *testing.B, opts Options) (*Engine, Evidence) {
 	b.Helper()
 	net := RandomNetwork(40, 2, 3, 7)
-	eng, err := net.Compile(Options{Workers: 4})
+	eng, err := net.Compile(opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -22,13 +26,7 @@ func servingEngine(b *testing.B) (*Engine, Evidence) {
 	return eng, Evidence{vars[3]: 1, vars[17]: 0}
 }
 
-// BenchmarkConcurrentQuery measures the concurrent serving path: parallel
-// client goroutines share one engine with no external lock, and each query
-// is one pooled propagation from which P(e) and all posteriors derive.
-// Compare against BenchmarkMutexSerializedQuery, the seed server's
-// request path; run with -cpu 4 (or higher) for the serving contract.
-func BenchmarkConcurrentQuery(b *testing.B) {
-	eng, ev := servingEngine(b)
+func benchConcurrentQuery(b *testing.B, eng *Engine, ev Evidence) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
@@ -42,6 +40,25 @@ func BenchmarkConcurrentQuery(b *testing.B) {
 			res.Close()
 		}
 	})
+}
+
+// BenchmarkConcurrentQuery measures the concurrent serving path: parallel
+// client goroutines share one engine with no external lock, and each query
+// is one pooled propagation from which P(e) and all posteriors derive.
+// Compare against BenchmarkMutexSerializedQuery, the seed server's
+// request path; run with -cpu 4 (or higher) for the serving contract.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	eng, ev := servingEngine(b)
+	benchConcurrentQuery(b, eng, ev)
+}
+
+// BenchmarkConcurrentQueryNoRecorder is the control for the always-on flight
+// recorder: same workload with the recorder disabled. The delta between this
+// and BenchmarkConcurrentQuery is the recorder's cost — the observability
+// budget caps it at 2%.
+func BenchmarkConcurrentQueryNoRecorder(b *testing.B) {
+	eng, ev := servingEngineOpts(b, Options{Workers: 4, DisableFlightRecorder: true})
+	benchConcurrentQuery(b, eng, ev)
 }
 
 // BenchmarkMutexSerializedQuery reproduces the original server's request

@@ -3,7 +3,7 @@
 // query costs exactly one evidence propagation.
 //
 //	evserve -network asia -addr :8080
-//	evserve -bif model.bif
+//	evserve -bif model.bif -log json -request-timeout 5s
 //
 // Versioned endpoints (JSON):
 //
@@ -16,46 +16,137 @@
 //	                → {"assignment": {"Lung": 1, …}, "probability": 0.37}
 //	POST /v1/dsep   ← {"x": ["Asia"], "y": ["Smoke"], "z": []}
 //	                → {"separated": true}
-//	GET  /v1/stats  → request counters, scheduler invocations, latency
+//	GET  /v1/stats  → request counters, latency percentiles, 60 s window
+//	GET  /v1/metrics → Prometheus text exposition of the same
+//	GET  /v1/debug/flightrecorder → recent query ring + slow-query captures;
+//	                ?id=q-… filters to one query ID
 //
-// The pre-/v1 paths /model, /query, /mpe and /dsep remain as aliases.
+// The pre-/v1 paths /model, /query, /mpe and /dsep remain as aliases, and
+// -pprof additionally exposes net/http/pprof under /debug/pprof/.
+//
+// Every response carries an X-Query-ID header (minted per request, or echoed
+// from the client's own X-Query-ID) that also tags the engine's flight
+// recorder entry and the request's slog access-log record, so one ID
+// correlates all three. SIGINT/SIGTERM drain in-flight propagations before
+// the process exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"evprop"
 )
 
+// shutdownGrace bounds how long a drain may take once a signal arrives.
+const shutdownGrace = 10 * time.Second
+
 func main() {
 	var (
-		network = flag.String("network", "asia", "network: asia, sprinkler, student, random")
-		bifFile = flag.String("bif", "", "load the network from a BIF file")
-		nodes   = flag.Int("nodes", 30, "random network: node count")
-		seed    = flag.Int64("seed", 1, "random network: seed")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		addr    = flag.String("addr", ":8080", "listen address")
-		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		network  = flag.String("network", "asia", "network: asia, sprinkler, student, random")
+		bifFile  = flag.String("bif", "", "load the network from a BIF file")
+		nodes    = flag.Int("nodes", 30, "random network: node count")
+		seed     = flag.Int64("seed", 1, "random network: seed")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		logFmt   = flag.String("log", "text", "access-log format: text or json")
+		timeout  = flag.Duration("request-timeout", 0, "per-request deadline (0 = none)")
+		slowThr  = flag.Duration("slow-threshold", 0, "flight-recorder slow-query capture floor (0 = adaptive, 2×p99)")
+		recorder = flag.Int("recorder-size", 0, "flight-recorder ring capacity (0 = default)")
 	)
 	flag.Parse()
 
-	net, err := loadNetwork(*network, *bifFile, *nodes, *seed)
+	logger, err := newLogger(*logFmt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evserve:", err)
 		os.Exit(1)
 	}
-	srv, err := newServer(net, evprop.Options{Workers: *workers})
+	slog.SetDefault(logger)
+
+	bn, err := loadNetwork(*network, *bifFile, *nodes, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evserve:", err)
+		os.Exit(1)
+	}
+	srv, err := newServer(bn, evprop.Options{
+		Workers:            *workers,
+		SlowQueryThreshold: *slowThr,
+		FlightRecorderSize: *recorder,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evserve:", err)
 		os.Exit(1)
 	}
 	srv.pprofEnabled = *pprofOn
-	log.Printf("evserve: %d variables on %s", len(net.Variables()), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+	srv.log = logger
+	srv.timeout = *timeout
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evserve:", err)
+		os.Exit(1)
+	}
+	logger.Info("evserve: listening",
+		slog.Int("variables", len(bn.Variables())),
+		slog.String("addr", ln.Addr().String()))
+	if err := serve(ctx, ln, srv.mux(), logger); err != nil {
+		fmt.Fprintln(os.Stderr, "evserve:", err)
+		os.Exit(1)
+	}
+	srv.eng.Close()
+	logger.Info("evserve: stopped")
+}
+
+// newLogger builds the process logger in the requested access-log format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log format %q (want text or json)", format)
+	}
+}
+
+// serve runs the HTTP server until the listener fails or ctx is canceled
+// (SIGINT/SIGTERM in main), then drains in-flight requests for up to
+// shutdownGrace before returning.
+func serve(ctx context.Context, ln net.Listener, handler http.Handler, logger *slog.Logger) error {
+	hs := &http.Server{
+		Handler: handler,
+		// Bound header reads so an idle half-open connection cannot pin a
+		// goroutine forever; request bodies stay unbounded because batch
+		// payloads are legitimately large.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("evserve: draining in-flight requests", slog.Duration("grace", shutdownGrace))
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		// The grace period ran out; close the stragglers hard.
+		hs.Close()
+		return err
+	}
+	return nil
 }
 
 func loadNetwork(kind, bifFile string, nodes int, seed int64) (*evprop.Network, error) {

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"log/slog"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"evprop"
+)
+
+// Per-request observability: instrument wraps every handler so each request
+// gets a query ID (minted here, or honored from the client's X-Query-ID
+// header), an optional deadline, and one structured access-log record on
+// completion. The ID rides the request context into Engine.Propagate and the
+// scheduler, so the access-log line, the HTTP response header and the
+// flight-recorder entry all carry the same ID.
+
+// reqInfo is the annotation channel between the middleware and the handlers:
+// handlers note what they learned (evidence size, the propagation's Fig. 8
+// gauges) and the middleware folds it into the access log and the stats
+// window. Fields are atomics because /v1/batch runs its sub-queries on
+// concurrent goroutines.
+type reqInfo struct {
+	queryID      string
+	evidenceVars atomic.Int64
+	propagations atomic.Int64
+	// overheadFrac and loadBalance hold the most recent propagation's
+	// gauges as float bits.
+	overheadFrac atomic.Uint64
+	loadBalance  atomic.Uint64
+}
+
+type reqInfoKey struct{}
+
+// reqInfoFrom returns the request's annotation record, nil for contexts that
+// did not pass through instrument (direct engine use, tests).
+func reqInfoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// noteQuery records one query's evidence size.
+func (ri *reqInfo) noteQuery(evidenceVars int) {
+	if ri == nil {
+		return
+	}
+	ri.evidenceVars.Add(int64(evidenceVars))
+}
+
+// noteRun records one propagation's scheduler gauges.
+func (ri *reqInfo) noteRun(m *evprop.RunMetrics) {
+	if ri == nil || m == nil {
+		return
+	}
+	ri.propagations.Add(1)
+	ri.overheadFrac.Store(math.Float64bits(m.OverheadFraction))
+	ri.loadBalance.Store(math.Float64bits(m.LoadBalance))
+}
+
+func (ri *reqInfo) lastLoadBalance() float64 {
+	return math.Float64frombits(ri.loadBalance.Load())
+}
+
+func (ri *reqInfo) lastOverheadFrac() float64 {
+	return math.Float64frombits(ri.overheadFrac.Load())
+}
+
+// statusWriter captures the response status and size for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with the per-request observability layer.
+func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Query-ID")
+		if id == "" {
+			id = evprop.NewQueryID()
+		}
+		ri := &reqInfo{queryID: id}
+		ctx := evprop.WithQueryID(r.Context(), id)
+		ctx = context.WithValue(ctx, reqInfoKey{}, ri)
+		if s.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+		}
+		w.Header().Set("X-Query-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(ctx))
+		latency := time.Since(start)
+		status := sw.code
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.window.Observe(latency, status >= 400, ri.lastLoadBalance())
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("endpoint", endpoint),
+			slog.Int("status", status),
+			slog.Int("bytes", sw.bytes),
+			slog.Int64("evidence_vars", ri.evidenceVars.Load()),
+			slog.Int64("propagations", ri.propagations.Load()),
+			slog.Float64("sched_overhead_fraction", ri.lastOverheadFrac()),
+			slog.Float64("load_balance", ri.lastLoadBalance()),
+			slog.Duration("latency", latency),
+		)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"sync"
@@ -23,6 +24,13 @@ type server struct {
 	net   *evprop.Network
 	eng   *evprop.Engine
 	stats serverStats
+	// log receives one access-log record per request (see instrument).
+	log *slog.Logger
+	// window aggregates the last 60 seconds of traffic for /v1/stats.
+	window *obs.Window
+	// timeout, when non-zero, bounds every request with a deadline that the
+	// engine observes mid-propagation.
+	timeout time.Duration
 	// pprofEnabled wires net/http/pprof under /debug/pprof/ (opt-in via
 	// the -pprof flag: profiling endpoints expose internals and should not
 	// be on by default).
@@ -50,24 +58,32 @@ func newServer(net *evprop.Network, opts evprop.Options) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{net: net, eng: eng}, nil
+	return &server{net: net, eng: eng, log: slog.Default(), window: obs.NewWindow()}, nil
 }
 
 // mux routes the versioned /v1 API plus the original unversioned paths,
-// kept as aliases so pre-/v1 clients keep working.
+// kept as aliases so pre-/v1 clients keep working. Every route goes through
+// instrument, so each request carries a query ID and emits one access-log
+// record; only the pprof endpoints bypass it.
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
-	m.HandleFunc("/v1/model", s.handleModel)
-	m.HandleFunc("/v1/query", s.handleQuery)
-	m.HandleFunc("/v1/batch", s.handleBatch)
-	m.HandleFunc("/v1/mpe", s.handleMPE)
-	m.HandleFunc("/v1/dsep", s.handleDSep)
-	m.HandleFunc("/v1/stats", s.handleStats)
-	m.HandleFunc("/v1/metrics", s.handleMetrics)
-	m.HandleFunc("/model", s.handleModel)
-	m.HandleFunc("/query", s.handleQuery)
-	m.HandleFunc("/mpe", s.handleMPE)
-	m.HandleFunc("/dsep", s.handleDSep)
+	routes := map[string]http.HandlerFunc{
+		"/v1/model":                s.handleModel,
+		"/v1/query":                s.handleQuery,
+		"/v1/batch":                s.handleBatch,
+		"/v1/mpe":                  s.handleMPE,
+		"/v1/dsep":                 s.handleDSep,
+		"/v1/stats":                s.handleStats,
+		"/v1/metrics":              s.handleMetrics,
+		"/v1/debug/flightrecorder": s.handleFlightRecorder,
+		"/model":                   s.handleModel,
+		"/query":                   s.handleQuery,
+		"/mpe":                     s.handleMPE,
+		"/dsep":                    s.handleDSep,
+	}
+	for path, h := range routes {
+		m.HandleFunc(path, s.instrument(path, h))
+	}
 	if s.pprofEnabled {
 		m.HandleFunc("/debug/pprof/", pprof.Index)
 		m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -130,11 +146,14 @@ type queryResponse struct {
 // and the posteriors both derive from the same QueryResult.
 func (s *server) runQuery(ctx context.Context, req queryRequest) (*queryResponse, error) {
 	start := time.Now()
+	ri := reqInfoFrom(ctx)
+	ri.noteQuery(len(req.Evidence))
 	res, err := s.eng.PropagateContext(ctx, req.Evidence)
 	if err != nil {
 		return nil, err
 	}
 	defer res.Close()
+	ri.noteRun(res.Metrics())
 	resp := &queryResponse{PEvidence: res.ProbabilityOfEvidence(), Posteriors: map[string][]float64{}}
 	if resp.PEvidence > 0 {
 		post, err := res.Posteriors(req.Query...)
@@ -220,12 +239,15 @@ func (s *server) handleMPE(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.mpes.Add(1)
 	start := time.Now()
+	ri := reqInfoFrom(r.Context())
+	ri.noteQuery(len(req.Evidence))
 	res, err := s.eng.PropagateContext(r.Context(), req.Evidence)
 	if err != nil {
 		s.httpError(w, statusFor(err), err.Error())
 		return
 	}
 	defer res.Close()
+	ri.noteRun(res.Metrics())
 	assignment, p, err := res.MPE()
 	if err != nil {
 		s.httpError(w, statusFor(err), err.Error())
@@ -277,6 +299,39 @@ type statsResponse struct {
 	// total worker time).
 	LoadBalance       float64 `json:"load_balance"`
 	SchedOverheadFrac float64 `json:"sched_overhead_fraction"`
+	// Window covers only the last 60 seconds of traffic, where the fields
+	// above aggregate over the whole process lifetime.
+	Window windowStats `json:"window"`
+}
+
+// windowStats is the JSON shape of the 60-second sliding window.
+type windowStats struct {
+	Seconds        int     `json:"seconds"`
+	Requests       int64   `json:"requests"`
+	Errors         int64   `json:"errors"`
+	QPS            float64 `json:"qps"`
+	ErrorRate      float64 `json:"error_rate"`
+	P50LatencyUsec float64 `json:"p50_latency_usec"`
+	P99LatencyUsec float64 `json:"p99_latency_usec"`
+	LoadBalance    float64 `json:"load_balance"`
+	// QPSSeries is per-second request counts, oldest first; the last entry
+	// is the current (incomplete) second.
+	QPSSeries []int64 `json:"qps_series"`
+}
+
+func (s *server) windowStats() windowStats {
+	ws := s.window.Snapshot()
+	return windowStats{
+		Seconds:        ws.Seconds,
+		Requests:       ws.Requests,
+		Errors:         ws.Errors,
+		QPS:            ws.QPS,
+		ErrorRate:      ws.ErrorRate,
+		P50LatencyUsec: float64(ws.P50.Nanoseconds()) / 1e3,
+		P99LatencyUsec: float64(ws.P99.Nanoseconds()) / 1e3,
+		LoadBalance:    ws.LoadBalance,
+		QPSSeries:      ws.QPSSeries,
+	}
 }
 
 // handleStats reports request counters, the engine's scheduler invocation
@@ -302,6 +357,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Observed:          h.Count(),
 		LoadBalance:       sr.LastLoadBalance,
 		SchedOverheadFrac: sr.LastOverheadFraction,
+		Window:            s.windowStats(),
 	}
 	if resp.Observed > 0 {
 		resp.AvgLatencyUsec = float64(h.Mean()) / 1e3
@@ -335,6 +391,65 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteSample(w, "evprop_workers", nil, float64(es.Workers))
 	s.stats.latency.WritePrometheus(w, "evprop_request_duration_seconds", "End-to-end propagation latency of successful requests.")
 	s.eng.WriteSchedulerMetrics(w, "evprop_sched")
+	ws := s.window.Snapshot()
+	obs.WriteHeader(w, "evprop_window_requests", "Requests in the last 60 seconds.", "gauge")
+	obs.WriteSample(w, "evprop_window_requests", nil, float64(ws.Requests))
+	obs.WriteHeader(w, "evprop_window_qps", "Mean requests/second over the last 60 seconds.", "gauge")
+	obs.WriteSample(w, "evprop_window_qps", nil, ws.QPS)
+	obs.WriteHeader(w, "evprop_window_error_rate", "Error fraction over the last 60 seconds.", "gauge")
+	obs.WriteSample(w, "evprop_window_error_rate", nil, ws.ErrorRate)
+	obs.WriteHeader(w, "evprop_window_latency_seconds", "Latency quantiles over the last 60 seconds.", "gauge")
+	obs.WriteSample(w, "evprop_window_latency_seconds", map[string]string{"quantile": "0.5"}, ws.P50.Seconds())
+	obs.WriteSample(w, "evprop_window_latency_seconds", map[string]string{"quantile": "0.99"}, ws.P99.Seconds())
+	obs.WriteHeader(w, "evprop_window_load_balance", "Mean load-balance factor over the last 60 seconds.", "gauge")
+	obs.WriteSample(w, "evprop_window_load_balance", nil, ws.LoadBalance)
+	fs := s.eng.FlightRecorderStats()
+	obs.WriteHeader(w, "evprop_flightrecorder_recorded_total", "Propagations seen by the flight recorder.", "counter")
+	obs.WriteSample(w, "evprop_flightrecorder_recorded_total", nil, float64(fs.Recorded))
+	obs.WriteHeader(w, "evprop_flightrecorder_slow_total", "Slow-query captures taken by the flight recorder.", "counter")
+	obs.WriteSample(w, "evprop_flightrecorder_slow_total", nil, float64(fs.SlowCaptured))
+	obs.WriteHeader(w, "evprop_flightrecorder_slow_threshold_seconds", "Current slow-query capture threshold (0 while calibrating).", "gauge")
+	obs.WriteSample(w, "evprop_flightrecorder_slow_threshold_seconds", nil, fs.SlowThresholdUsec/1e6)
+}
+
+// flightRecorderResponse is the /v1/debug/flightrecorder payload: recorder
+// counters, the ring of recent queries, and the retained slow-query captures
+// (full scheduler traces).
+type flightRecorderResponse struct {
+	Recorder evprop.FlightRecorderStats `json:"recorder"`
+	Records  []evprop.FlightRecord      `json:"records"`
+	Slow     []evprop.SlowQueryCapture  `json:"slow"`
+}
+
+// handleFlightRecorder dumps the flight recorder. `?id=q-…` filters both the
+// ring and the slow captures to one query ID — the lookup used to correlate
+// an X-Query-ID response header or access-log line with its scheduler run.
+func (s *server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := flightRecorderResponse{
+		Recorder: s.eng.FlightRecorderStats(),
+		Records:  s.eng.RecentQueries(),
+		Slow:     s.eng.SlowQueryCaptures(),
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		var recs []evprop.FlightRecord
+		for _, rec := range resp.Records {
+			if rec.ID == id {
+				recs = append(recs, rec)
+			}
+		}
+		var slow []evprop.SlowQueryCapture
+		for _, c := range resp.Slow {
+			if c.Record.ID == id {
+				slow = append(slow, c)
+			}
+		}
+		resp.Records, resp.Slow = recs, slow
+	}
+	s.writeJSON(w, resp)
 }
 
 // readJSON decodes a POST body, answering the error response itself (and

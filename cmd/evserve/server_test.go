@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -14,14 +16,22 @@ import (
 )
 
 func testServer(t *testing.T) *httptest.Server {
+	ts, _ := testServerFull(t, evprop.Options{Workers: 2})
+	return ts
+}
+
+// testServerFull also hands back the server so tests can reach its engine,
+// window and logger. Access logs are discarded unless a test swaps srv.log.
+func testServerFull(t *testing.T, opts evprop.Options) (*httptest.Server, *server) {
 	t.Helper()
-	srv, err := newServer(evprop.Asia(), evprop.Options{Workers: 2})
+	srv, err := newServer(evprop.Asia(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
+	srv.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	ts := httptest.NewServer(srv.mux())
 	t.Cleanup(ts.Close)
-	return ts
+	return ts, srv
 }
 
 func post(t *testing.T, url string, body any) *http.Response {

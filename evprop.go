@@ -171,6 +171,17 @@ type Options struct {
 	// entries than this are split across workers. 0 selects an automatic
 	// threshold; negative disables partitioning.
 	PartitionThreshold int
+	// DisableFlightRecorder turns off the always-on flight recorder (see
+	// Engine.RecentQueries); useful only for micro-benchmarking its cost.
+	DisableFlightRecorder bool
+	// FlightRecorderSize is the recorder's summary-ring capacity (0 selects
+	// the default, 256).
+	FlightRecorderSize int
+	// SlowQueryThreshold pins the flight recorder's slow-query capture
+	// threshold: any propagation slower than this retains its full
+	// scheduler trace. 0 selects the adaptive threshold, 2× the observed
+	// p99 latency once enough propagations have been recorded.
+	SlowQueryThreshold time.Duration
 }
 
 // Engine answers posterior queries over a compiled network. An Engine is
@@ -313,11 +324,16 @@ func (n *Network) Compile(opts Options) (*Engine, error) {
 		}
 		threshold = 2 * total / tree.N()
 	}
+	var recorder *obs.FlightRecorder
+	if !opts.DisableFlightRecorder {
+		recorder = obs.NewFlightRecorder(opts.FlightRecorderSize, opts.SlowQueryThreshold)
+	}
 	eng, err := core.NewEngine(tree, core.Options{
 		Workers:            opts.Workers,
 		Scheduler:          s,
 		Reroot:             !opts.DisableReroot,
 		PartitionThreshold: threshold,
+		Recorder:           recorder,
 	})
 	if err != nil {
 		return nil, err

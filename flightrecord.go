@@ -1,0 +1,216 @@
+package evprop
+
+import (
+	"context"
+	"time"
+
+	"evprop/internal/obs"
+	"evprop/internal/sched"
+)
+
+// Per-request observability: every propagation carries a query ID (threaded
+// through the context) and leaves a summary in the engine's always-on flight
+// recorder — a fixed-size lock-free ring of recent queries plus an automatic
+// slow-query capture that retains the full scheduler trace of any
+// propagation beyond the slow threshold. This is the layer that answers
+// "why was *that* query slow?" in production, after the fact.
+
+// WithQueryID returns a context carrying a query ID. Propagations run under
+// this context are recorded under the ID, so an HTTP server that stamps each
+// request can later find the matching flight-recorder entry.
+func WithQueryID(ctx context.Context, id string) context.Context {
+	return obs.WithQueryID(ctx, id)
+}
+
+// QueryIDFrom extracts the query ID from a context, "" when none is set.
+func QueryIDFrom(ctx context.Context) string { return obs.QueryIDFrom(ctx) }
+
+// NewQueryID returns a process-unique query ID (e.g. "q-9f2c41d3-17").
+func NewQueryID() string { return obs.NewQueryID() }
+
+// FlightRecord is one propagation's summary in the engine's flight recorder.
+type FlightRecord struct {
+	// Seq orders records over the recorder's lifetime.
+	Seq uint64 `json:"seq"`
+	// ID is the query ID the propagation ran under.
+	ID string `json:"id"`
+	// Time is when the propagation completed.
+	Time time.Time `json:"time"`
+	// Mode is "sum-product", "max-product" or "collect".
+	Mode string `json:"mode"`
+	// EvidenceVars is the number of observed variables.
+	EvidenceVars int `json:"evidence_vars"`
+	// ElapsedUsec is the propagation's wall-clock time in microseconds.
+	ElapsedUsec float64 `json:"elapsed_usec"`
+	// Workers and Tasks describe the scheduler run (0 for schedulers that
+	// report no metrics).
+	Workers int `json:"workers"`
+	Tasks   int `json:"tasks"`
+	// LoadBalance and SchedOverheadFrac are the run's Fig. 8 gauges.
+	LoadBalance       float64 `json:"load_balance"`
+	SchedOverheadFrac float64 `json:"sched_overhead_fraction"`
+	// Error is the propagation failure, omitted on success.
+	Error string `json:"error,omitempty"`
+	// Slow marks records that crossed the slow-capture threshold.
+	Slow bool `json:"slow"`
+}
+
+// TraceEvent is one executed scheduler item in a slow-query capture's
+// timeline.
+type TraceEvent struct {
+	Worker int    `json:"worker"`
+	Task   int    `json:"task"`
+	Kind   string `json:"kind"`
+	// Lo and Hi give a partitioned piece's index range; Hi is -1 for whole
+	// tasks.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Combine marks the combining subtask of a partitioned task.
+	Combine bool `json:"combine,omitempty"`
+	// StartUsec and EndUsec are offsets from the run's start.
+	StartUsec float64 `json:"start_usec"`
+	EndUsec   float64 `json:"end_usec"`
+}
+
+// SlowQueryCapture is the full detail the flight recorder retained for one
+// slow propagation: the summary, the per-worker Fig. 8 columns, and the
+// complete scheduler trace.
+type SlowQueryCapture struct {
+	Record FlightRecord `json:"record"`
+	// ThresholdUsec is the capture threshold in force when the run crossed
+	// it.
+	ThresholdUsec float64 `json:"threshold_usec"`
+	// BusyPerWorkerUsec and OverheadPerWorkerUsec are the per-worker
+	// computation and scheduling times (empty when the scheduler reported
+	// no metrics).
+	BusyPerWorkerUsec     []float64 `json:"busy_per_worker_usec,omitempty"`
+	OverheadPerWorkerUsec []float64 `json:"overhead_per_worker_usec,omitempty"`
+	// Trace is the run's execution timeline (empty when untraced).
+	Trace []TraceEvent `json:"trace,omitempty"`
+}
+
+// FlightRecorderStats summarizes the recorder itself.
+type FlightRecorderStats struct {
+	// Enabled is false when the engine was compiled with
+	// DisableFlightRecorder.
+	Enabled bool `json:"enabled"`
+	// Size is the summary-ring capacity.
+	Size int `json:"size"`
+	// Recorded counts propagations recorded over the engine's lifetime.
+	Recorded int64 `json:"recorded"`
+	// SlowCaptured counts propagations that crossed the slow threshold.
+	SlowCaptured int64 `json:"slow_captured"`
+	// SlowThresholdUsec is the capture threshold currently in force, 0
+	// while the adaptive threshold is still warming up.
+	SlowThresholdUsec float64 `json:"slow_threshold_usec"`
+}
+
+// FlightRecorderStats returns the recorder's own counters and current slow
+// threshold.
+func (e *Engine) FlightRecorderStats() FlightRecorderStats {
+	fr := e.recorder()
+	if fr == nil {
+		return FlightRecorderStats{}
+	}
+	return FlightRecorderStats{
+		Enabled:           true,
+		Size:              fr.Size(),
+		Recorded:          fr.Total(),
+		SlowCaptured:      fr.SlowTotal(),
+		SlowThresholdUsec: usec(fr.SlowThreshold()),
+	}
+}
+
+// RecentQueries returns the flight recorder's current ring contents, oldest
+// to newest — the last N propagations with their query IDs, latencies and
+// Fig. 8 gauges. It returns nil when the recorder is disabled.
+func (e *Engine) RecentQueries() []FlightRecord {
+	fr := e.recorder()
+	if fr == nil {
+		return nil
+	}
+	recs := fr.Snapshot()
+	out := make([]FlightRecord, len(recs))
+	for i := range recs {
+		out[i] = publicRecord(&recs[i])
+	}
+	return out
+}
+
+// SlowQueryCaptures returns the retained slow-query captures, oldest to
+// newest, each with its full scheduler trace.
+func (e *Engine) SlowQueryCaptures() []SlowQueryCapture {
+	fr := e.recorder()
+	if fr == nil {
+		return nil
+	}
+	caps := fr.SlowSnapshot()
+	out := make([]SlowQueryCapture, len(caps))
+	for i := range caps {
+		sc := &caps[i]
+		pc := SlowQueryCapture{
+			Record:        publicRecord(&sc.Record),
+			ThresholdUsec: usec(sc.Threshold),
+		}
+		if sc.Report != nil {
+			pc.BusyPerWorkerUsec = usecSlice(sc.Report.Busy)
+			pc.OverheadPerWorkerUsec = usecSlice(sc.Report.Overhead)
+		}
+		if sc.Trace != nil {
+			pc.Trace = publicTrace(sc.Trace)
+		}
+		out[i] = pc
+	}
+	return out
+}
+
+func (e *Engine) recorder() *obs.FlightRecorder {
+	if e == nil || e.inner == nil {
+		return nil
+	}
+	return e.inner.Recorder()
+}
+
+func publicRecord(r *obs.QueryRecord) FlightRecord {
+	return FlightRecord{
+		Seq:               r.Seq,
+		ID:                r.ID,
+		Time:              r.Time,
+		Mode:              r.Mode,
+		EvidenceVars:      r.EvidenceVars,
+		ElapsedUsec:       usec(r.Elapsed),
+		Workers:           r.Workers,
+		Tasks:             r.Tasks,
+		LoadBalance:       r.LoadBalance,
+		SchedOverheadFrac: r.OverheadFraction,
+		Error:             r.Err,
+		Slow:              r.Slow,
+	}
+}
+
+func publicTrace(tr *sched.Trace) []TraceEvent {
+	out := make([]TraceEvent, len(tr.Events))
+	for i, ev := range tr.Events {
+		out[i] = TraceEvent{
+			Worker:    ev.Worker,
+			Task:      ev.Task,
+			Kind:      obs.KindNames[ev.Kind],
+			Lo:        ev.Lo,
+			Hi:        ev.Hi,
+			Combine:   ev.Comb,
+			StartUsec: usec(ev.Start),
+			EndUsec:   usec(ev.End),
+		}
+	}
+	return out
+}
+
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func usecSlice(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = usec(d)
+	}
+	return out
+}

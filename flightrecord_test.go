@@ -1,0 +1,172 @@
+package evprop
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightRecorderRecordsPropagations checks the engine-level integration:
+// every propagation (sum-product, the MPE's max-product companion, and
+// QueryOne's collect pass) lands in the recorder with its mode and the
+// context's query ID.
+func TestFlightRecorderRecordsPropagations(t *testing.T) {
+	eng, err := Asia().Compile(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ctx := WithQueryID(context.Background(), "test-query-1")
+	res, err := eng.PropagateContext(ctx, Evidence{"XRay": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.MPE(); err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+	if _, err := eng.QueryOne(Evidence{"XRay": 1}, "Lung"); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := eng.RecentQueries()
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want 3 (sum, max, collect)", len(recs))
+	}
+	if recs[0].Mode != "sum-product" || recs[0].ID != "test-query-1" {
+		t.Errorf("record 0: %+v", recs[0])
+	}
+	// The MPE's lazy max-product run has no caller context; it gets an
+	// auto-assigned ID.
+	if recs[1].Mode != "max-product" || recs[1].ID == "" {
+		t.Errorf("record 1: %+v", recs[1])
+	}
+	if recs[2].Mode != "collect" || !strings.HasPrefix(recs[2].ID, "q-") {
+		t.Errorf("record 2: %+v", recs[2])
+	}
+	for i, r := range recs {
+		if r.ElapsedUsec <= 0 || r.Workers != 2 || r.Tasks == 0 {
+			t.Errorf("record %d missing run detail: %+v", i, r)
+		}
+		if r.EvidenceVars != 1 {
+			t.Errorf("record %d evidence vars %d", i, r.EvidenceVars)
+		}
+	}
+
+	st := eng.FlightRecorderStats()
+	if !st.Enabled || st.Recorded != 3 || st.Size == 0 {
+		t.Errorf("recorder stats %+v", st)
+	}
+}
+
+// TestFlightRecorderSlowCaptureHasTrace pins the threshold to 1ns so every
+// propagation counts as slow, and verifies each capture retained the full
+// scheduler trace and per-worker report.
+func TestFlightRecorderSlowCaptureHasTrace(t *testing.T) {
+	eng, err := Asia().Compile(Options{Workers: 2, SlowQueryThreshold: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	res, err := eng.Propagate(Evidence{"Dysp": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+	caps := eng.SlowQueryCaptures()
+	if len(caps) != 1 {
+		t.Fatalf("%d captures, want 1", len(caps))
+	}
+	c := caps[0]
+	if !c.Record.Slow || c.ThresholdUsec != 1e-3 {
+		t.Errorf("capture record %+v threshold %v", c.Record, c.ThresholdUsec)
+	}
+	if len(c.Trace) == 0 {
+		t.Fatal("capture has no trace events")
+	}
+	for _, ev := range c.Trace {
+		if ev.Kind == "" || ev.EndUsec < ev.StartUsec {
+			t.Errorf("bad trace event %+v", ev)
+		}
+	}
+	if len(c.BusyPerWorkerUsec) != 2 || len(c.OverheadPerWorkerUsec) != 2 {
+		t.Errorf("per-worker columns: busy %v overhead %v",
+			c.BusyPerWorkerUsec, c.OverheadPerWorkerUsec)
+	}
+	if eng.FlightRecorderStats().SlowCaptured != 1 {
+		t.Errorf("slow captured %d", eng.FlightRecorderStats().SlowCaptured)
+	}
+}
+
+// TestFlightRecorderDisabled verifies the opt-out: no recorder, no records,
+// and Result traces are untouched by the recorder's arming logic.
+func TestFlightRecorderDisabled(t *testing.T) {
+	eng, err := Asia().Compile(Options{Workers: 2, DisableFlightRecorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	res, err := eng.Propagate(Evidence{"XRay": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+	if recs := eng.RecentQueries(); recs != nil {
+		t.Errorf("disabled recorder returned %d records", len(recs))
+	}
+	if st := eng.FlightRecorderStats(); st.Enabled {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestFlightRecorderConcurrentPropagation drives concurrent queries while
+// reading the recorder — the -race check for the full engine-to-ring path.
+func TestFlightRecorderConcurrentPropagation(t *testing.T) {
+	eng, err := Asia().Compile(Options{Workers: 2, FlightRecorderSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				res, err := eng.Propagate(Evidence{"XRay": 1})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				res.Close()
+				eng.RecentQueries()
+				eng.SlowQueryCaptures()
+			}
+		}()
+	}
+	wg.Wait()
+	if st := eng.FlightRecorderStats(); st.Recorded != 100 {
+		t.Errorf("recorded %d, want 100", st.Recorded)
+	}
+	if got := len(eng.RecentQueries()); got != 8 {
+		t.Errorf("ring holds %d, want 8", got)
+	}
+}
+
+// TestQueryIDRoundTrip checks the context helpers.
+func TestQueryIDRoundTrip(t *testing.T) {
+	ctx := WithQueryID(context.Background(), "abc")
+	if got := QueryIDFrom(ctx); got != "abc" {
+		t.Errorf("QueryIDFrom = %q", got)
+	}
+	if got := QueryIDFrom(context.Background()); got != "" {
+		t.Errorf("empty context yields %q", got)
+	}
+	a, b := NewQueryID(), NewQueryID()
+	if a == b || !strings.HasPrefix(a, "q-") {
+		t.Errorf("NewQueryID: %q, %q", a, b)
+	}
+}

@@ -91,6 +91,11 @@ type Options struct {
 	// Trace records a per-worker execution timeline in Result.Sched.Trace
 	// (collaborative scheduler only).
 	Trace bool
+	// Recorder, when set, receives a summary of every propagation (the
+	// flight recorder): runs are traced so slow ones retain their full
+	// execution timeline, and each run's query ID, latency and Fig. 8
+	// gauges land in the recorder's ring.
+	Recorder *obs.FlightRecorder
 }
 
 // ErrReleased is returned by Result methods after Release recycled the
@@ -229,6 +234,9 @@ func (e *Engine) Propagations() int64 { return e.propagations.Load() }
 // sched.Metrics (collaborative, stealing) contribute.
 func (e *Engine) ObsSnapshot() obs.AggregateSnapshot { return e.obsAgg.Snapshot() }
 
+// Recorder returns the engine's flight recorder, nil when none is attached.
+func (e *Engine) Recorder() *obs.FlightRecorder { return e.opts.Recorder }
+
 // getState returns a recycled state for the mode, or allocates one.
 func (e *Engine) getState(mode taskgraph.Mode) (*taskgraph.State, error) {
 	if v := e.statePools[mode].Get(); v != nil {
@@ -316,27 +324,67 @@ func (e *Engine) propagateFull(ctx context.Context, ev potential.Evidence, like 
 	res := &Result{eng: e, state: st}
 	start := time.Now()
 	m, err := e.runScheduler(ctx, st)
+	elapsed := time.Since(start)
+	e.recordRun(ctx, mode.String(), len(ev), elapsed, m, err)
 	if err != nil {
 		// The state may still be referenced by pool workers draining the
 		// failed run's queue — drop it to the GC instead of recycling.
 		return nil, err
 	}
 	res.Sched = m
-	res.Elapsed = time.Since(start)
+	res.Elapsed = elapsed
 	res.pe = st.Clique[st.Graph().Tree.Root].Sum()
 	return res, nil
+}
+
+// recordRun folds one scheduler run into the flight recorder (when one is
+// attached) under the context's query ID, assigning a fresh ID when the
+// caller supplied none. Traces armed by the recorder (rather than requested
+// via Options.Trace) are stripped from the metrics afterwards: slow runs'
+// traces now belong to the recorder, fast runs' traces are dead weight.
+func (e *Engine) recordRun(ctx context.Context, mode string, evVars int, elapsed time.Duration, m *sched.Metrics, runErr error) {
+	rec := e.opts.Recorder
+	if rec == nil {
+		return
+	}
+	id := obs.QueryIDFrom(ctx)
+	if id == "" {
+		id = obs.NewQueryID()
+	}
+	rec.RecordRun(obs.RunInfo{
+		ID:           id,
+		Mode:         mode,
+		EvidenceVars: evVars,
+		Elapsed:      elapsed,
+		Err:          runErr,
+	}, m)
+	if m != nil && !e.opts.Trace {
+		// The trace existed only for the recorder. If the run was slow the
+		// recorder finalized and kept it; otherwise Release recycles its
+		// buffers. Either way it leaves the caller-visible metrics.
+		m.Trace.Release()
+		m.Trace = nil
+	}
 }
 
 // runScheduler executes the state's graph with the configured strategy,
 // returning collaborative-scheduler metrics when applicable.
 func (e *Engine) runScheduler(ctx context.Context, st *taskgraph.State) (*sched.Metrics, error) {
 	e.propagations.Add(1)
+	// A flight recorder arms tracing on every run so a run that turns out
+	// slow still has its full timeline to retain — slowness is only known
+	// after the fact. Recorder-armed traces (not requested by the user)
+	// defer their merge: recordRun keeps them only for slow runs, so fast
+	// runs just recycle their event buffers.
+	trace := e.opts.Trace || e.opts.Recorder != nil
+	lazy := trace && !e.opts.Trace
 	switch e.opts.Scheduler {
 	case Collaborative:
 		opts := sched.Options{
 			Workers:   e.opts.Workers,
 			Threshold: e.opts.PartitionThreshold,
-			Trace:     e.opts.Trace,
+			Trace:     trace,
+			LazyTrace: lazy,
 			Ctx:       ctx,
 		}
 		var m *sched.Metrics
@@ -351,7 +399,8 @@ func (e *Engine) runScheduler(ctx context.Context, st *taskgraph.State) (*sched.
 		m, err := sched.RunStealing(st, sched.Options{
 			Workers:   e.opts.Workers,
 			Threshold: e.opts.PartitionThreshold,
-			Trace:     e.opts.Trace,
+			Trace:     trace,
+			LazyTrace: lazy,
 			Ctx:       ctx,
 		})
 		return e.observeRun(m, err)
@@ -419,7 +468,10 @@ func (e *Engine) CollectMarginalContext(ctx context.Context, ev potential.Eviden
 		entry.states.Put(st)
 		return nil, err
 	}
-	if _, err := e.runScheduler(ctx, st); err != nil {
+	start := time.Now()
+	sm, err := e.runScheduler(ctx, st)
+	e.recordRun(ctx, "collect", len(ev), time.Since(start), sm, err)
+	if err != nil {
 		return nil, err // state possibly still referenced; drop it
 	}
 	m, err := st.Clique[entry.g.Tree.Root].Marginal([]int{v})

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"evprop/internal/sched"
+)
+
+// FlightRecorder is the always-on black box of the serving stack: a
+// fixed-size lock-free ring of recent query summaries plus an automatic
+// slow-query capture that retains the full scheduler trace of any
+// propagation exceeding a latency threshold. It answers "why was *that*
+// query slow?" after the fact — no flag, no restart, no re-run.
+//
+// The hot path (RecordRun) is wait-free for the summary ring: one atomic
+// cursor add and one atomic pointer store, so concurrent propagations never
+// serialize on the recorder. Only the rare slow-capture path takes a mutex.
+type FlightRecorder struct {
+	slots  []atomic.Pointer[QueryRecord]
+	cursor atomic.Uint64 // next sequence number
+
+	// hist accumulates all recorded latencies; it feeds the adaptive
+	// (p99-relative) slow threshold.
+	hist Histogram
+	// floorNs is the flag-set slow threshold in ns. >0 pins the threshold;
+	// 0 selects the adaptive rule (slowFactor × p99 once enough samples).
+	floorNs int64
+
+	slowMu    sync.Mutex
+	slow      []SlowCapture // ring of the most recent slow captures
+	slowNext  int
+	slowTotal atomic.Int64
+}
+
+const (
+	// defaultRecorderSize is the summary-ring capacity when unset.
+	defaultRecorderSize = 256
+	// slowCaptureCap bounds retained slow captures (each may hold a trace).
+	slowCaptureCap = 16
+	// slowMinSamples gates the adaptive threshold: below this count p99 is
+	// noise and nothing is captured.
+	slowMinSamples = 64
+	// slowFactor scales p99 into the adaptive threshold.
+	slowFactor = 2
+)
+
+// QueryRecord is one propagation's summary in the recorder ring.
+type QueryRecord struct {
+	// Seq is the record's position in the recorder's lifetime sequence.
+	Seq uint64
+	// ID is the query ID threaded through the propagation's context.
+	ID string
+	// Time is when the propagation completed.
+	Time time.Time
+	// Mode names the run: "sum", "max" or "collect".
+	Mode string
+	// EvidenceVars is the number of observed variables.
+	EvidenceVars int
+	// Elapsed is the propagation's wall-clock time.
+	Elapsed time.Duration
+	// Workers and Tasks describe the scheduler run (zero for schedulers
+	// that report no metrics).
+	Workers int
+	Tasks   int
+	// LoadBalance and OverheadFraction are the run's Fig. 8 gauges.
+	LoadBalance      float64
+	OverheadFraction float64
+	// Err is the propagation failure, "" on success.
+	Err string
+	// Slow marks records that crossed the capture threshold.
+	Slow bool
+}
+
+// SlowCapture retains everything known about one slow propagation: the
+// summary, the Fig. 8 per-worker report, and the full scheduler trace when
+// the run was traced.
+type SlowCapture struct {
+	Record QueryRecord
+	// Threshold is the capture threshold in force when the run crossed it.
+	Threshold time.Duration
+	// Report is the per-worker run report (nil when the scheduler reported
+	// no metrics).
+	Report *Report
+	// Trace is the run's execution timeline (nil when untraced).
+	Trace *sched.Trace
+}
+
+// NewFlightRecorder returns a recorder with the given summary-ring capacity
+// (0 or negative selects the default) and slow threshold floor (0 selects
+// the adaptive p99-relative threshold).
+func NewFlightRecorder(size int, slowFloor time.Duration) *FlightRecorder {
+	if size <= 0 {
+		size = defaultRecorderSize
+	}
+	return &FlightRecorder{
+		slots:   make([]atomic.Pointer[QueryRecord], size),
+		floorNs: slowFloor.Nanoseconds(),
+	}
+}
+
+// RunInfo is what the engine knows about a finished propagation beyond the
+// scheduler metrics.
+type RunInfo struct {
+	ID           string
+	Mode         string
+	EvidenceVars int
+	Elapsed      time.Duration
+	Err          error
+}
+
+// SlowThreshold returns the capture threshold currently in force: the
+// flag-set floor when one was configured, otherwise slowFactor × the
+// observed p99 once slowMinSamples latencies have been recorded. 0 means no
+// capture yet (adaptive threshold still warming up).
+func (fr *FlightRecorder) SlowThreshold() time.Duration {
+	if fr.floorNs > 0 {
+		return time.Duration(fr.floorNs)
+	}
+	if fr.hist.Count() < slowMinSamples {
+		return 0
+	}
+	return slowFactor * fr.hist.Quantile(0.99)
+}
+
+// RecordRun folds one finished propagation into the ring, capturing the run
+// report and trace when it crossed the slow threshold. It reports whether
+// the run was captured as slow — if not, the caller owns m.Trace and may
+// recycle it.
+func (fr *FlightRecorder) RecordRun(info RunInfo, m *sched.Metrics) (slow bool) {
+	rec := &QueryRecord{
+		ID:           info.ID,
+		Time:         time.Now(),
+		Mode:         info.Mode,
+		EvidenceVars: info.EvidenceVars,
+		Elapsed:      info.Elapsed,
+	}
+	if info.Err != nil {
+		rec.Err = info.Err.Error()
+	}
+	if m != nil {
+		rec.Workers = len(m.Workers)
+		rec.Tasks = m.Tasks
+		var busy, overhead, max time.Duration
+		for _, wm := range m.Workers {
+			busy += wm.Busy
+			overhead += wm.Overhead
+			if wm.Busy > max {
+				max = wm.Busy
+			}
+		}
+		if busy > 0 && rec.Workers > 0 {
+			rec.LoadBalance = float64(max) * float64(rec.Workers) / float64(busy)
+		} else {
+			rec.LoadBalance = 1
+		}
+		if busy+overhead > 0 {
+			rec.OverheadFraction = float64(overhead) / float64(busy+overhead)
+		}
+	}
+	thr := fr.SlowThreshold()
+	fr.hist.Observe(info.Elapsed)
+	if thr > 0 && info.Elapsed > thr {
+		rec.Slow = true
+		fr.captureSlow(rec, thr, m)
+	}
+	seq := fr.cursor.Add(1) - 1
+	rec.Seq = seq
+	fr.slots[seq%uint64(len(fr.slots))].Store(rec)
+	return rec.Slow
+}
+
+// captureSlow retains the full run detail in the slow ring. Slow runs are
+// rare by construction (beyond the p99), so a mutex is fine here.
+func (fr *FlightRecorder) captureSlow(rec *QueryRecord, thr time.Duration, m *sched.Metrics) {
+	sc := SlowCapture{Record: *rec, Threshold: thr}
+	if m != nil {
+		sc.Report = FromSched(m)
+		sc.Trace = m.Trace
+		// A recorder-armed trace arrives with its merge deferred; keeping
+		// it means paying for the merge now (rare by construction).
+		sc.Trace.Finalize()
+	}
+	fr.slowTotal.Add(1)
+	fr.slowMu.Lock()
+	defer fr.slowMu.Unlock()
+	if len(fr.slow) < slowCaptureCap {
+		fr.slow = append(fr.slow, sc)
+		return
+	}
+	fr.slow[fr.slowNext] = sc
+	fr.slowNext = (fr.slowNext + 1) % slowCaptureCap
+}
+
+// Snapshot returns the ring's current records ordered oldest to newest. The
+// copy is taken slot by slot with atomic loads, so it is safe against
+// concurrent writers; records overwritten mid-snapshot appear with their new
+// content.
+func (fr *FlightRecorder) Snapshot() []QueryRecord {
+	out := make([]QueryRecord, 0, len(fr.slots))
+	for i := range fr.slots {
+		if rec := fr.slots[i].Load(); rec != nil {
+			out = append(out, *rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// SlowSnapshot returns the retained slow captures ordered oldest to newest.
+func (fr *FlightRecorder) SlowSnapshot() []SlowCapture {
+	fr.slowMu.Lock()
+	defer fr.slowMu.Unlock()
+	out := make([]SlowCapture, 0, len(fr.slow))
+	out = append(out, fr.slow[fr.slowNext:]...)
+	out = append(out, fr.slow[:fr.slowNext]...)
+	return out
+}
+
+// Total returns how many runs have been recorded over the recorder's
+// lifetime (≥ the ring size once it wrapped).
+func (fr *FlightRecorder) Total() int64 { return int64(fr.cursor.Load()) }
+
+// SlowTotal returns how many runs crossed the slow threshold (≥ the
+// retained captures once the slow ring wrapped).
+func (fr *FlightRecorder) SlowTotal() int64 { return fr.slowTotal.Load() }
+
+// Size returns the summary-ring capacity.
+func (fr *FlightRecorder) Size() int { return len(fr.slots) }

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testWindow returns a window on a settable fake clock.
+func testWindow() (*Window, *atomic.Int64) {
+	var sec atomic.Int64
+	sec.Store(1_000_000)
+	w := &Window{now: func() time.Time { return time.Unix(sec.Load(), 0) }}
+	return w, &sec
+}
+
+func TestWindowCountsAndSeries(t *testing.T) {
+	w, sec := testWindow()
+	w.Observe(100*time.Microsecond, false, 1.2)
+	w.Observe(200*time.Microsecond, true, 0)
+	sec.Add(1)
+	w.Observe(400*time.Microsecond, false, 1.4)
+	s := w.Snapshot()
+	if s.Requests != 3 || s.Errors != 1 {
+		t.Errorf("requests %d errors %d", s.Requests, s.Errors)
+	}
+	if s.ErrorRate < 0.33 || s.ErrorRate > 0.34 {
+		t.Errorf("error rate %v", s.ErrorRate)
+	}
+	if s.QPS != 3.0/WindowSeconds {
+		t.Errorf("qps %v", s.QPS)
+	}
+	if len(s.QPSSeries) != WindowSeconds {
+		t.Fatalf("series length %d", len(s.QPSSeries))
+	}
+	// Newest second last: 1 request now, 2 one second ago.
+	if s.QPSSeries[WindowSeconds-1] != 1 || s.QPSSeries[WindowSeconds-2] != 2 {
+		t.Errorf("series tail %v", s.QPSSeries[WindowSeconds-2:])
+	}
+	// Only propagating requests feed the balance gauge: mean of 1.2 and 1.4.
+	if s.LoadBalance < 1.29 || s.LoadBalance > 1.31 {
+		t.Errorf("load balance %v", s.LoadBalance)
+	}
+	// Quantiles are log-bucket upper bounds: the p50 of {100µs,200µs,400µs}
+	// is the rank-2 observation (200µs, bucket bound 256µs), the p99 the
+	// rank-3 one (400µs, bucket bound 512µs).
+	if s.P50 != 256*time.Microsecond {
+		t.Errorf("p50 %v", s.P50)
+	}
+	if s.P99 != 512*time.Microsecond {
+		t.Errorf("p99 %v", s.P99)
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	w, sec := testWindow()
+	for i := 0; i < 10; i++ {
+		w.Observe(time.Millisecond, false, 1)
+	}
+	sec.Add(WindowSeconds - 1)
+	if s := w.Snapshot(); s.Requests != 10 {
+		t.Errorf("still-visible requests %d, want 10", s.Requests)
+	}
+	sec.Add(1) // the burst second is now exactly WindowSeconds old
+	if s := w.Snapshot(); s.Requests != 0 {
+		t.Errorf("expired requests %d, want 0", s.Requests)
+	}
+	if s := w.Snapshot(); s.LoadBalance != 1 || s.P50 != 0 || s.ErrorRate != 0 {
+		t.Errorf("empty snapshot %+v", s)
+	}
+}
+
+func TestWindowBucketRotationReuses(t *testing.T) {
+	w, sec := testWindow()
+	w.Observe(time.Millisecond, true, 0)
+	// Same bucket index WindowSeconds later must not leak the old counts.
+	sec.Add(WindowSeconds)
+	w.Observe(time.Millisecond, false, 0)
+	s := w.Snapshot()
+	if s.Requests != 1 || s.Errors != 0 {
+		t.Errorf("rotated bucket leaked: requests %d errors %d", s.Requests, s.Errors)
+	}
+}
+
+// TestWindowConcurrent hammers one window from many goroutines across
+// rotating seconds — the -race check for the atomic counters and the
+// once-per-second reset.
+func TestWindowConcurrent(t *testing.T) {
+	w, sec := testWindow()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if g == 0 && i%50 == 0 {
+					sec.Add(1)
+				}
+				w.Observe(time.Duration(i)*time.Microsecond, i%10 == 0, 1)
+				w.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := w.Snapshot()
+	if s.Requests == 0 || s.Requests > 8*500 {
+		t.Errorf("requests %d out of range", s.Requests)
+	}
+}

@@ -50,6 +50,13 @@ type Options struct {
 	// Trace records a per-worker execution timeline in Metrics.Trace
 	// (small constant overhead per executed item).
 	Trace bool
+	// LazyTrace defers the trace's merge and sort: Metrics.Trace comes
+	// back holding raw per-worker buffers, and the caller must call
+	// exactly one of Trace.Finalize (keep it) or Trace.Release (drop it).
+	// Set by callers that usually discard the trace — the flight
+	// recorder's always-armed tracing keeps only slow runs, so the merge
+	// cost is paid only when a capture actually happens.
+	LazyTrace bool
 	// Ctx optionally cancels the run: it is polled between items, so a
 	// cancelled run stops at the next task boundary instead of running to
 	// completion. nil means never cancelled.
@@ -229,7 +236,7 @@ type run struct {
 	pieces   int64
 	parted   int64
 	start    time.Time
-	traces   [][]Event // per-worker, merged after the run when tracing
+	tbufs    *traceBufs // per-worker event buffers, merged lazily when tracing
 }
 
 // Run executes the state's task graph on the pool's workers and returns
@@ -254,15 +261,15 @@ func (p *Pool) Run(st *taskgraph.State, opts Options) (*Metrics, error) {
 	}
 	start := time.Now()
 	r.start = start
-	if opts.Trace {
-		r.traces = make([][]Event, len(p.lists))
-	}
 	if g.N() == 0 {
 		m := &Metrics{Workers: r.metrics, Elapsed: time.Since(start)}
 		if opts.Trace {
 			m.Trace = &Trace{Workers: len(p.lists)}
 		}
 		return m, nil
+	}
+	if opts.Trace {
+		r.tbufs = getTraceBufs(len(p.lists))
 	}
 	// Line 1 of Algorithm 2: distribute the initially ready tasks evenly.
 	for i, id := range g.Sources() {
@@ -277,11 +284,10 @@ func (p *Pool) Run(st *taskgraph.State, opts Options) (*Metrics, error) {
 		Partition: int(atomic.LoadInt64(&r.parted)),
 	}
 	if opts.Trace {
-		tr := &Trace{Workers: len(p.lists), Total: m.Elapsed}
-		for _, evs := range r.traces {
-			tr.Events = append(tr.Events, evs...)
+		tr := &Trace{Workers: len(p.lists), Total: m.Elapsed, bufs: r.tbufs}
+		if !opts.LazyTrace {
+			tr.Finalize()
 		}
-		tr.sortEvents()
 		m.Trace = tr
 	}
 	return m, r.err
@@ -342,11 +348,11 @@ func (r *run) process(w int, it item) {
 		t0 := time.Now()
 		err := r.st.Execute(it.task)
 		d := time.Since(t0)
+		kind := r.g.Tasks[it.task].Kind
 		r.metrics[w].Busy += d
-		r.metrics[w].KindBusy[r.g.Tasks[it.task].Kind] += d
+		r.metrics[w].KindBusy[kind] += d
 		r.metrics[w].Tasks++
-		r.record(w, Event{Worker: w, Task: it.task, Kind: r.g.Tasks[it.task].Kind, Hi: -1,
-			Start: t0.Sub(r.start), End: time.Since(r.start)})
+		r.record(w, it.task, kind, 0, -1, false, t0.Sub(r.start), d)
 		if err != nil {
 			r.fail(fmt.Errorf("sched: task %s: %w", r.g.Tasks[it.task].String(), err))
 			return
@@ -389,12 +395,12 @@ func (r *run) runPiece(w int, it item) {
 	t0 := time.Now()
 	err := r.st.ExecutePiece(it.task, it.lo, it.hi, it.buf)
 	d := time.Since(t0)
+	kind := r.g.Tasks[it.task].Kind
 	r.metrics[w].Busy += d
-	r.metrics[w].KindBusy[r.g.Tasks[it.task].Kind] += d
+	r.metrics[w].KindBusy[kind] += d
 	r.metrics[w].Tasks++
 	atomic.AddInt64(&r.pieces, 1)
-	r.record(w, Event{Worker: w, Task: it.task, Kind: r.g.Tasks[it.task].Kind, Lo: it.lo, Hi: it.hi,
-		Start: t0.Sub(r.start), End: time.Since(r.start)})
+	r.record(w, it.task, kind, it.lo, it.hi, false, t0.Sub(r.start), d)
 	if err != nil {
 		r.fail(fmt.Errorf("sched: piece [%d,%d) of %s: %w", it.lo, it.hi, r.g.Tasks[it.task].String(), err))
 		return
@@ -416,11 +422,11 @@ func (r *run) runCombiner(w int, it item) {
 	t0 := time.Now()
 	err := r.st.Combine(it.task, it.comb.bufs)
 	d := time.Since(t0)
+	kind := r.g.Tasks[it.task].Kind
 	r.metrics[w].Busy += d
-	r.metrics[w].KindBusy[r.g.Tasks[it.task].Kind] += d
+	r.metrics[w].KindBusy[kind] += d
 	r.metrics[w].Tasks++
-	r.record(w, Event{Worker: w, Task: it.task, Kind: r.g.Tasks[it.task].Kind, Comb: true, Hi: -1,
-		Start: t0.Sub(r.start), End: time.Since(r.start)})
+	r.record(w, it.task, kind, 0, -1, true, t0.Sub(r.start), d)
 	if err != nil {
 		r.fail(fmt.Errorf("sched: combine %s: %w", r.g.Tasks[it.task].String(), err))
 		return
@@ -444,9 +450,9 @@ func (r *run) completeTask(w int, id int) {
 }
 
 // record appends a trace event to the worker's private buffer.
-func (r *run) record(w int, e Event) {
-	if r.traces != nil {
-		r.traces[w] = append(r.traces[w], e)
+func (r *run) record(w, task int, kind taskgraph.Kind, lo, hi int, comb bool, start, dur time.Duration) {
+	if r.tbufs != nil {
+		r.tbufs.record(w, task, kind, lo, hi, comb, start, dur)
 	}
 }
 

@@ -39,15 +39,15 @@ func RunStealing(st *taskgraph.State, opts Options) (*Metrics, error) {
 	r.cond = sync.NewCond(&r.mu)
 	start := time.Now()
 	r.start = start
-	if opts.Trace {
-		r.traces = make([][]Event, opts.Workers)
-	}
 	if g.N() == 0 {
 		m := &Metrics{Workers: r.metrics, Elapsed: time.Since(start)}
 		if opts.Trace {
 			m.Trace = &Trace{Workers: opts.Workers}
 		}
 		return m, nil
+	}
+	if opts.Trace {
+		r.tbufs = getTraceBufs(opts.Workers)
 	}
 	for i, id := range g.Sources() {
 		r.push(i%opts.Workers, r.item(id))
@@ -70,11 +70,10 @@ func RunStealing(st *taskgraph.State, opts Options) (*Metrics, error) {
 		Steals:    int(r.steals),
 	}
 	if opts.Trace {
-		tr := &Trace{Workers: opts.Workers, Total: m.Elapsed}
-		for _, evs := range r.traces {
-			tr.Events = append(tr.Events, evs...)
+		tr := &Trace{Workers: opts.Workers, Total: m.Elapsed, bufs: r.tbufs}
+		if !opts.LazyTrace {
+			tr.Finalize()
 		}
-		tr.sortEvents()
 		m.Trace = tr
 	}
 	return m, r.err
@@ -100,13 +99,13 @@ type stealRun struct {
 	err       error
 	metrics   []WorkerMetrics
 	start     time.Time
-	traces    [][]Event // per-worker, merged after the run when tracing
+	tbufs     *traceBufs // per-worker event buffers, merged lazily when tracing
 }
 
 // record appends a trace event to the worker's private buffer.
-func (r *stealRun) record(w int, e Event) {
-	if r.traces != nil {
-		r.traces[w] = append(r.traces[w], e)
+func (r *stealRun) record(w, task int, kind taskgraph.Kind, lo, hi int, comb bool, start, dur time.Duration) {
+	if r.tbufs != nil {
+		r.tbufs.record(w, task, kind, lo, hi, comb, start, dur)
 	}
 }
 
@@ -194,11 +193,11 @@ func (r *stealRun) process(w int, it item) {
 		t0 := time.Now()
 		err := r.st.Combine(it.task, it.comb.bufs)
 		d := time.Since(t0)
+		kind := r.g.Tasks[it.task].Kind
 		r.metrics[w].Busy += d
-		r.metrics[w].KindBusy[r.g.Tasks[it.task].Kind] += d
+		r.metrics[w].KindBusy[kind] += d
 		r.metrics[w].Tasks++
-		r.record(w, Event{Worker: w, Task: it.task, Kind: r.g.Tasks[it.task].Kind, Comb: true, Hi: -1,
-			Start: t0.Sub(r.start), End: time.Since(r.start)})
+		r.record(w, it.task, kind, 0, -1, true, t0.Sub(r.start), d)
 		if err != nil {
 			r.finish(err)
 			return
@@ -208,12 +207,12 @@ func (r *stealRun) process(w int, it item) {
 		t0 := time.Now()
 		err := r.st.ExecutePiece(it.task, it.lo, it.hi, it.buf)
 		d := time.Since(t0)
+		kind := r.g.Tasks[it.task].Kind
 		r.metrics[w].Busy += d
-		r.metrics[w].KindBusy[r.g.Tasks[it.task].Kind] += d
+		r.metrics[w].KindBusy[kind] += d
 		r.metrics[w].Tasks++
 		atomic.AddInt64(&r.pieces, 1)
-		r.record(w, Event{Worker: w, Task: it.task, Kind: r.g.Tasks[it.task].Kind, Lo: it.lo, Hi: it.hi,
-			Start: t0.Sub(r.start), End: time.Since(r.start)})
+		r.record(w, it.task, kind, it.lo, it.hi, false, t0.Sub(r.start), d)
 		if err != nil {
 			r.finish(err)
 			return
@@ -236,11 +235,11 @@ func (r *stealRun) process(w int, it item) {
 		t0 := time.Now()
 		err := r.st.Execute(it.task)
 		d := time.Since(t0)
+		kind := r.g.Tasks[it.task].Kind
 		r.metrics[w].Busy += d
-		r.metrics[w].KindBusy[r.g.Tasks[it.task].Kind] += d
+		r.metrics[w].KindBusy[kind] += d
 		r.metrics[w].Tasks++
-		r.record(w, Event{Worker: w, Task: it.task, Kind: r.g.Tasks[it.task].Kind, Hi: -1,
-			Start: t0.Sub(r.start), End: time.Since(r.start)})
+		r.record(w, it.task, kind, 0, -1, false, t0.Sub(r.start), d)
 		if err != nil {
 			r.finish(err)
 			return
