@@ -25,8 +25,9 @@
 // -pprof additionally exposes net/http/pprof under /debug/pprof/.
 //
 // Every response carries an X-Query-ID header (minted per request, or echoed
-// from the client's own X-Query-ID) that also tags the engine's flight
-// recorder entry and the request's slog access-log record, so one ID
+// from the client's own X-Query-ID when it is ≤64 bytes of [A-Za-z0-9._:-];
+// anything else is replaced with a generated ID) that also tags the engine's
+// flight recorder entry and the request's slog access-log record, so one ID
 // correlates all three. SIGINT/SIGTERM drain in-flight propagations before
 // the process exits.
 package main

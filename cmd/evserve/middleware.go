@@ -13,7 +13,8 @@ import (
 
 // Per-request observability: instrument wraps every handler so each request
 // gets a query ID (minted here, or honored from the client's X-Query-ID
-// header), an optional deadline, and one structured access-log record on
+// header when it passes validQueryID), an optional deadline, and one
+// structured access-log record on
 // completion. The ID rides the request context into Engine.Propagate and the
 // scheduler, so the access-log line, the HTTP response header and the
 // flight-recorder entry all carry the same ID.
@@ -68,6 +69,31 @@ func (ri *reqInfo) lastOverheadFrac() float64 {
 	return math.Float64frombits(ri.overheadFrac.Load())
 }
 
+// queryIDMaxLen bounds client-supplied query IDs: anything longer is
+// replaced with a generated ID rather than retained in the access log and
+// the flight-recorder ring.
+const queryIDMaxLen = 64
+
+// validQueryID reports whether a client-supplied X-Query-ID may be adopted
+// as the request's query ID: non-empty, at most queryIDMaxLen bytes, and
+// limited to [A-Za-z0-9._:-] so an arbitrary header cannot pollute the
+// structured logs or the recorder with control characters, separators or
+// oversized values. Generated IDs ("q-9f2c41d3-17") satisfy this too.
+func validQueryID(id string) bool {
+	if id == "" || len(id) > queryIDMaxLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		switch c := id[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == ':', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // statusWriter captures the response status and size for the access log.
 type statusWriter struct {
 	http.ResponseWriter
@@ -96,7 +122,7 @@ func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := r.Header.Get("X-Query-ID")
-		if id == "" {
+		if !validQueryID(id) {
 			id = evprop.NewQueryID()
 		}
 		ri := &reqInfo{queryID: id}

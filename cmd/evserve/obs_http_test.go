@@ -134,6 +134,60 @@ func TestClientSuppliedQueryID(t *testing.T) {
 	}
 }
 
+// TestQueryIDValidation: a client-supplied ID that is oversized or outside
+// the safe charset must not reach the log or the recorder — the server
+// replaces it with a generated one.
+func TestQueryIDValidation(t *testing.T) {
+	ts, srv := testServerFull(t, evprop.Options{Workers: 2})
+	// Control characters are rejected by net/http itself before the request
+	// leaves the client, so only transport-legal but unsafe IDs appear here;
+	// TestValidQueryID covers the rest.
+	for _, bad := range []string{
+		strings.Repeat("a", queryIDMaxLen+1),
+		"spoof id",
+		"непечатный",
+	} {
+		body := bytes.NewReader([]byte(`{"evidence":{"XRay":1},"query":["Lung"]}`))
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Query-ID", bad)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		got := resp.Header.Get("X-Query-ID")
+		if got == bad || !strings.HasPrefix(got, "q-") {
+			t.Errorf("ID %q was not replaced (response carries %q)", bad, got)
+		}
+		for _, rec := range srv.eng.RecentQueries() {
+			if rec.ID == bad {
+				t.Errorf("invalid ID %q reached the flight recorder", bad)
+			}
+		}
+	}
+}
+
+func TestValidQueryID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"trace-me-42":                        true,
+		"q-9f2c41d3-17":                      true,
+		"A.b_c:D-9":                          true,
+		strings.Repeat("x", queryIDMaxLen):   true,
+		"":                                   false,
+		strings.Repeat("x", queryIDMaxLen+1): false,
+		"has space":                          false,
+		"new\nline":                          false,
+		"q/slash":                            false,
+	} {
+		if got := validQueryID(id); got != want {
+			t.Errorf("validQueryID(%q) = %v, want %v", id, got, want)
+		}
+	}
+}
+
 // TestFlightRecorderEndpointSlowCapture pins the slow threshold so every
 // propagation is captured with its full scheduler trace, then reads the dump
 // over HTTP.

@@ -347,6 +347,14 @@ func (e *Engine) recordRun(ctx context.Context, mode string, evVars int, elapsed
 	if rec == nil {
 		return
 	}
+	if runErr != nil {
+		// Mirror the state-drop policy for failed and cancelled runs: pool
+		// workers may still be executing already-fetched items, mutating the
+		// per-worker metrics and trace buffers (sched detached the latter
+		// from the returned Trace). Record only the scalar fields and leave
+		// the rest to the GC with the run.
+		m = nil
+	}
 	id := obs.QueryIDFrom(ctx)
 	if id == "" {
 		id = obs.NewQueryID()

@@ -55,7 +55,8 @@ type QueryRecord struct {
 	ID string
 	// Time is when the propagation completed.
 	Time time.Time
-	// Mode names the run: "sum", "max" or "collect".
+	// Mode names the run: "sum-product", "max-product" or "collect" (the
+	// taskgraph.Mode string for full propagations).
 	Mode string
 	// EvidenceVars is the number of observed variables.
 	EvidenceVars int

@@ -243,6 +243,12 @@ type run struct {
 // per-worker metrics. The state's potentials hold the propagation result
 // afterwards. Run blocks until the propagation completes, fails, or its
 // context is cancelled; any number of Runs may be in flight concurrently.
+//
+// A failed or cancelled Run returns without waiting for workers that are
+// mid-item: such stragglers keep mutating the run's State, Workers metrics
+// and trace until they hit the failed-run check, so on error the caller
+// must not read Metrics.Workers, and the returned Trace carries no events
+// (its buffers are abandoned to the GC rather than recycled).
 func (p *Pool) Run(st *taskgraph.State, opts Options) (*Metrics, error) {
 	if p.closed.Load() {
 		return nil, fmt.Errorf("sched: pool is closed")
@@ -285,7 +291,15 @@ func (p *Pool) Run(st *taskgraph.State, opts Options) (*Metrics, error) {
 	}
 	if opts.Trace {
 		tr := &Trace{Workers: len(p.lists), Total: m.Elapsed, bufs: r.tbufs}
-		if !opts.LazyTrace {
+		if r.err != nil {
+			// A failed or cancelled run returns while workers may still be
+			// executing already-fetched items of it, appending to the trace
+			// buffers (and mutating Workers — see the Run doc). Detach the
+			// buffers so Finalize and Release become no-ops: they must go to
+			// the GC with the run, not back into the pool where a straggler's
+			// append would corrupt the next run's trace.
+			tr.bufs = nil
+		} else if !opts.LazyTrace {
 			tr.Finalize()
 		}
 		m.Trace = tr
