@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-serving trace check
+.PHONY: build test race vet fmt-check bench bench-serving fuzz-smoke trace check
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,12 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1s .
 
 bench-serving:
-	$(GO) test -run xxx -bench 'BenchmarkConcurrentQuery|BenchmarkMutexSerializedQuery' -benchtime 2s -cpu 4 .
+	$(GO) test -run xxx -bench 'BenchmarkConcurrentQuery|BenchmarkMutexSerializedQuery|BenchmarkCachedQuery|BenchmarkSingleflightStorm' -benchtime 2s -cpu 4 .
+
+# Short fuzz run of the evidence-signature canonicalization (the same smoke
+# step CI runs); go test -fuzz accepts one fuzz target per invocation.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzEvidenceSignature -fuzztime 10s ./internal/cache
 
 # Smoke-test the Chrome trace export: one traced propagation, written as
 # trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev).

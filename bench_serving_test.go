@@ -61,6 +61,45 @@ func BenchmarkConcurrentQueryNoRecorder(b *testing.B) {
 	benchConcurrentQuery(b, eng, ev)
 }
 
+// BenchmarkCachedQuery is BenchmarkConcurrentQuery with the shared-evidence
+// result cache on: after the first iteration every query is a cache hit on
+// the same pinned result (with memoized marginals), the skewed-traffic
+// serving case the cache exists for. The ratio to BenchmarkConcurrentQuery
+// is the repeated-evidence speedup.
+func BenchmarkCachedQuery(b *testing.B) {
+	eng, ev := servingEngineOpts(b, Options{Workers: 4, CacheSize: 1024})
+	benchConcurrentQuery(b, eng, ev)
+}
+
+// BenchmarkSingleflightStorm measures the collapse path: each iteration
+// empties the cache and slams 8 concurrent identical queries into the
+// engine, so one propagates and the rest ride the singleflight. Compare one
+// iteration against 8× a single cold propagation.
+func BenchmarkSingleflightStorm(b *testing.B) {
+	eng, ev := servingEngineOpts(b, Options{Workers: 4, CacheSize: 1024})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.InvalidateCache()
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := eng.Propagate(ev)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := res.Posteriors(); err != nil {
+					b.Error(err)
+				}
+				res.Close()
+			}()
+		}
+		wg.Wait()
+	}
+}
+
 // BenchmarkMutexSerializedQuery reproduces the original server's request
 // path as a baseline: a global mutex serializes queries, and each query
 // costs two propagations (one for P(e), one for the posteriors), each with

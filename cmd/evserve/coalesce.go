@@ -1,0 +1,163 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"evprop"
+)
+
+// Server-side micro-batching: when -batch-window is set, /v1/batch
+// sub-queries with identical evidence are coalesced into one propagation.
+// The first sub-query of an evidence signature opens a group and becomes its
+// leader; sub-queries arriving within the window ride along. When the window
+// closes the leader runs a single all-posteriors propagation and every
+// member projects its own requested variables from the shared result.
+//
+// This sits above the engine's own cache and singleflight: those collapse
+// queries that are in flight *simultaneously*, the window additionally
+// gathers queries that arrive spread over the window. The shared run is
+// detached from the leader's request context — a leader whose client
+// disconnects must not void its riders — but keeps the server's per-request
+// timeout.
+
+// coalescer groups same-evidence sub-queries inside a batch window.
+type coalescer struct {
+	window time.Duration
+	mu     sync.Mutex
+	groups map[string]*coalesceGroup
+	// coalesced counts sub-queries that rode on another sub-query's
+	// propagation instead of running their own.
+	coalesced atomic.Int64
+}
+
+func newCoalescer(window time.Duration) *coalescer {
+	return &coalescer{window: window, groups: map[string]*coalesceGroup{}}
+}
+
+// coalesceGroup is one open window's shared outcome. done is closed exactly
+// once, after which the result fields are immutable and safe to read from
+// any number of riders.
+type coalesceGroup struct {
+	done chan struct{}
+	pe   float64
+	post map[string][]float64
+	err  error
+}
+
+// coalescedQuery answers one batch sub-query through the coalescer. It
+// blocks for up to the batch window (plus the propagation) and returns the
+// sub-query's projected response.
+func (s *server) coalescedQuery(ctx context.Context, req queryRequest) (*queryResponse, error) {
+	start := time.Now()
+	ri := reqInfoFrom(ctx)
+	ri.noteQuery(len(req.Evidence))
+	// The signature both validates the evidence and keys the group; queries
+	// the engine would cache together are exactly the ones that share it.
+	sig, err := s.eng.EvidenceSignature(req.Evidence, nil)
+	if err != nil {
+		return nil, err
+	}
+	co := s.co
+	co.mu.Lock()
+	g, ok := co.groups[sig]
+	if !ok {
+		g = &coalesceGroup{done: make(chan struct{})}
+		co.groups[sig] = g
+		co.mu.Unlock()
+		go s.runCoalesced(ctx, sig, g, req.Evidence)
+	} else {
+		co.mu.Unlock()
+		co.coalesced.Add(1)
+	}
+	select {
+	case <-g.done:
+	case <-ctx.Done():
+		// This caller gives up; the shared run keeps going for the rest.
+		return nil, ctx.Err()
+	}
+	if g.err != nil {
+		return nil, g.err
+	}
+	resp, err := projectQuery(s.net, g, req)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.observe(time.Since(start))
+	return resp, nil
+}
+
+// runCoalesced is the group leader: it holds the window open, then runs the
+// one shared propagation and publishes the result. The run is detached from
+// the leader's cancellation (riders depend on it) but re-bounded by the
+// server's per-request timeout, and it keeps the leader's query ID so the
+// flight-recorder entry correlates with the access log.
+func (s *server) runCoalesced(leaderCtx context.Context, sig string, g *coalesceGroup, ev evprop.Evidence) {
+	defer close(g.done)
+	timer := time.NewTimer(s.co.window)
+	defer timer.Stop()
+	<-timer.C
+	// Close enrollment before propagating: sub-queries arriving during the
+	// propagation open a fresh window (and will typically hit the engine's
+	// result cache).
+	s.co.mu.Lock()
+	delete(s.co.groups, sig)
+	s.co.mu.Unlock()
+
+	runCtx := context.WithoutCancel(leaderCtx)
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, s.timeout)
+		defer cancel()
+	}
+	res, err := s.eng.PropagateContext(runCtx, ev)
+	if err != nil {
+		g.err = err
+		return
+	}
+	defer res.Close()
+	ri := reqInfoFrom(leaderCtx)
+	ri.noteRun(res.Metrics())
+	if s.cacheOn {
+		ri.noteCache(res.Cached())
+	}
+	g.pe = res.ProbabilityOfEvidence()
+	g.post = map[string][]float64{}
+	if g.pe > 0 {
+		if g.post, err = res.Posteriors(); err != nil {
+			g.err = err
+		}
+	}
+}
+
+// projectQuery carves one sub-query's answer out of the group's shared
+// all-posteriors result, mirroring runQuery's semantics: no requested
+// variables means every non-evidence variable, and a requested variable that
+// is itself evidence gets its exact one-hot posterior.
+func projectQuery(net *evprop.Network, g *coalesceGroup, req queryRequest) (*queryResponse, error) {
+	resp := &queryResponse{PEvidence: g.pe, Posteriors: map[string][]float64{}}
+	if g.pe <= 0 {
+		return resp, nil
+	}
+	if len(req.Query) == 0 {
+		resp.Posteriors = g.post
+		return resp, nil
+	}
+	for _, name := range req.Query {
+		if p, ok := g.post[name]; ok {
+			resp.Posteriors[name] = p
+			continue
+		}
+		if state, ok := req.Evidence[name]; ok {
+			oneHot := make([]float64, net.States(name))
+			oneHot[state] = 1
+			resp.Posteriors[name] = oneHot
+			continue
+		}
+		return nil, fmt.Errorf("%w: %q", evprop.ErrUnknownVariable, name)
+	}
+	return resp, nil
+}

@@ -24,6 +24,11 @@
 // The pre-/v1 paths /model, /query, /mpe and /dsep remain as aliases, and
 // -pprof additionally exposes net/http/pprof under /debug/pprof/.
 //
+// Repeated-evidence traffic is served from a shared result cache
+// (-cache-size, on by default) with singleflight collapsing of concurrent
+// identical queries, and -batch-window additionally coalesces same-evidence
+// /v1/batch sub-queries arriving within the window into one propagation.
+//
 // Every response carries an X-Query-ID header (minted per request, or echoed
 // from the client's own X-Query-ID when it is ≤64 bytes of [A-Za-z0-9._:-];
 // anything else is replaced with a generated ID) that also tags the engine's
@@ -63,6 +68,8 @@ func main() {
 		timeout  = flag.Duration("request-timeout", 0, "per-request deadline (0 = none)")
 		slowThr  = flag.Duration("slow-threshold", 0, "flight-recorder slow-query capture floor (0 = adaptive, 2×p99)")
 		recorder = flag.Int("recorder-size", 0, "flight-recorder ring capacity (0 = default)")
+		cacheSz  = flag.Int("cache-size", 1024, "shared-evidence result cache entries (0 = disable caching)")
+		batchWin = flag.Duration("batch-window", 0, "coalesce same-evidence /v1/batch sub-queries arriving within this window (0 = off)")
 	)
 	flag.Parse()
 
@@ -82,6 +89,7 @@ func main() {
 		Workers:            *workers,
 		SlowQueryThreshold: *slowThr,
 		FlightRecorderSize: *recorder,
+		CacheSize:          *cacheSz,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evserve:", err)
@@ -90,6 +98,9 @@ func main() {
 	srv.pprofEnabled = *pprofOn
 	srv.log = logger
 	srv.timeout = *timeout
+	if *batchWin > 0 {
+		srv.co = newCoalescer(*batchWin)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -32,6 +32,11 @@ type reqInfo struct {
 	// gauges as float bits.
 	overheadFrac atomic.Uint64
 	loadBalance  atomic.Uint64
+	// cacheLookups counts the request's result-cache consultations and
+	// cacheHits the ones served without a propagation; both stay zero on
+	// engines compiled without a cache.
+	cacheHits    atomic.Int64
+	cacheLookups atomic.Int64
 }
 
 type reqInfoKey struct{}
@@ -59,6 +64,17 @@ func (ri *reqInfo) noteRun(m *evprop.RunMetrics) {
 	ri.propagations.Add(1)
 	ri.overheadFrac.Store(math.Float64bits(m.OverheadFraction))
 	ri.loadBalance.Store(math.Float64bits(m.LoadBalance))
+}
+
+// noteCache records one result-cache consultation and its outcome.
+func (ri *reqInfo) noteCache(hit bool) {
+	if ri == nil {
+		return
+	}
+	ri.cacheLookups.Add(1)
+	if hit {
+		ri.cacheHits.Add(1)
+	}
 }
 
 func (ri *reqInfo) lastLoadBalance() float64 {
@@ -142,6 +158,7 @@ func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			status = http.StatusOK
 		}
 		s.window.Observe(latency, status >= 400, ri.lastLoadBalance())
+		s.window.ObserveCache(ri.cacheHits.Load(), ri.cacheLookups.Load())
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.String("id", id),
 			slog.String("method", r.Method),
@@ -150,6 +167,7 @@ func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			slog.Int("bytes", sw.bytes),
 			slog.Int64("evidence_vars", ri.evidenceVars.Load()),
 			slog.Int64("propagations", ri.propagations.Load()),
+			slog.Int64("cache_hits", ri.cacheHits.Load()),
 			slog.Float64("sched_overhead_fraction", ri.lastOverheadFrac()),
 			slog.Float64("load_balance", ri.lastLoadBalance()),
 			slog.Duration("latency", latency),

@@ -35,6 +35,12 @@ type server struct {
 	// the -pprof flag: profiling endpoints expose internals and should not
 	// be on by default).
 	pprofEnabled bool
+	// co coalesces same-evidence /v1/batch sub-queries inside a micro-batch
+	// window (the -batch-window flag); nil when the window is off.
+	co *coalescer
+	// cacheOn mirrors the engine's cache configuration so the hot path can
+	// skip cache accounting without asking the engine each time.
+	cacheOn bool
 }
 
 // serverStats aggregates request counters and propagation latency with
@@ -58,7 +64,13 @@ func newServer(net *evprop.Network, opts evprop.Options) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{net: net, eng: eng, log: slog.Default(), window: obs.NewWindow()}, nil
+	return &server{
+		net:     net,
+		eng:     eng,
+		log:     slog.Default(),
+		window:  obs.NewWindow(),
+		cacheOn: opts.CacheSize > 0,
+	}, nil
 }
 
 // mux routes the versioned /v1 API plus the original unversioned paths,
@@ -154,6 +166,9 @@ func (s *server) runQuery(ctx context.Context, req queryRequest) (*queryResponse
 	}
 	defer res.Close()
 	ri.noteRun(res.Metrics())
+	if s.cacheOn {
+		ri.noteCache(res.Cached())
+	}
 	resp := &queryResponse{PEvidence: res.ProbabilityOfEvidence(), Posteriors: map[string][]float64{}}
 	if resp.PEvidence > 0 {
 		post, err := res.Posteriors(req.Query...)
@@ -198,20 +213,26 @@ type batchResult struct {
 }
 
 // handleBatch answers many queries in one round trip, propagating them
-// concurrently on the shared engine (one propagation per query).
+// concurrently on the shared engine. With -batch-window set, sub-queries
+// sharing an evidence signature are coalesced into one propagation (see
+// coalesce.go); otherwise each sub-query propagates independently.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if !s.readJSON(w, r, &req) {
 		return
 	}
 	s.stats.batches.Add(1)
+	run := s.runQuery
+	if s.co != nil {
+		run = s.coalescedQuery
+	}
 	results := make([]batchResult, len(req.Queries))
 	var wg sync.WaitGroup
 	for i, q := range req.Queries {
 		wg.Add(1)
 		go func(i int, q queryRequest) {
 			defer wg.Done()
-			resp, err := s.runQuery(r.Context(), q)
+			resp, err := run(r.Context(), q)
 			if err != nil {
 				results[i] = batchResult{Error: err.Error()}
 				return
@@ -302,6 +323,26 @@ type statsResponse struct {
 	// Window covers only the last 60 seconds of traffic, where the fields
 	// above aggregate over the whole process lifetime.
 	Window windowStats `json:"window"`
+	// Cache reports the engine's shared-evidence result cache plus the
+	// server-side batch coalescer.
+	Cache cacheStats `json:"cache"`
+}
+
+// cacheStats is the engine's cache snapshot plus the server-side coalescer
+// counter (sub-queries answered by another sub-query's window-mate run).
+type cacheStats struct {
+	evprop.CacheStats
+	BatchWindowUsec float64 `json:"batch_window_usec"`
+	BatchCoalesced  int64   `json:"batch_coalesced"`
+}
+
+func (s *server) cacheStats() cacheStats {
+	cs := cacheStats{CacheStats: s.eng.CacheStats()}
+	if s.co != nil {
+		cs.BatchWindowUsec = float64(s.co.window.Nanoseconds()) / 1e3
+		cs.BatchCoalesced = s.co.coalesced.Load()
+	}
+	return cs
 }
 
 // windowStats is the JSON shape of the 60-second sliding window.
@@ -317,20 +358,27 @@ type windowStats struct {
 	// QPSSeries is per-second request counts, oldest first; the last entry
 	// is the current (incomplete) second.
 	QPSSeries []int64 `json:"qps_series"`
+	// CacheHitRate is the result-cache hit fraction over the window, and
+	// CacheHitRateSeries its per-second trajectory aligned with QPSSeries
+	// (both all-zero when the cache is off or idle).
+	CacheHitRate       float64   `json:"cache_hit_rate"`
+	CacheHitRateSeries []float64 `json:"cache_hit_rate_series"`
 }
 
 func (s *server) windowStats() windowStats {
 	ws := s.window.Snapshot()
 	return windowStats{
-		Seconds:        ws.Seconds,
-		Requests:       ws.Requests,
-		Errors:         ws.Errors,
-		QPS:            ws.QPS,
-		ErrorRate:      ws.ErrorRate,
-		P50LatencyUsec: float64(ws.P50.Nanoseconds()) / 1e3,
-		P99LatencyUsec: float64(ws.P99.Nanoseconds()) / 1e3,
-		LoadBalance:    ws.LoadBalance,
-		QPSSeries:      ws.QPSSeries,
+		Seconds:            ws.Seconds,
+		Requests:           ws.Requests,
+		Errors:             ws.Errors,
+		QPS:                ws.QPS,
+		ErrorRate:          ws.ErrorRate,
+		P50LatencyUsec:     float64(ws.P50.Nanoseconds()) / 1e3,
+		P99LatencyUsec:     float64(ws.P99.Nanoseconds()) / 1e3,
+		LoadBalance:        ws.LoadBalance,
+		QPSSeries:          ws.QPSSeries,
+		CacheHitRate:       ws.CacheHitRate,
+		CacheHitRateSeries: ws.CacheHitRateSeries,
 	}
 }
 
@@ -358,6 +406,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		LoadBalance:       sr.LastLoadBalance,
 		SchedOverheadFrac: sr.LastOverheadFraction,
 		Window:            s.windowStats(),
+		Cache:             s.cacheStats(),
 	}
 	if resp.Observed > 0 {
 		resp.AvgLatencyUsec = float64(h.Mean()) / 1e3
@@ -403,6 +452,21 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteSample(w, "evprop_window_latency_seconds", map[string]string{"quantile": "0.99"}, ws.P99.Seconds())
 	obs.WriteHeader(w, "evprop_window_load_balance", "Mean load-balance factor over the last 60 seconds.", "gauge")
 	obs.WriteSample(w, "evprop_window_load_balance", nil, ws.LoadBalance)
+	cs := s.cacheStats()
+	obs.WriteHeader(w, "evprop_cache_hits_total", "Result-cache hits.", "counter")
+	obs.WriteSample(w, "evprop_cache_hits_total", nil, float64(cs.Hits))
+	obs.WriteHeader(w, "evprop_cache_misses_total", "Result-cache misses.", "counter")
+	obs.WriteSample(w, "evprop_cache_misses_total", nil, float64(cs.Misses))
+	obs.WriteHeader(w, "evprop_cache_collapsed_total", "Queries collapsed onto another caller's in-flight propagation.", "counter")
+	obs.WriteSample(w, "evprop_cache_collapsed_total", nil, float64(cs.Collapsed))
+	obs.WriteHeader(w, "evprop_cache_entries", "Result-cache entries currently held.", "gauge")
+	obs.WriteSample(w, "evprop_cache_entries", nil, float64(cs.Entries))
+	obs.WriteHeader(w, "evprop_cache_capacity", "Result-cache configured capacity.", "gauge")
+	obs.WriteSample(w, "evprop_cache_capacity", nil, float64(cs.Capacity))
+	obs.WriteHeader(w, "evprop_batch_coalesced_total", "Batch sub-queries coalesced into a window-mate's propagation.", "counter")
+	obs.WriteSample(w, "evprop_batch_coalesced_total", nil, float64(cs.BatchCoalesced))
+	obs.WriteHeader(w, "evprop_window_cache_hit_rate", "Result-cache hit fraction over the last 60 seconds.", "gauge")
+	obs.WriteSample(w, "evprop_window_cache_hit_rate", nil, ws.CacheHitRate)
 	fs := s.eng.FlightRecorderStats()
 	obs.WriteHeader(w, "evprop_flightrecorder_recorded_total", "Propagations seen by the flight recorder.", "counter")
 	obs.WriteSample(w, "evprop_flightrecorder_recorded_total", nil, float64(fs.Recorded))

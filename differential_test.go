@@ -1,0 +1,336 @@
+package evprop
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// The differential correctness harness of the caching layer: over seeded
+// random networks, every scheduler, and a battery of evidence configurations,
+// the cached engine's cold-path posteriors must agree with an uncached
+// engine and with the brute-force joint-enumeration oracle (to float
+// tolerance — parallel summation order legitimately varies), and a warm hit
+// must be *bit-identical* to the cold result it was cached from, because a
+// hit returns the very same pinned propagation.
+
+var diffSchedulers = []string{
+	SchedulerCollaborative,
+	SchedulerSerial,
+	SchedulerLevelSync,
+	SchedulerDataParallel,
+	SchedulerCentralized,
+	SchedulerWorkStealing,
+}
+
+// diffEvidences builds six deterministic evidence configurations over an
+// 11-variable binary network, from empty up to three observed variables.
+func diffEvidences(vars []string) []Evidence {
+	return []Evidence{
+		{},
+		{vars[0]: 1},
+		{vars[2]: 0, vars[5]: 1},
+		{vars[1]: 1, vars[7]: 0},
+		{vars[3]: 0, vars[6]: 1, vars[9]: 0},
+		{vars[4]: 1, vars[8]: 1, vars[10]: 0},
+	}
+}
+
+// allPosteriors propagates once and returns every non-evidence posterior
+// along with whether the query was served from the cache.
+func allPosteriors(t *testing.T, eng *Engine, ev Evidence, what string) (map[string][]float64, bool) {
+	t.Helper()
+	res, err := eng.Propagate(ev)
+	if err != nil {
+		t.Fatalf("%s: propagate: %v", what, err)
+	}
+	defer res.Close()
+	post, err := res.Posteriors()
+	if err != nil {
+		t.Fatalf("%s: posteriors: %v", what, err)
+	}
+	return post, res.Cached()
+}
+
+func TestDifferentialCachedVsFreshVsOracle(t *testing.T) {
+	const tol = 1e-9
+	cases := 0
+	for seed := int64(0); seed < 6; seed++ {
+		net := RandomNetwork(11, 2, 3, 1000+seed)
+		vars := net.Variables()
+		evs := diffEvidences(vars)
+		// One oracle per evidence configuration, shared across schedulers.
+		oracles := make([]map[string][]float64, len(evs))
+		for i, ev := range evs {
+			oracles[i] = map[string][]float64{}
+			for _, v := range vars {
+				if _, fixed := ev[v]; fixed {
+					continue
+				}
+				m, err := net.ExactMarginal(v, ev)
+				if err != nil {
+					t.Fatalf("seed %d ev %d: oracle %q: %v", seed, i, v, err)
+				}
+				oracles[i][v] = m
+			}
+		}
+		for _, schedName := range diffSchedulers {
+			plain, err := net.Compile(Options{Workers: 2, Scheduler: schedName})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cachedEng, err := net.Compile(Options{Workers: 2, Scheduler: schedName, CacheSize: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, ev := range evs {
+				what := fmt.Sprintf("seed=%d sched=%s ev=%d", seed, schedName, i)
+				cases++
+				fresh, cached := allPosteriors(t, plain, ev, what+" fresh")
+				if cached {
+					t.Fatalf("%s: uncached engine reported a cache hit", what)
+				}
+				cold, cached := allPosteriors(t, cachedEng, ev, what+" cold")
+				if cached {
+					t.Fatalf("%s: first cached-engine query reported a hit", what)
+				}
+				warm, cached := allPosteriors(t, cachedEng, ev, what+" warm")
+				if !cached {
+					t.Fatalf("%s: repeat query missed the cache", what)
+				}
+				for v, oracle := range oracles[i] {
+					for s := range oracle {
+						if d := math.Abs(fresh[v][s] - oracle[s]); d > tol {
+							t.Errorf("%s: fresh %q[%d] off oracle by %g", what, v, s, d)
+						}
+						if d := math.Abs(cold[v][s] - oracle[s]); d > tol {
+							t.Errorf("%s: cold %q[%d] off oracle by %g", what, v, s, d)
+						}
+						// The warm hit shares the cold run's pinned state:
+						// identical bits, not merely identical to tolerance.
+						if math.Float64bits(warm[v][s]) != math.Float64bits(cold[v][s]) {
+							t.Errorf("%s: warm %q[%d] = %v not bit-identical to cold %v",
+								what, v, s, warm[v][s], cold[v][s])
+						}
+					}
+				}
+			}
+			// Every configuration propagated exactly once on the cached
+			// engine: all warm queries were hits.
+			if got := cachedEng.inner.Propagations(); got != int64(len(evs)) {
+				t.Errorf("seed=%d sched=%s: cached engine ran %d propagations, want %d",
+					seed, schedName, got, len(evs))
+			}
+			plain.Close()
+			cachedEng.Close()
+		}
+	}
+	if cases < 200 {
+		t.Fatalf("harness covered %d cases, want >= 200", cases)
+	}
+}
+
+func TestCacheInsertionOrderInvariance(t *testing.T) {
+	net := RandomNetwork(11, 2, 3, 42)
+	vars := net.Variables()
+	eng, err := net.Compile(Options{Workers: 2, CacheSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	// Semantically equal evidence built in different insertion orders must
+	// share one signature, and therefore one cache entry.
+	ev1 := Evidence{}
+	ev1[vars[1]], ev1[vars[4]], ev1[vars[8]] = 1, 0, 1
+	ev2 := Evidence{}
+	ev2[vars[8]], ev2[vars[1]], ev2[vars[4]] = 1, 1, 0
+	s1, err := eng.EvidenceSignature(ev1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := eng.EvidenceSignature(ev2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("insertion order changed the evidence signature")
+	}
+	if _, cached := allPosteriors(t, eng, ev1, "first"); cached {
+		t.Fatal("first query hit an empty cache")
+	}
+	if _, cached := allPosteriors(t, eng, ev2, "reordered"); !cached {
+		t.Fatal("reordered identical evidence missed the cache")
+	}
+	// Soft evidence canonicalizes the same way.
+	soft1 := SoftEvidence{vars[2]: {0.3, 0.7}, vars[6]: {1, 0.5}}
+	soft2 := SoftEvidence{vars[6]: {1, 0.5}, vars[2]: {0.3, 0.7}}
+	g1, err := eng.EvidenceSignature(ev1, soft1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := eng.EvidenceSignature(ev2, soft2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatal("insertion order changed the soft-evidence signature")
+	}
+	if g1 == s1 {
+		t.Fatal("soft evidence did not change the signature")
+	}
+}
+
+func TestCacheInvalidationRepropagatesAndMatchesOracle(t *testing.T) {
+	net := RandomNetwork(11, 2, 3, 99)
+	vars := net.Variables()
+	eng, err := net.Compile(Options{Workers: 2, CacheSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ev := Evidence{vars[2]: 1}
+	allPosteriors(t, eng, ev, "warm-up")
+	eng.InvalidateCache()
+	if st := eng.CacheStats(); st.Entries != 0 {
+		t.Fatalf("entries after InvalidateCache = %d", st.Entries)
+	}
+	post, cached := allPosteriors(t, eng, ev, "post-invalidate")
+	if cached {
+		t.Fatal("query after InvalidateCache served from cache")
+	}
+	if got := eng.inner.Propagations(); got != 2 {
+		t.Fatalf("Propagations = %d, want 2", got)
+	}
+	oracle, err := net.ExactMarginal(vars[0], ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range oracle {
+		if d := math.Abs(post[vars[0]][s] - oracle[s]); d > 1e-9 {
+			t.Errorf("post-invalidate posterior off oracle by %g", d)
+		}
+	}
+}
+
+func TestModelMutationInvalidatesCache(t *testing.T) {
+	net := RandomNetwork(11, 2, 3, 7)
+	vars := net.Variables()
+	eng, err := net.Compile(Options{Workers: 2, CacheSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ev := Evidence{vars[0]: 1}
+	// oneQuery asks for a variable the compiled tree knows; the mutated
+	// network gains a variable the engine cannot answer for, which is fine —
+	// the invalidation contract is about not serving stale *cached* results.
+	oneQuery := func(what string) bool {
+		t.Helper()
+		res, err := eng.Propagate(ev)
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		defer res.Close()
+		if _, err := res.Posterior(vars[1]); err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		return res.Cached()
+	}
+	oneQuery("miss")
+	if !oneQuery("hit") {
+		t.Fatal("repeat query missed the cache")
+	}
+	// Growing the source network bumps its version; the engine must notice
+	// on the next query and drop results keyed to the old structure.
+	if err := net.AddVariable("post-compile-leaf", 2, []string{vars[0]}, []float64{0.5, 0.5, 0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if oneQuery("post-mutation") {
+		t.Fatal("query after model mutation served a pre-mutation result")
+	}
+	if got := eng.inner.Propagations(); got != 2 {
+		t.Fatalf("Propagations = %d, want 2 (mutation must force one re-propagation)", got)
+	}
+	// And the cache works again after the purge.
+	if !oneQuery("re-warmed") {
+		t.Fatal("cache did not re-warm after mutation purge")
+	}
+}
+
+// TestSingleflightStormOneWaiterCancels is the concurrency regression test
+// of the context-aware singleflight: a storm of identical queries collapses
+// into few propagations, and one caller abandoning its wait does not void
+// the shared run for everyone else.
+func TestSingleflightStormOneWaiterCancels(t *testing.T) {
+	net := RandomNetwork(40, 2, 3, 7)
+	eng, err := net.Compile(Options{Workers: 2, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	vars := net.Variables()
+	ev := Evidence{vars[3]: 1, vars[17]: 0}
+
+	const callers = 16
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel() // caller 0 abandons its wait immediately
+	var wg sync.WaitGroup
+	var barrier sync.WaitGroup
+	barrier.Add(1)
+	posts := make([]map[string][]float64, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			barrier.Wait()
+			ctx := context.Background()
+			if i == 0 {
+				ctx = cancelled
+			}
+			res, err := eng.PropagateContext(ctx, ev)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer res.Close()
+			posts[i], errs[i] = res.Posteriors()
+		}(i)
+	}
+	barrier.Done()
+	wg.Wait()
+
+	var reference map[string][]float64
+	for i := 1; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d failed: %v (a cancelled sibling must not void the shared run)", i, errs[i])
+		}
+		if reference == nil {
+			reference = posts[i]
+			continue
+		}
+		for v, p := range reference {
+			for s := range p {
+				if math.Float64bits(posts[i][v][s]) != math.Float64bits(p[s]) {
+					t.Fatalf("caller %d posterior %q[%d] differs from caller 1", i, v, s)
+				}
+			}
+		}
+	}
+	// Caller 0 either lost the race to its own cancellation (context error)
+	// or was served before noticing it — both are legal; silent wrong
+	// results are not.
+	if errs[0] != nil && !errors.Is(errs[0], context.Canceled) {
+		t.Fatalf("cancelled caller returned %v, want context.Canceled or success", errs[0])
+	}
+	// The storm must have collapsed: far fewer propagations than callers.
+	if got := eng.inner.Propagations(); got >= callers {
+		t.Fatalf("Propagations = %d for %d identical queries — singleflight did not collapse", got, callers)
+	}
+	if st := eng.CacheStats(); st.Hits+st.Collapsed == 0 {
+		t.Fatalf("CacheStats = %+v: no caller was served by the shared run", st)
+	}
+}

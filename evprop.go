@@ -27,6 +27,7 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"evprop/internal/approx"
@@ -182,6 +183,14 @@ type Options struct {
 	// scheduler trace. 0 selects the adaptive threshold, 2× the observed
 	// p99 latency once enough propagations have been recorded.
 	SlowQueryThreshold time.Duration
+	// CacheSize enables the shared-evidence result cache: completed
+	// propagations are retained in a sharded LRU of this many entries,
+	// keyed by the canonical signature of (semiring, hard evidence, soft
+	// evidence), and concurrent queries with identical evidence collapse
+	// into a single propagation. 0 (the default) disables caching. The
+	// cache invalidates itself when the source network gains variables
+	// after compilation; see Engine.InvalidateCache for manual control.
+	CacheSize int
 }
 
 // Engine answers posterior queries over a compiled network. An Engine is
@@ -193,6 +202,12 @@ type Options struct {
 type Engine struct {
 	net   *Network
 	inner *core.Engine
+	// modelVersion is the source network's mutation counter captured at
+	// compile time (and advanced on cache invalidation). A query that
+	// observes a newer network version purges the result cache first, so
+	// results computed against the old structure are never served after
+	// the model moves on.
+	modelVersion atomic.Int64
 }
 
 // Close releases the engine's persistent worker pool. It is optional —
@@ -228,6 +243,78 @@ func (e *Engine) Stats() EngineStats {
 		Workers:      opts.Workers,
 		Scheduler:    opts.Scheduler.String(),
 	}
+}
+
+// CacheStats is a snapshot of the engine's shared-evidence result cache.
+type CacheStats struct {
+	// Enabled is false when the engine was compiled with CacheSize 0.
+	Enabled bool `json:"enabled"`
+	// Capacity and Entries are the cache's configured size and current fill.
+	Capacity int `json:"capacity"`
+	Entries  int `json:"entries"`
+	// Hits and Misses count cache lookups over the engine's lifetime.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Collapsed counts queries served by another caller's in-flight
+	// propagation: concurrent identical queries trigger one propagation,
+	// and the other callers land here.
+	Collapsed int64 `json:"collapsed"`
+}
+
+// CacheStats returns the result cache's counters (the zero value when the
+// engine was compiled without a cache).
+func (e *Engine) CacheStats() CacheStats {
+	if e == nil || e.inner == nil {
+		return CacheStats{}
+	}
+	s := e.inner.CacheStats()
+	return CacheStats{
+		Enabled:   s.Enabled,
+		Capacity:  s.Capacity,
+		Entries:   s.Entries,
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Collapsed: s.Collapsed,
+	}
+}
+
+// InvalidateCache drops every cached result. Queries in flight when it is
+// called can never re-populate the cache with pre-invalidation results, so
+// once InvalidateCache returns, no later query is served a stale posterior.
+// Results already handed out stay valid — they are immutable. Structural
+// mutation of the source network (AddVariable after Compile) invalidates
+// automatically; call this only for out-of-band staleness the engine cannot
+// see.
+func (e *Engine) InvalidateCache() {
+	if e == nil || e.inner == nil {
+		return
+	}
+	e.inner.InvalidateCache()
+}
+
+// EvidenceSignature returns the canonical cache key of an evidence
+// configuration: a deterministic encoding of the (hard, soft) evidence that
+// is identical for semantically equal evidence regardless of map iteration
+// or insertion order, and distinct for any differing configuration. Two
+// sum-product queries share a cache entry (and collapse into one
+// propagation) exactly when their signatures are equal. Servers use it to
+// coalesce same-evidence requests before they reach the engine.
+func (e *Engine) EvidenceSignature(ev Evidence, soft SoftEvidence) (string, error) {
+	if e == nil || e.inner == nil || e.net == nil {
+		return "", ErrUncompiled
+	}
+	iev, err := e.net.evidence(ev)
+	if err != nil {
+		return "", err
+	}
+	var like potential.Likelihood
+	if len(soft) > 0 {
+		like, err = e.net.likelihood(soft)
+		if err != nil {
+			return "", err
+		}
+	}
+	return e.inner.EvidenceSignature(iev, like), nil
 }
 
 // SchedulerReport aggregates the engine's scheduler observability across
@@ -334,11 +421,14 @@ func (n *Network) Compile(opts Options) (*Engine, error) {
 		Reroot:             !opts.DisableReroot,
 		PartitionThreshold: threshold,
 		Recorder:           recorder,
+		CacheSize:          opts.CacheSize,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{net: n, inner: eng}, nil
+	e := &Engine{net: n, inner: eng}
+	e.modelVersion.Store(n.inner.Version())
+	return e, nil
 }
 
 // Query runs one evidence propagation and returns the posterior

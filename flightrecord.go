@@ -53,6 +53,9 @@ type FlightRecord struct {
 	Error string `json:"error,omitempty"`
 	// Slow marks records that crossed the slow-capture threshold.
 	Slow bool `json:"slow"`
+	// Cached marks queries served from the shared-evidence result cache
+	// (no scheduler ran for them).
+	Cached bool `json:"cached"`
 }
 
 // TraceEvent is one executed scheduler item in a slow-query capture's
@@ -185,6 +188,7 @@ func publicRecord(r *obs.QueryRecord) FlightRecord {
 		SchedOverheadFrac: r.OverheadFraction,
 		Error:             r.Err,
 		Slow:              r.Slow,
+		Cached:            r.Cached,
 	}
 }
 

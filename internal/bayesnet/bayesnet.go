@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"evprop/internal/potential"
 )
@@ -30,7 +31,15 @@ type Node struct {
 type Network struct {
 	Nodes  []Node
 	byName map[string]int
+	// version counts structural mutations (node additions). Engines compiled
+	// from this network compare it against the version they captured at
+	// compile time to invalidate their result caches when the model moves on.
+	version atomic.Int64
 }
+
+// Version returns the network's mutation counter. It changes whenever a node
+// is added, so a cached inference result keyed to an older version is stale.
+func (n *Network) Version() int64 { return n.version.Load() }
 
 // New returns an empty network.
 func New() *Network {
@@ -110,6 +119,7 @@ func (n *Network) AddNode(name string, card int, parents []int, dist []float64) 
 		CPT:     cpt,
 	})
 	n.byName[name] = id
+	n.version.Add(1)
 	return id, nil
 }
 

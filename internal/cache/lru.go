@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// lruShards is the fixed shard count: enough to keep concurrent handlers
+// off each other's locks, few enough that tiny caches still hold entries.
+const lruShards = 16
+
+// LRU is a sharded least-recently-used cache of opaque values keyed by
+// signature strings. Get and Add take one shard mutex each, so concurrent
+// queries with different signatures rarely contend; hit and miss counters
+// are atomics shared across shards.
+//
+// Purge is generation-aware: it invalidates the cache *and* any insert
+// still in flight. Add carries the generation observed when its value was
+// computed, and an Add whose generation predates the latest Purge is
+// dropped — a propagation that started before an invalidation can never
+// re-populate the cache afterwards.
+type LRU struct {
+	gen    atomic.Uint64
+	hits   atomic.Int64
+	misses atomic.Int64
+	shards [lruShards]lruShard
+	cap    int
+}
+
+type lruShard struct {
+	mu    sync.Mutex
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// NewLRU returns a cache holding at most capacity entries (minimum 1 per
+// shard is enforced, so very small capacities round up to lruShards).
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &LRU{cap: capacity}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+// perShard is the eviction bound of one shard.
+func (c *LRU) perShard() int {
+	n := c.cap / lruShards
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// fnv32a hashes the key onto a shard.
+func fnv32a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (c *LRU) shardFor(key string) *lruShard {
+	return &c.shards[fnv32a(key)%lruShards]
+}
+
+// Get returns the cached value for key, bumping it to most-recently-used,
+// and counts the lookup as a hit or a miss.
+func (c *LRU) Get(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if ok {
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Generation returns the current purge generation; pass it to Add so an
+// insert computed before a Purge is dropped instead of resurrecting stale
+// state.
+func (c *LRU) Generation() uint64 { return c.gen.Load() }
+
+// Add inserts (or refreshes) key with the value computed under generation
+// gen, evicting the shard's least-recently-used entry when full. Values
+// computed before the latest Purge (gen mismatch) are silently dropped.
+func (c *LRU) Add(key string, val any, gen uint64) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.gen.Load() != gen {
+		return
+	}
+	if el, ok := s.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&lruEntry{key: key, val: val})
+	for s.ll.Len() > c.perShard() {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Purge drops every entry and advances the generation, so in-flight Adds
+// whose values were computed before the purge are dropped too. Evicted
+// values are left to the garbage collector — consumers still holding them
+// keep valid (immutable) data.
+func (c *LRU) Purge() {
+	c.gen.Add(1)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.ll.Init()
+		clear(s.items)
+		s.mu.Unlock()
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LRU) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Cap returns the configured capacity.
+func (c *LRU) Cap() int { return c.cap }
+
+// Hits and Misses return the lifetime lookup counters.
+func (c *LRU) Hits() int64   { return c.hits.Load() }
+func (c *LRU) Misses() int64 { return c.misses.Load() }

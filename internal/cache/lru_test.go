@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUGetAddEvict(t *testing.T) {
+	c := NewLRU(lruShards) // one entry per shard
+	gen := c.Generation()
+	c.Add("a", 1, gen)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if c.Hits() != 1 || c.Misses() != 0 {
+		t.Fatalf("hits/misses = %d/%d, want 1/0", c.Hits(), c.Misses())
+	}
+	if _, ok := c.Get("nope"); ok {
+		t.Fatal("Get(nope) hit")
+	}
+	if c.Misses() != 1 {
+		t.Fatalf("misses = %d, want 1", c.Misses())
+	}
+	// Refresh keeps a single entry.
+	c.Add("a", 2, gen)
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatal("Add did not refresh the value")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestLRUEvictsOldestPerShard(t *testing.T) {
+	c := NewLRU(lruShards) // capacity 1 per shard
+	// Find two keys landing on the same shard.
+	var keys []string
+	shard := c.shardFor("k0")
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shardFor(k) == shard {
+			keys = append(keys, k)
+		}
+	}
+	gen := c.Generation()
+	c.Add(keys[0], 0, gen)
+	c.Add(keys[1], 1, gen)
+	if _, ok := c.Get(keys[0]); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if v, ok := c.Get(keys[1]); !ok || v.(int) != 1 {
+		t.Fatal("newest entry evicted")
+	}
+	// Recency matters: touch keys[1], add keys[2]; keys[1] survives only if
+	// capacity allows one — here per-shard cap is 1 so keys[2] wins.
+	c.Add(keys[2], 2, gen)
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("LRU kept more than its per-shard capacity")
+	}
+}
+
+func TestLRUPurgeDropsStaleInFlightAdd(t *testing.T) {
+	c := NewLRU(64)
+	gen := c.Generation()
+	c.Add("live", 1, gen)
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after purge = %d", c.Len())
+	}
+	// An Add computed before the purge must be dropped…
+	c.Add("stale", 2, gen)
+	if _, ok := c.Get("stale"); ok {
+		t.Fatal("pre-purge Add resurrected a stale entry")
+	}
+	// …while a fresh-generation Add lands.
+	c.Add("fresh", 3, c.Generation())
+	if _, ok := c.Get("fresh"); !ok {
+		t.Fatal("post-purge Add did not land")
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%200)
+				if v, ok := c.Get(k); ok {
+					_ = v.(int)
+				} else {
+					c.Add(k, i, c.Generation())
+				}
+				if i%97 == 0 {
+					c.Purge()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > c.Cap() {
+		t.Fatalf("Len %d exceeds capacity %d", c.Len(), c.Cap())
+	}
+}

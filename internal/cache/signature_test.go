@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"math"
+	"testing"
+
+	"evprop/internal/potential"
+)
+
+func TestSignatureInsertionOrderCanonical(t *testing.T) {
+	// Two maps built in opposite insertion orders must share a signature.
+	a := potential.Evidence{}
+	for i := 0; i < 20; i++ {
+		a[i] = i % 3
+	}
+	b := potential.Evidence{}
+	for i := 19; i >= 0; i-- {
+		b[i] = i % 3
+	}
+	la := potential.Likelihood{4: {0.25, 0.75}, 9: {1, 2, 3}}
+	lb := potential.Likelihood{9: {1, 2, 3}, 4: {0.25, 0.75}}
+	if Signature(0, a, la) != Signature(0, b, lb) {
+		t.Fatal("equal evidence in different insertion orders produced different signatures")
+	}
+}
+
+func TestSignatureDistinguishes(t *testing.T) {
+	base := Signature(0, potential.Evidence{1: 0, 2: 1}, nil)
+	distinct := []string{
+		Signature(1, potential.Evidence{1: 0, 2: 1}, nil),                          // mode
+		Signature(0, potential.Evidence{1: 1, 2: 1}, nil),                          // state
+		Signature(0, potential.Evidence{1: 0, 3: 1}, nil),                          // variable
+		Signature(0, potential.Evidence{1: 0}, nil),                                // arity
+		Signature(0, potential.Evidence{1: 0, 2: 1}, potential.Likelihood{5: {1}}), // soft present
+		Signature(0, nil, potential.Likelihood{1: {0, 1}}),                         // hard vs soft
+	}
+	for i, sig := range distinct {
+		if sig == base {
+			t.Errorf("variant %d collides with base signature", i)
+		}
+	}
+	// Soft-evidence weight changes must change the signature too.
+	s1 := Signature(0, nil, potential.Likelihood{1: {0.5, 0.5}})
+	s2 := Signature(0, nil, potential.Likelihood{1: {0.5, 0.25}})
+	if s1 == s2 {
+		t.Error("different soft-evidence weights share a signature")
+	}
+	// The evidence pair (id=1, state=2) must not alias (id=2, state=1) or a
+	// soft entry whose bytes happen to line up.
+	if Signature(0, potential.Evidence{1: 2}, nil) == Signature(0, potential.Evidence{2: 1}, nil) {
+		t.Error("(1:2) aliases (2:1)")
+	}
+}
+
+// FuzzEvidenceSignature drives the canonical encoder with arbitrary
+// evidence maps decoded from raw bytes and checks the two injectivity
+// properties the cache depends on: equal maps (any insertion order)
+// produce equal signatures, and differing maps never share one.
+func FuzzEvidenceSignature(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 1, 2}, []byte{3, 1}, byte(0))
+	f.Add([]byte{}, []byte{}, byte(1))
+	f.Add([]byte{255, 255, 0, 0, 7, 7, 7}, []byte{9, 8, 7, 6, 5, 4, 3, 2, 1}, byte(2))
+	f.Fuzz(func(t *testing.T, hard, soft []byte, mode byte) {
+		evA := decodeHard(hard)
+		likeA := decodeSoft(soft)
+		// Rebuild both maps (fresh allocation, different insertion order):
+		// the signature must not depend on map identity or order.
+		evB := potential.Evidence{}
+		for id, st := range evA {
+			evB[id] = st
+		}
+		likeB := potential.Likelihood{}
+		for id, w := range likeA {
+			likeB[id] = append([]float64(nil), w...)
+		}
+		sigA := Signature(mode, evA, likeA)
+		sigB := Signature(mode, evB, likeB)
+		if sigA != sigB {
+			t.Fatalf("equal inputs produced different signatures:\n%x\n%x", sigA, sigB)
+		}
+		// Mutate one coordinate: the signature must change.
+		for id := range evA {
+			evA[id]++
+			if Signature(mode, evA, likeA) == sigA {
+				t.Fatalf("bumping evidence state of %d did not change the signature", id)
+			}
+			evA[id]--
+			break
+		}
+		for id := range likeA {
+			if len(likeA[id]) == 0 {
+				continue
+			}
+			old := likeA[id][0]
+			likeA[id][0] = math.Float64frombits(math.Float64bits(old) + 1)
+			if Signature(mode, evA, likeA) == sigA {
+				t.Fatalf("perturbing soft weight of %d did not change the signature", id)
+			}
+			likeA[id][0] = old
+			break
+		}
+		if Signature(mode+1, evA, likeA) == sigA {
+			t.Fatal("mode is not part of the signature")
+		}
+	})
+}
+
+// decodeHard turns fuzz bytes into a hard-evidence map: consecutive byte
+// pairs become (id, state), later pairs overwriting earlier ones exactly
+// like map assignment would.
+func decodeHard(b []byte) potential.Evidence {
+	ev := potential.Evidence{}
+	for i := 0; i+1 < len(b); i += 2 {
+		ev[int(b[i])] = int(b[i+1])
+	}
+	return ev
+}
+
+// decodeSoft turns fuzz bytes into soft evidence: each chunk of 1 id byte
+// plus up to 3 weight bytes becomes a weight vector.
+func decodeSoft(b []byte) potential.Likelihood {
+	like := potential.Likelihood{}
+	for i := 0; i < len(b); i += 4 {
+		end := i + 4
+		if end > len(b) {
+			end = len(b)
+		}
+		w := make([]float64, 0, end-i-1)
+		for _, x := range b[i+1 : end] {
+			w = append(w, float64(x)/255)
+		}
+		like[int(b[i])] = w
+	}
+	return like
+}

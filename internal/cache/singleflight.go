@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"context"
+	"sync"
+)
+
+// Group collapses concurrent calls with the same key into one execution:
+// the first caller starts fn, later callers wait for its result. It is the
+// request-collapsing half of the result cache — N concurrent cache misses
+// with one signature cost one propagation.
+//
+// Cancellation is per-waiter, not per-run: fn executes on its own goroutine
+// under a context detached from every caller (values, including the query
+// ID, are preserved from the first caller's context), so one waiter's
+// cancellation returns that waiter's ctx.Err() without disturbing the
+// shared run. Only when the last interested waiter has gone is the shared
+// run cancelled — nobody wants the answer anymore.
+type Group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+type call struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int  // callers still waiting, guarded by Group.mu
+	gone    bool // removed from Group.calls, guarded by Group.mu
+	cancel  context.CancelFunc
+}
+
+// Do executes fn under key, collapsing concurrent calls: if a call for key
+// is already in flight, Do waits for it instead of starting another.
+// shared reports whether this caller rode an execution started by another
+// caller (false for the caller that started fn). When ctx is cancelled
+// while waiting, Do returns ctx.Err() immediately; the shared run keeps
+// going for the remaining waiters and is cancelled only when none remain.
+func (g *Group) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (v any, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		v, err = g.wait(ctx, key, c)
+		return v, err, true
+	}
+	runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	c := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.calls[key] = c
+	g.mu.Unlock()
+	go func() {
+		c.val, c.err = fn(runCtx)
+		g.mu.Lock()
+		if !c.gone {
+			c.gone = true
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+		close(c.done)
+		cancel()
+	}()
+	v, err = g.wait(ctx, key, c)
+	return v, err, false
+}
+
+// wait blocks until the call finishes or ctx is cancelled. A cancelled
+// waiter deregisters itself; the last one to leave cancels the shared run
+// and detaches the call from the group so a fresh caller starts over
+// instead of joining a doomed run.
+func (g *Group) wait(ctx context.Context, key string, c *call) (any, error) {
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		last := c.waiters == 0
+		if last && !c.gone {
+			c.gone = true
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+		if last {
+			c.cancel()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// InFlight returns the number of keys currently executing, for tests and
+// stats.
+func (g *Group) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}

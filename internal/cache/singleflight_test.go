@@ -1,0 +1,183 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGroupCollapses checks the basic contract: concurrent Do calls with
+// one key run fn once and all receive its value.
+func TestGroupCollapses(t *testing.T) {
+	var g Group
+	var runs atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fn := func(context.Context) (any, error) {
+		runs.Add(1)
+		close(started)
+		<-release
+		return 42, nil
+	}
+	const waiters = 8
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	vals := make([]any, waiters)
+	shareds := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], errs[i], shareds[i] = g.Do(context.Background(), "k", fn)
+		}(i)
+	}
+	<-started
+	// Give the other goroutines time to enroll as waiters, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	leaders := 0
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil || vals[i].(int) != 42 {
+			t.Fatalf("waiter %d: %v, %v", i, vals[i], errs[i])
+		}
+		if !shareds[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d callers report shared=false, want exactly 1", leaders)
+	}
+	if g.InFlight() != 0 {
+		t.Fatal("call left in flight after completion")
+	}
+}
+
+// TestGroupWaiterCancelDoesNotCancelSharedRun is the singleflight
+// cancellation regression test: with several waiters enrolled, one
+// waiter's cancellation must return immediately with its own ctx.Err()
+// while the shared run keeps going and serves the rest.
+func TestGroupWaiterCancelDoesNotCancelSharedRun(t *testing.T) {
+	var g Group
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var runCtxErr error
+	fn := func(ctx context.Context) (any, error) {
+		close(started)
+		<-release
+		runCtxErr = ctx.Err() // read after the cancelled waiter left
+		return "result", nil
+	}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(context.Background(), "k", fn)
+		leaderDone <- err
+	}()
+	<-started
+
+	// Enroll a second waiter with a cancellable context.
+	wctx, wcancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err, shared := g.Do(wctx, "k", fn)
+		if !shared {
+			t.Error("second caller was not collapsed onto the running call")
+		}
+		waiterDone <- err
+	}()
+	// Wait until the waiter is enrolled (leader + waiter on one call).
+	for deadline := time.Now().Add(time.Second); ; {
+		g.mu.Lock()
+		n := 0
+		if c, ok := g.calls["k"]; ok {
+			n = c.waiters
+		}
+		g.mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second waiter never enrolled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	wcancel()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+	}
+	// The shared run must still be alive: release it and check the leader
+	// got the result from an uncancelled run context.
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader got %v after a waiter cancelled", err)
+	}
+	if runCtxErr != nil {
+		t.Fatalf("shared run context was cancelled (%v) by a waiter's cancellation", runCtxErr)
+	}
+}
+
+// TestGroupLastWaiterCancelStopsRun: when every waiter has cancelled, the
+// shared run's context is cancelled (nobody wants the answer) and the key
+// is detached so a fresh caller starts a new run instead of joining the
+// doomed one.
+func TestGroupLastWaiterCancelStopsRun(t *testing.T) {
+	var g Group
+	started := make(chan struct{})
+	ctxCancelled := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		close(ctxCancelled)
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(ctx, "k", fn)
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("sole waiter got %v", err)
+	}
+	select {
+	case <-ctxCancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("shared run context was not cancelled after the last waiter left")
+	}
+	// A fresh call must start a new run, not join the doomed one.
+	v, err, shared := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return "fresh", nil
+	})
+	if err != nil || v.(string) != "fresh" || shared {
+		t.Fatalf("fresh call after abandonment: %v, %v, shared=%v", v, err, shared)
+	}
+}
+
+// TestGroupErrorPropagates: fn's error reaches every waiter and the key is
+// released for the next caller.
+func TestGroupErrorPropagates(t *testing.T) {
+	var g Group
+	boom := errors.New("boom")
+	_, err, _ := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	v, err, _ := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return 7, nil
+	})
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("retry after error: %v, %v", v, err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"evprop/internal/baseline"
+	"evprop/internal/cache"
 	"evprop/internal/jtree"
 	"evprop/internal/obs"
 	"evprop/internal/potential"
@@ -88,6 +89,12 @@ type Options struct {
 	// entries are split by the collaborative scheduler's Partition module.
 	// 0 disables partitioning.
 	PartitionThreshold int
+	// CacheSize, when positive, enables the shared-evidence result cache:
+	// an LRU of this many completed propagation results keyed by the
+	// canonical evidence signature, fronted by a singleflight group that
+	// collapses concurrent identical queries into one propagation. See
+	// PropagateCachedContext.
+	CacheSize int
 	// Trace records a per-worker execution timeline in Result.Sched.Trace
 	// (collaborative scheduler only).
 	Trace bool
@@ -137,6 +144,13 @@ type Engine struct {
 
 	collectMu     sync.Mutex
 	collectGraphs map[int]*collectEntry // per-target collect-only graphs
+
+	// cache and flight are the shared-evidence result cache and its
+	// request-collapsing singleflight group (nil when CacheSize is 0).
+	// collapsed counts queries served by another caller's propagation.
+	cache     *cache.LRU
+	flight    *cache.Group
+	collapsed atomic.Int64
 }
 
 // collectEntry caches the collect-only graph toward one target clique plus
@@ -174,6 +188,10 @@ func NewEngine(t *jtree.Tree, opts Options) (*Engine, error) {
 	e.graph = taskgraph.Build(work)
 	if err := e.graph.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.CacheSize > 0 {
+		e.cache = cache.NewLRU(opts.CacheSize)
+		e.flight = &cache.Group{}
 	}
 	// Engines dropped without Close would otherwise leak their parked
 	// worker goroutines; the finalizer is the safety net for short-lived
@@ -265,7 +283,19 @@ type Result struct {
 	// Sched carries the collaborative scheduler's metrics when that
 	// scheduler ran, nil otherwise.
 	Sched *sched.Metrics
+
+	// pinned marks a result held by the engine's shared-evidence cache:
+	// Release is a no-op (the state must never recycle into the pool while
+	// other readers share it) and single-variable marginals are memoized,
+	// so repeated cache hits pay for each posterior once.
+	pinned    bool
+	marginals sync.Map // variable id -> *potential.Potential (pinned only)
 }
+
+// Pinned reports whether the result is owned by the engine's result cache
+// and therefore shared: Release will not recycle it, and potentials it
+// returns are shared and must not be mutated.
+func (r *Result) Pinned() bool { return r.pinned }
 
 // Propagate absorbs the evidence into a working state and runs the full
 // two-pass evidence propagation with the configured scheduler. It is safe
@@ -519,7 +549,10 @@ func (e *Engine) collectEntryFor(ci int) (*collectEntry, error) {
 // are copies and stay valid. Release is optional — unreleased states are
 // garbage collected — and must not race with the result's other methods.
 func (r *Result) Release() {
-	if r == nil || r.state == nil {
+	if r == nil || r.state == nil || r.pinned {
+		// Pinned results are shared through the cache: recycling their
+		// state while other readers derive posteriors from it would
+		// corrupt those reads, so Release leaves them to the GC.
 		return
 	}
 	st := r.state
@@ -530,12 +563,25 @@ func (r *Result) Release() {
 }
 
 // Marginal returns the normalized posterior P(v | evidence) from the
-// propagation result.
+// propagation result. On pinned (cache-shared) results the potential is
+// memoized and shared between callers, so it must not be mutated.
 func (r *Result) Marginal(v int) (*potential.Potential, error) {
 	if r.state == nil {
 		return nil, ErrReleased
 	}
-	return r.state.Marginal(v)
+	if r.pinned {
+		if m, ok := r.marginals.Load(v); ok {
+			return m.(*potential.Potential), nil
+		}
+	}
+	m, err := r.state.Marginal(v)
+	if err != nil {
+		return nil, err
+	}
+	if r.pinned {
+		r.marginals.Store(v, m)
+	}
+	return m, nil
 }
 
 // JointMarginal returns the normalized posterior over a set of variables,

@@ -73,6 +73,10 @@ type QueryRecord struct {
 	Err string
 	// Slow marks records that crossed the capture threshold.
 	Slow bool
+	// Cached marks queries served from the shared-evidence result cache
+	// (a hit, or a singleflight waiter collapsed onto another caller's
+	// propagation): no scheduler ran for them.
+	Cached bool
 }
 
 // SlowCapture retains everything known about one slow propagation: the
@@ -110,6 +114,12 @@ type RunInfo struct {
 	EvidenceVars int
 	Elapsed      time.Duration
 	Err          error
+	// Cached marks a query served without a propagation (cache hit or
+	// collapsed singleflight waiter). Cached records land in the ring but
+	// stay out of the latency histogram — sub-microsecond lookups must not
+	// drag the adaptive slow threshold down to where every real
+	// propagation reads as slow — and are never captured as slow.
+	Cached bool
 }
 
 // SlowThreshold returns the capture threshold currently in force: the
@@ -137,6 +147,7 @@ func (fr *FlightRecorder) RecordRun(info RunInfo, m *sched.Metrics) (slow bool) 
 		Mode:         info.Mode,
 		EvidenceVars: info.EvidenceVars,
 		Elapsed:      info.Elapsed,
+		Cached:       info.Cached,
 	}
 	if info.Err != nil {
 		rec.Err = info.Err.Error()
@@ -161,11 +172,13 @@ func (fr *FlightRecorder) RecordRun(info RunInfo, m *sched.Metrics) (slow bool) 
 			rec.OverheadFraction = float64(overhead) / float64(busy+overhead)
 		}
 	}
-	thr := fr.SlowThreshold()
-	fr.hist.Observe(info.Elapsed)
-	if thr > 0 && info.Elapsed > thr {
-		rec.Slow = true
-		fr.captureSlow(rec, thr, m)
+	if !info.Cached {
+		thr := fr.SlowThreshold()
+		fr.hist.Observe(info.Elapsed)
+		if thr > 0 && info.Elapsed > thr {
+			rec.Slow = true
+			fr.captureSlow(rec, thr, m)
+		}
 	}
 	seq := fr.cursor.Add(1) - 1
 	rec.Seq = seq

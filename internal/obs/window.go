@@ -22,6 +22,11 @@ type windowBucket struct {
 	latency [histBuckets + 1]atomic.Int64 // log-spaced latency buckets
 	lbMilli atomic.Int64                  // sum of load-balance factors ×1000
 	lbCount atomic.Int64
+	// cacheHits and cacheLookups track the shared-evidence result cache:
+	// lookups counts propagation-path queries, hits the ones served
+	// without a propagation.
+	cacheHits    atomic.Int64
+	cacheLookups atomic.Int64
 }
 
 // Window is a sliding 60×1 s time series of request traffic: QPS, error
@@ -53,6 +58,8 @@ func (w *Window) bucketFor(sec int64) *windowBucket {
 			b.errors.Store(0)
 			b.lbMilli.Store(0)
 			b.lbCount.Store(0)
+			b.cacheHits.Store(0)
+			b.cacheLookups.Store(0)
 			for i := range b.latency {
 				b.latency[i].Store(0)
 			}
@@ -82,6 +89,19 @@ func (w *Window) Observe(latency time.Duration, isError bool, loadBalance float6
 	}
 }
 
+// ObserveCache records a request's result-cache outcome: lookups counts
+// the request's cache-path queries and hits how many were served without a
+// propagation. Requests that never consult the cache pass (0, 0) and
+// contribute nothing.
+func (w *Window) ObserveCache(hits, lookups int64) {
+	if lookups <= 0 {
+		return
+	}
+	b := w.bucketFor(w.now().Unix())
+	b.cacheHits.Add(hits)
+	b.cacheLookups.Add(lookups)
+}
+
 // WindowSnapshot summarizes the last WindowSeconds of traffic.
 type WindowSnapshot struct {
 	// Seconds is the window span.
@@ -98,12 +118,23 @@ type WindowSnapshot struct {
 	// QPSSeries is the per-second request count, oldest to newest; the last
 	// entry is the current (incomplete) second.
 	QPSSeries []int64
+	// CacheHits and CacheLookups count the window's result-cache traffic;
+	// CacheHitRate is their ratio (0 when nothing was looked up).
+	CacheHits, CacheLookups int64
+	CacheHitRate            float64
+	// CacheHitRateSeries is the per-second hit rate, oldest to newest,
+	// aligned with QPSSeries; seconds with no lookups report 0.
+	CacheHitRateSeries []float64
 }
 
 // Snapshot aggregates the buckets still inside the window.
 func (w *Window) Snapshot() WindowSnapshot {
 	nowSec := w.now().Unix()
-	s := WindowSnapshot{Seconds: WindowSeconds, QPSSeries: make([]int64, WindowSeconds)}
+	s := WindowSnapshot{
+		Seconds:            WindowSeconds,
+		QPSSeries:          make([]int64, WindowSeconds),
+		CacheHitRateSeries: make([]float64, WindowSeconds),
+	}
 	var latency [histBuckets + 1]int64
 	var lbMilli, lbCount int64
 	for i := range w.buckets {
@@ -117,6 +148,12 @@ func (w *Window) Snapshot() WindowSnapshot {
 		s.Requests += n
 		s.Errors += b.errors.Load()
 		s.QPSSeries[WindowSeconds-1-age] = n
+		hits, lookups := b.cacheHits.Load(), b.cacheLookups.Load()
+		s.CacheHits += hits
+		s.CacheLookups += lookups
+		if lookups > 0 {
+			s.CacheHitRateSeries[WindowSeconds-1-age] = float64(hits) / float64(lookups)
+		}
 		for j := range latency {
 			latency[j] += b.latency[j].Load()
 		}
@@ -126,6 +163,9 @@ func (w *Window) Snapshot() WindowSnapshot {
 	s.QPS = float64(s.Requests) / float64(WindowSeconds)
 	if s.Requests > 0 {
 		s.ErrorRate = float64(s.Errors) / float64(s.Requests)
+	}
+	if s.CacheLookups > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(s.CacheLookups)
 	}
 	s.P50 = quantileFromCounts(latency[:], 0.50)
 	s.P99 = quantileFromCounts(latency[:], 0.99)

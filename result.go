@@ -29,15 +29,22 @@ import (
 // that needs extra work is MPE, which lazily runs a single max-product
 // propagation on first call and caches it.
 type QueryResult struct {
-	eng *Engine
-	ev  Evidence
-	iev potential.Evidence
+	eng    *Engine
+	ev     Evidence
+	iev    potential.Evidence
+	cached bool
 
 	mu     sync.Mutex
 	res    *core.Result
 	maxRes *core.Result // lazy max-product companion for MPE
 	closed bool
 }
+
+// Cached reports whether this result was served from the engine's
+// shared-evidence cache — a hit on an earlier identical propagation, or a
+// collapse onto another caller's concurrent one — rather than by running
+// its own propagation. Always false on engines compiled without CacheSize.
+func (r *QueryResult) Cached() bool { return r.cached }
 
 // Propagate runs one evidence propagation and returns the session result.
 // Any number of goroutines may Propagate on the same engine concurrently;
@@ -71,15 +78,21 @@ func (e *Engine) propagateSession(ctx context.Context, ev Evidence, soft SoftEvi
 	if err != nil {
 		return nil, err
 	}
-	var res *core.Result
-	if len(soft) == 0 {
-		res, err = e.inner.PropagateContext(ctx, iev)
-	} else {
-		var like potential.Likelihood
+	var like potential.Likelihood
+	if len(soft) > 0 {
 		like, err = e.net.likelihood(soft)
 		if err != nil {
 			return nil, err
 		}
+	}
+	var res *core.Result
+	var cached bool
+	if e.inner.CacheEnabled() {
+		e.syncModelVersion()
+		res, cached, err = e.inner.PropagateCachedContext(ctx, iev, like)
+	} else if like == nil {
+		res, err = e.inner.PropagateContext(ctx, iev)
+	} else {
 		res, err = e.inner.PropagateSoftContext(ctx, iev, like)
 	}
 	if err != nil {
@@ -89,7 +102,23 @@ func (e *Engine) propagateSession(ctx context.Context, ev Evidence, soft SoftEvi
 	for k, v := range ev {
 		evCopy[k] = v
 	}
-	return &QueryResult{eng: e, ev: evCopy, iev: iev, res: res}, nil
+	return &QueryResult{eng: e, ev: evCopy, iev: iev, cached: cached, res: res}, nil
+}
+
+// syncModelVersion purges the result cache when the source network has been
+// structurally mutated since the engine last looked: results keyed under the
+// old structure must not survive an AddVariable. The purge runs before the
+// version counter advances, so every racer on the boundary purges (harmless)
+// and the CAS only stops repeats once one of them has published the new
+// version.
+func (e *Engine) syncModelVersion() {
+	v := e.net.inner.Version()
+	old := e.modelVersion.Load()
+	if v == old {
+		return
+	}
+	e.inner.InvalidateCache()
+	e.modelVersion.CompareAndSwap(old, v)
 }
 
 // Close recycles the propagation state into the engine's pool. Quantities
@@ -305,7 +334,13 @@ func (r *QueryResult) MPE() (map[string]int, float64, error) {
 		return nil, 0, fmt.Errorf("%w: no explanation exists", ErrZeroProbabilityEvidence)
 	}
 	if r.maxRes == nil {
-		mr, err := r.eng.inner.PropagateMax(r.iev)
+		var mr *core.Result
+		var err error
+		if r.eng.inner.CacheEnabled() {
+			mr, _, err = r.eng.inner.PropagateMaxCachedContext(context.Background(), r.iev)
+		} else {
+			mr, err = r.eng.inner.PropagateMax(r.iev)
+		}
 		if err != nil {
 			return nil, 0, err
 		}
