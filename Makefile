@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-serving fuzz-smoke trace check
+.PHONY: build test race vet staticcheck fmt-check bench bench-serving fuzz-smoke trace smoke-evtop check
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,14 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional locally (it is not vendored); CI installs and runs
+# it. Skips with a notice when the binary is absent.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; fi
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -34,6 +42,24 @@ fuzz-smoke:
 trace:
 	$(GO) run ./cmd/evbench -trace /tmp/evprop-trace.json
 
+# Smoke-test the live dashboard end to end: start evserve on an ephemeral
+# port, render one evtop frame against its /v1/stream, then shut down.
+smoke-evtop:
+	@$(GO) build -o /tmp/evserve-smoke ./cmd/evserve
+	@$(GO) build -o /tmp/evtop-smoke ./cmd/evtop
+	@/tmp/evserve-smoke -addr 127.0.0.1:18098 >/dev/null 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do \
+		if curl -sf http://127.0.0.1:18098/v1/readyz >/dev/null 2>&1; then break; fi; \
+		sleep 0.1; done; \
+	curl -sf -o /dev/null -X POST http://127.0.0.1:18098/v1/query \
+		-d '{"evidence":{"XRay":1}}'; \
+	/tmp/evtop-smoke -url http://127.0.0.1:18098 -once | grep -q "evtop —"; rc=$$?; \
+	kill $$pid; wait $$pid 2>/dev/null; \
+	if [ $$rc -ne 0 ]; then echo "smoke-evtop: frame did not render"; exit 1; fi; \
+	echo "smoke-evtop: ok"
+
 # The PR gate: formatting and static checks plus the full test suite under
-# the race detector (includes the concurrent-engine stress tests).
-check: fmt-check vet race
+# the race detector (includes the concurrent-engine stress tests) and the
+# evtop-against-evserve smoke test.
+check: fmt-check vet staticcheck race smoke-evtop

@@ -61,6 +61,15 @@ func BenchmarkConcurrentQueryNoRecorder(b *testing.B) {
 	benchConcurrentQuery(b, eng, ev)
 }
 
+// BenchmarkConcurrentQueryPprofLabels is BenchmarkConcurrentQuery with the
+// opt-in pprof worker labels on (as under evserve -pprof). The delta
+// against BenchmarkConcurrentQuery is what profiling segmentation costs
+// while the profile endpoints are exposed; the default path never pays it.
+func BenchmarkConcurrentQueryPprofLabels(b *testing.B) {
+	eng, ev := servingEngineOpts(b, Options{Workers: 4, PprofLabels: true})
+	benchConcurrentQuery(b, eng, ev)
+}
+
 // BenchmarkCachedQuery is BenchmarkConcurrentQuery with the shared-evidence
 // result cache on: after the first iteration every query is a cache hit on
 // the same pinned result (with memoized marginals), the skewed-traffic

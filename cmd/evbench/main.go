@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"evprop/internal/buildinfo"
 	"evprop/internal/experiments"
 	"evprop/internal/machine"
 )
@@ -29,7 +30,12 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, 8, 9, reroot, ablations, manycore, roster, real, heuristics, evidence")
 	tracePath := flag.String("trace", "", "run one traced propagation and write a Chrome trace_event JSON file")
 	traceWorkers := flag.Int("workers", 4, "workers for the -trace run")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("evbench"))
+		return
+	}
 
 	if *tracePath != "" {
 		if err := writeTrace(*tracePath, *traceWorkers, os.Stdout); err != nil {

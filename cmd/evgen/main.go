@@ -19,6 +19,7 @@ import (
 
 	"evprop/internal/bayesnet"
 	"evprop/internal/bif"
+	"evprop/internal/buildinfo"
 	"evprop/internal/jtree"
 )
 
@@ -40,8 +41,13 @@ func main() {
 		render      = flag.Bool("render", false, "print an ASCII rendering to stderr (truncated at 40 lines)")
 		format      = flag.String("format", "bif", "network output format: bif, xmlbif (kind=network only)")
 		out         = flag.String("o", "-", "output file (- = stdout)")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("evgen"))
+		return
+	}
 
 	if *kind == "network" {
 		if err := emitNetwork(*n, *states, *degree, *seed, *format, *out); err != nil {

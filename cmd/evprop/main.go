@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"evprop"
+	"evprop/internal/buildinfo"
 )
 
 func main() {
@@ -39,8 +40,13 @@ func main() {
 		mpe       = flag.Bool("mpe", false, "also report the most probable explanation")
 		approx    = flag.String("approx", "", "use approximate inference: lw (likelihood weighting) or gibbs")
 		samples   = flag.Int("samples", 20000, "sample count for -approx")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("evprop"))
+		return
+	}
 
 	net, err := buildNetwork(*network, *nodes, *states, *parents, *seed)
 	if err != nil {

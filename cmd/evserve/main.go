@@ -18,6 +18,10 @@
 //	                → {"separated": true}
 //	GET  /v1/stats  → request counters, latency percentiles, 60 s window
 //	GET  /v1/metrics → Prometheus text exposition of the same
+//	GET  /v1/stream → Server-Sent Events, one stats+gauges snapshot/second
+//	                (the feed evtop renders)
+//	GET  /v1/healthz → liveness: build info, go version, uptime
+//	GET  /v1/readyz  → readiness: 200 while serving, 503 once drain begins
 //	GET  /v1/debug/flightrecorder → recent query ring + slow-query captures;
 //	                ?id=q-… filters to one query ID
 //
@@ -50,6 +54,7 @@ import (
 	"time"
 
 	"evprop"
+	"evprop/internal/buildinfo"
 )
 
 // shutdownGrace bounds how long a drain may take once a signal arrives.
@@ -70,8 +75,13 @@ func main() {
 		recorder = flag.Int("recorder-size", 0, "flight-recorder ring capacity (0 = default)")
 		cacheSz  = flag.Int("cache-size", 1024, "shared-evidence result cache entries (0 = disable caching)")
 		batchWin = flag.Duration("batch-window", 0, "coalesce same-evidence /v1/batch sub-queries arriving within this window (0 = off)")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("evserve"))
+		return
+	}
 
 	logger, err := newLogger(*logFmt)
 	if err != nil {
@@ -90,6 +100,9 @@ func main() {
 		SlowQueryThreshold: *slowThr,
 		FlightRecorderSize: *recorder,
 		CacheSize:          *cacheSz,
+		// Worker pprof labels are readable only through /debug/pprof/, so
+		// they ride the same flag and cost nothing when it is off.
+		PprofLabels: *pprofOn,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evserve:", err)
@@ -112,11 +125,15 @@ func main() {
 	logger.Info("evserve: listening",
 		slog.Int("variables", len(bn.Variables())),
 		slog.String("addr", ln.Addr().String()))
-	if err := serve(ctx, ln, srv.mux(), logger); err != nil {
+	srv.startSampler()
+	srv.ready.Store(true)
+	err = serve(ctx, ln, srv, logger)
+	srv.beginDrain() // listener-failure path: Shutdown never ran
+	srv.eng.Close()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "evserve:", err)
 		os.Exit(1)
 	}
-	srv.eng.Close()
 	logger.Info("evserve: stopped")
 }
 
@@ -135,14 +152,18 @@ func newLogger(format string) (*slog.Logger, error) {
 // serve runs the HTTP server until the listener fails or ctx is canceled
 // (SIGINT/SIGTERM in main), then drains in-flight requests for up to
 // shutdownGrace before returning.
-func serve(ctx context.Context, ln net.Listener, handler http.Handler, logger *slog.Logger) error {
+func serve(ctx context.Context, ln net.Listener, srv *server, logger *slog.Logger) error {
 	hs := &http.Server{
-		Handler: handler,
+		Handler: srv.mux(),
 		// Bound header reads so an idle half-open connection cannot pin a
 		// goroutine forever; request bodies stay unbounded because batch
 		// payloads are legitimately large.
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// Shutdown's first act is to run these callbacks: readyz flips to 503 and
+	// every /v1/stream handler unblocks, so long-lived streams cannot pin the
+	// drain until its grace deadline.
+	hs.RegisterOnShutdown(srv.beginDrain)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {

@@ -299,7 +299,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, srv.mux(), srv.log) }()
+	go func() { done <- serve(ctx, ln, srv, srv.log) }()
 
 	url := "http://" + ln.Addr().String()
 	resp := post(t, url+"/v1/query", queryRequest{Evidence: evprop.Evidence{"XRay": 1}})

@@ -41,6 +41,16 @@ type server struct {
 	// cacheOn mirrors the engine's cache configuration so the hot path can
 	// skip cache accounting without asking the engine each time.
 	cacheOn bool
+	// sampler takes the 1 s snapshots behind /v1/stream; started is the
+	// uptime epoch reported by /v1/healthz and every snapshot.
+	sampler *obs.Sampler[streamSnapshot]
+	started time.Time
+	// ready gates /v1/readyz: false until the listener is up, false again
+	// once drain begins. drain is closed by beginDrain (via drainOnce) so
+	// every in-flight /v1/stream handler unblocks during graceful shutdown.
+	ready     atomic.Bool
+	drain     chan struct{}
+	drainOnce sync.Once
 }
 
 // serverStats aggregates request counters and propagation latency with
@@ -64,13 +74,17 @@ func newServer(net *evprop.Network, opts evprop.Options) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{
+	s := &server{
 		net:     net,
 		eng:     eng,
 		log:     slog.Default(),
 		window:  obs.NewWindow(),
 		cacheOn: opts.CacheSize > 0,
-	}, nil
+		started: time.Now(),
+		drain:   make(chan struct{}),
+	}
+	s.sampler = obs.NewSampler(streamInterval, 60, s.snapshotNow)
+	return s, nil
 }
 
 // mux routes the versioned /v1 API plus the original unversioned paths,
@@ -96,6 +110,12 @@ func (s *server) mux() *http.ServeMux {
 	for path, h := range routes {
 		m.HandleFunc(path, s.instrument(path, h))
 	}
+	// The stream and the health probes stay outside instrument: probes fire
+	// every few seconds and a stream lives for minutes — folding either into
+	// the QPS window or the access log would drown the real traffic signal.
+	m.HandleFunc("/v1/stream", s.handleStream)
+	m.HandleFunc("/v1/healthz", s.handleHealthz)
+	m.HandleFunc("/v1/readyz", s.handleReadyz)
 	if s.pprofEnabled {
 		m.HandleFunc("/debug/pprof/", pprof.Index)
 		m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -326,6 +346,9 @@ type statsResponse struct {
 	// Cache reports the engine's shared-evidence result cache plus the
 	// server-side batch coalescer.
 	Cache cacheStats `json:"cache"`
+	// Gauges is the live scheduler surface (GL depth, active runs, per-worker
+	// state/queue/steal gauges) — the same data /v1/stream pushes.
+	Gauges evprop.SchedulerGauges `json:"scheduler_gauges"`
 }
 
 // cacheStats is the engine's cache snapshot plus the server-side coalescer
@@ -407,6 +430,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SchedOverheadFrac: sr.LastOverheadFraction,
 		Window:            s.windowStats(),
 		Cache:             s.cacheStats(),
+		Gauges:            s.eng.SchedulerGauges(),
 	}
 	if resp.Observed > 0 {
 		resp.AvgLatencyUsec = float64(h.Mean()) / 1e3
@@ -474,6 +498,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteSample(w, "evprop_flightrecorder_slow_total", nil, float64(fs.SlowCaptured))
 	obs.WriteHeader(w, "evprop_flightrecorder_slow_threshold_seconds", "Current slow-query capture threshold (0 while calibrating).", "gauge")
 	obs.WriteSample(w, "evprop_flightrecorder_slow_threshold_seconds", nil, fs.SlowThresholdUsec/1e6)
+	s.writeGaugeMetrics(w)
 }
 
 // flightRecorderResponse is the /v1/debug/flightrecorder payload: recorder

@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"evprop"
+	"evprop/internal/obs"
+)
+
+// streamClient opens GET /v1/stream and hands back a scanner positioned on
+// the event stream plus the response for cleanup.
+func streamClient(t *testing.T, url string) (*bufio.Scanner, *http.Response) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url+"/v1/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	return bufio.NewScanner(resp.Body), resp
+}
+
+// nextEvent reads SSE lines until one complete event (id + data + blank) has
+// been consumed, returning the decoded data payload.
+func nextEvent(t *testing.T, sc *bufio.Scanner) (streamSnapshot, bool) {
+	t.Helper()
+	var snap streamSnapshot
+	sawData := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &snap); err != nil {
+				t.Fatalf("bad data line %q: %v", line, err)
+			}
+			sawData = true
+		case line == "" && sawData:
+			return snap, true
+		}
+	}
+	return snap, false
+}
+
+// TestStreamDeliversSnapshots subscribes to /v1/stream on a fast sampler and
+// checks that consecutive events carry coherent, advancing snapshots.
+func TestStreamDeliversSnapshots(t *testing.T) {
+	ts, srv := testServerFull(t, evprop.Options{Workers: 2})
+	srv.sampler = obs.NewSampler(5*time.Millisecond, 60, srv.snapshotNow)
+	srv.startSampler()
+	t.Cleanup(srv.beginDrain)
+
+	// Traffic before subscribing so counters are non-trivial.
+	post(t, ts.URL+"/v1/query", queryRequest{Evidence: evprop.Evidence{"XRay": 1}})
+
+	sc, _ := streamClient(t, ts.URL)
+	first, ok := nextEvent(t, sc)
+	if !ok {
+		t.Fatal("no initial event")
+	}
+	if first.Scheduler == "" || first.Workers != 2 {
+		t.Errorf("initial snapshot scheduler %q workers %d", first.Scheduler, first.Workers)
+	}
+	if len(first.Gauges.Workers) != 2 {
+		t.Errorf("gauge surface has %d workers, want 2", len(first.Gauges.Workers))
+	}
+	// The initial event may predate the query by one sampling interval, so
+	// follow the stream until the propagation shows up.
+	snap, prev := first, first
+	for i := 0; snap.Propagations < 1; i++ {
+		if i == 20 {
+			t.Fatalf("propagations still %d after %d events", snap.Propagations, i)
+		}
+		next, ok := nextEvent(t, sc)
+		if !ok {
+			t.Fatal("stream ended early")
+		}
+		if next.Time.Before(prev.Time) {
+			t.Errorf("snapshots went back in time: %v then %v", prev.Time, next.Time)
+		}
+		prev, snap = next, next
+	}
+}
+
+// TestStreamClosesOnDrain is the satellite drain assertion: an open stream
+// subscription must end cleanly (EOF, not a hang) as soon as drain begins.
+func TestStreamClosesOnDrain(t *testing.T) {
+	ts, srv := testServerFull(t, evprop.Options{Workers: 2})
+	srv.startSampler()
+
+	sc, resp := streamClient(t, ts.URL)
+	if _, ok := nextEvent(t, sc); !ok {
+		t.Fatal("no initial event")
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		// Drain the remaining body; a clean server-side close ends Scan.
+		for sc.Scan() {
+		}
+	}()
+	srv.beginDrain()
+	select {
+	case <-closed:
+	case <-time.After(3 * time.Second):
+		t.Fatal("stream still open 3s after drain began")
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Errorf("stream did not close cleanly: %v", err)
+	}
+}
+
+// TestServeShutdownClosesStream exercises the real wiring: http.Server
+// Shutdown (as SIGINT triggers it) must run beginDrain via the registered
+// hook, unblock the live stream handler, and let serve return promptly.
+func TestServeShutdownClosesStream(t *testing.T) {
+	srv, err := newServer(evprop.Asia(), evprop.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv.startSampler()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, srv, srv.log) }()
+	url := "http://" + ln.Addr().String()
+
+	sc, _ := streamClient(t, url)
+	if _, ok := nextEvent(t, sc); !ok {
+		t.Fatal("no initial event")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return: open stream pinned the drain")
+	}
+	select {
+	case <-srv.drain:
+	default:
+		t.Error("drain channel not closed by Shutdown hook")
+	}
+	srv.eng.Close()
+}
+
+// TestHealthzReadyz covers the probe pair across the server lifecycle:
+// healthz always 200 with build info, readyz 503 → 200 → 503 around drain.
+func TestHealthzReadyz(t *testing.T) {
+	ts, srv := testServerFull(t, evprop.Options{Workers: 2})
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	hz := get("/v1/healthz")
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hz.StatusCode)
+	}
+	var health healthzResponse
+	decode(t, hz, &health)
+	if health.Status != "ok" || health.Version == "" || !strings.HasPrefix(health.GoVersion, "go") {
+		t.Errorf("healthz body %+v", health)
+	}
+	if health.GOMAXPROCS < 1 || health.UptimeSec < 0 {
+		t.Errorf("healthz body %+v", health)
+	}
+
+	// Not ready until main marks the listener up.
+	if rz := get("/v1/readyz"); rz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz before ready: status %d, want 503", rz.StatusCode)
+	}
+	srv.ready.Store(true)
+	if rz := get("/v1/readyz"); rz.StatusCode != http.StatusOK {
+		t.Errorf("readyz while serving: status %d, want 200", rz.StatusCode)
+	}
+	srv.beginDrain()
+	if rz := get("/v1/readyz"); rz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain: status %d, want 503", rz.StatusCode)
+	}
+	// Liveness is unaffected by drain.
+	if hz := get("/v1/healthz"); hz.StatusCode != http.StatusOK {
+		t.Errorf("healthz during drain: status %d", hz.StatusCode)
+	}
+}
+
+// TestMetricsConformance lints the server's full Prometheus exposition —
+// including the new gauge families — against the format checker.
+func TestMetricsConformance(t *testing.T) {
+	ts, _ := testServerFull(t, evprop.Options{Workers: 2})
+	post(t, ts.URL+"/v1/query", queryRequest{Evidence: evprop.Evidence{"XRay": 1}})
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	if problems := obs.LintExposition(strings.NewReader(body)); len(problems) != 0 {
+		t.Fatalf("exposition problems:\n%s", strings.Join(problems, "\n"))
+	}
+	for _, metric := range []string{
+		"evprop_sched_global_depth", "evprop_sched_active_runs",
+		`evprop_worker_queue_depth{worker="0"}`,
+		`evprop_worker_completed_total{worker="1"}`,
+		`evprop_worker_state{`,
+	} {
+		if !strings.Contains(body, metric) {
+			t.Errorf("metrics missing %s", metric)
+		}
+	}
+}

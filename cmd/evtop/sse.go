@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// sseEvent is one Server-Sent-Events frame: the last id: field and the
+// data: payload (multiple data lines joined with newlines, per the spec).
+type sseEvent struct {
+	id   string
+	data string
+}
+
+// scanEvents parses an SSE byte stream, calling fn once per complete event.
+// fn returning false stops the scan early (clean stop, nil error); otherwise
+// scanning continues until the stream ends. A trailing event without a
+// terminating blank line is discarded, mirroring browser EventSource.
+func scanEvents(r io.Reader, fn func(sseEvent) bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var ev sseEvent
+	dispatch := false
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			if dispatch {
+				if !fn(ev) {
+					return nil
+				}
+			}
+			ev = sseEvent{}
+			dispatch = false
+			continue
+		}
+		if strings.HasPrefix(line, ":") {
+			continue // comment / keep-alive
+		}
+		field, value, _ := strings.Cut(line, ":")
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "id":
+			ev.id = value
+		case "data":
+			if ev.data != "" {
+				ev.data += "\n"
+			}
+			ev.data += value
+			dispatch = true
+		}
+	}
+	return sc.Err()
+}

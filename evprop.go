@@ -191,6 +191,14 @@ type Options struct {
 	// cache invalidates itself when the source network gains variables
 	// after compilation; see Engine.InvalidateCache for manual control.
 	CacheSize int
+	// PprofLabels tags the scheduler workers with pprof goroutine labels
+	// (query_id, task_kind) while they execute each query, so CPU profiles
+	// segment by query and by primitive (go tool pprof -tagfocus
+	// query_id=...). Off by default: the labels cost a few percent of
+	// propagation throughput and are observable only through the pprof
+	// endpoints, so enable this alongside them (evserve does when run with
+	// -pprof).
+	PprofLabels bool
 }
 
 // Engine answers posterior queries over a compiled network. An Engine is
@@ -380,6 +388,74 @@ func (e *Engine) WriteSchedulerMetrics(w io.Writer, prefix string) {
 	e.inner.ObsSnapshot().WritePrometheus(w, prefix)
 }
 
+// WorkerGauges is one scheduler worker's live gauges at a sampling instant:
+// its current state, the depth and weight counter of its local ready list,
+// and its lifetime execution/steal/partition counters.
+type WorkerGauges struct {
+	// State is "executing", "fetching", "stealing", "parked" or "idle".
+	State string `json:"state"`
+	// QueueDepth and QueueWeight describe the worker's local ready list:
+	// queued item count and the paper's W_i weight counter.
+	QueueDepth  int64 `json:"queue_depth"`
+	QueueWeight int64 `json:"queue_weight"`
+	// BusyNs is cumulative nanoseconds inside node-level primitives; the
+	// delta between two snapshots over the wall time between them is the
+	// worker's live utilization.
+	BusyNs int64 `json:"busy_ns"`
+	// Items counts executed items (tasks, pieces, combiners); Completed
+	// counts original graph tasks this worker retired.
+	Items     int64 `json:"items"`
+	Completed int64 `json:"completed"`
+	// StealAttempts and Steals are the work-stealing scheduler's counters
+	// (zero under the collaborative pool).
+	StealAttempts int64 `json:"steal_attempts"`
+	Steals        int64 `json:"steals"`
+	// Partitions counts tasks this worker split into δ-pieces.
+	Partitions int64 `json:"partitions"`
+}
+
+// SchedulerGauges is a live snapshot of the scheduler: the global task-list
+// depth, in-flight propagation count, and per-worker gauges. Reading it is
+// wait-free for the workers, so it is safe to sample at high frequency
+// while queries run.
+type SchedulerGauges struct {
+	// GlobalDepth counts tasks submitted to the scheduler but not yet
+	// completed, across all in-flight propagations.
+	GlobalDepth int64 `json:"global_depth"`
+	// ActiveRuns counts propagations currently in flight.
+	ActiveRuns int64 `json:"active_runs"`
+	// Workers has one entry per scheduler worker. Empty for engines on the
+	// serial or baseline schedulers, which expose no gauge surface.
+	Workers []WorkerGauges `json:"workers"`
+}
+
+// SchedulerGauges snapshots the engine's live scheduler gauge surface.
+func (e *Engine) SchedulerGauges() SchedulerGauges {
+	if e == nil || e.inner == nil {
+		return SchedulerGauges{}
+	}
+	s := e.inner.Gauges()
+	g := SchedulerGauges{
+		GlobalDepth: s.GlobalDepth,
+		ActiveRuns:  s.ActiveRuns,
+		Workers:     make([]WorkerGauges, len(s.Workers)),
+	}
+	for i, w := range s.Workers {
+		g.Workers[i] = WorkerGauges{
+			State:         w.StateName,
+			QueueDepth:    w.QueueDepth,
+			QueueWeight:   w.QueueWeight,
+			BusyNs:        w.BusyNs,
+			Items:         w.Items,
+			Completed:     w.Completed,
+			StealAttempts: w.StealAttempts,
+			Steals:        w.Steals,
+			Partitions:    w.Partitions,
+		}
+	}
+	return g
+}
+
 // Compile converts the network into a junction tree and prepares the
 // propagation engine.
 func (n *Network) Compile(opts Options) (*Engine, error) {
@@ -422,6 +498,7 @@ func (n *Network) Compile(opts Options) (*Engine, error) {
 		PartitionThreshold: threshold,
 		Recorder:           recorder,
 		CacheSize:          opts.CacheSize,
+		PprofLabels:        opts.PprofLabels,
 	})
 	if err != nil {
 		return nil, err

@@ -170,3 +170,30 @@ func TestQueryIDRoundTrip(t *testing.T) {
 		t.Errorf("NewQueryID: %q, %q", a, b)
 	}
 }
+
+// TestPprofLabelsOption exercises the opt-in worker-label path end to end:
+// with PprofLabels on, queries run tagged (query_id/task_kind reach the
+// scheduler) and still produce correct posteriors; the calling goroutine's
+// own labels are untouched (workers, not callers, are tagged).
+func TestPprofLabelsOption(t *testing.T) {
+	for _, scheduler := range []string{SchedulerCollaborative, SchedulerWorkStealing} {
+		eng, err := Asia().Compile(Options{Workers: 2, Scheduler: scheduler, PprofLabels: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := WithQueryID(context.Background(), "q-labelled-1")
+		res, err := eng.PropagateContext(ctx, Evidence{"XRay": 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		post, err := res.Posteriors("Lung")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(post["Lung"]) != 2 {
+			t.Errorf("scheduler %s: posterior %v", scheduler, post)
+		}
+		res.Close()
+		eng.Close()
+	}
+}

@@ -103,6 +103,12 @@ type Options struct {
 	// execution timeline, and each run's query ID, latency and Fig. 8
 	// gauges land in the recorder's ring.
 	Recorder *obs.FlightRecorder
+	// PprofLabels tags scheduler workers with pprof goroutine labels
+	// (query_id, task_kind) during each run. Off by default — the labels
+	// are observable only through the pprof endpoints, and applying them
+	// per item costs a few percent of propagation throughput, so callers
+	// enable this only when those endpoints are exposed.
+	PprofLabels bool
 }
 
 // ErrReleased is returned by Result methods after Release recycled the
@@ -151,6 +157,11 @@ type Engine struct {
 	cache     *cache.LRU
 	flight    *cache.Group
 	collapsed atomic.Int64
+
+	// stealGauges is the live gauge surface shared by the work-stealing
+	// scheduler's transient per-run goroutines, so steal/completion counters
+	// accumulate across propagations the way the persistent pool's do.
+	stealGauges *sched.Gauges
 }
 
 // collectEntry caches the collect-only graph toward one target clique plus
@@ -192,6 +203,9 @@ func NewEngine(t *jtree.Tree, opts Options) (*Engine, error) {
 	if opts.CacheSize > 0 {
 		e.cache = cache.NewLRU(opts.CacheSize)
 		e.flight = &cache.Group{}
+	}
+	if opts.Scheduler == WorkStealing {
+		e.stealGauges = sched.NewGauges(opts.Workers)
 	}
 	// Engines dropped without Close would otherwise leak their parked
 	// worker goroutines; the finalizer is the safety net for short-lived
@@ -254,6 +268,22 @@ func (e *Engine) ObsSnapshot() obs.AggregateSnapshot { return e.obsAgg.Snapshot(
 
 // Recorder returns the engine's flight recorder, nil when none is attached.
 func (e *Engine) Recorder() *obs.FlightRecorder { return e.opts.Recorder }
+
+// Gauges snapshots the live scheduler gauge surface: per-worker states,
+// ready-list depths and weight counters, steal/partition counters and the
+// global task-list depth. The read is wait-free for the workers. Engines on
+// the serial or baseline schedulers report an empty snapshot.
+func (e *Engine) Gauges() sched.GaugesSnapshot {
+	switch e.opts.Scheduler {
+	case WorkStealing:
+		return e.stealGauges.Snapshot()
+	case Collaborative:
+		if p := e.workerPool(); p != nil {
+			return p.Gauges().Snapshot()
+		}
+	}
+	return sched.GaugesSnapshot{}
+}
 
 // getState returns a recycled state for the mode, or allocates one.
 func (e *Engine) getState(mode taskgraph.Mode) (*taskgraph.State, error) {
@@ -352,10 +382,11 @@ func (e *Engine) propagateFull(ctx context.Context, ev potential.Evidence, like 
 		return nil, err
 	}
 	res := &Result{eng: e, state: st}
+	id := e.queryID(ctx)
 	start := time.Now()
-	m, err := e.runScheduler(ctx, st)
+	m, err := e.runScheduler(ctx, id, st)
 	elapsed := time.Since(start)
-	e.recordRun(ctx, mode.String(), len(ev), elapsed, m, err)
+	e.recordRun(id, mode.String(), len(ev), elapsed, m, err)
 	if err != nil {
 		// The state may still be referenced by pool workers draining the
 		// failed run's queue — drop it to the GC instead of recycling.
@@ -367,12 +398,24 @@ func (e *Engine) propagateFull(ctx context.Context, ev potential.Evidence, like 
 	return res, nil
 }
 
+// queryID resolves the run's query ID before the scheduler starts, so the
+// same ID reaches both the workers' pprof labels and the flight recorder. A
+// fresh ID is minted only when a recorder will log it; otherwise an absent
+// ID stays absent and label setup is skipped entirely.
+func (e *Engine) queryID(ctx context.Context) string {
+	id := obs.QueryIDFrom(ctx)
+	if id == "" && e.opts.Recorder != nil {
+		id = obs.NewQueryID()
+	}
+	return id
+}
+
 // recordRun folds one scheduler run into the flight recorder (when one is
-// attached) under the context's query ID, assigning a fresh ID when the
-// caller supplied none. Traces armed by the recorder (rather than requested
-// via Options.Trace) are stripped from the metrics afterwards: slow runs'
-// traces now belong to the recorder, fast runs' traces are dead weight.
-func (e *Engine) recordRun(ctx context.Context, mode string, evVars int, elapsed time.Duration, m *sched.Metrics, runErr error) {
+// attached) under the run's resolved query ID. Traces armed by the recorder
+// (rather than requested via Options.Trace) are stripped from the metrics
+// afterwards: slow runs' traces now belong to the recorder, fast runs'
+// traces are dead weight.
+func (e *Engine) recordRun(id, mode string, evVars int, elapsed time.Duration, m *sched.Metrics, runErr error) {
 	rec := e.opts.Recorder
 	if rec == nil {
 		return
@@ -384,10 +427,6 @@ func (e *Engine) recordRun(ctx context.Context, mode string, evVars int, elapsed
 		// from the returned Trace). Record only the scalar fields and leave
 		// the rest to the GC with the run.
 		m = nil
-	}
-	id := obs.QueryIDFrom(ctx)
-	if id == "" {
-		id = obs.NewQueryID()
 	}
 	rec.RecordRun(obs.RunInfo{
 		ID:           id,
@@ -406,9 +445,14 @@ func (e *Engine) recordRun(ctx context.Context, mode string, evVars int, elapsed
 }
 
 // runScheduler executes the state's graph with the configured strategy,
-// returning collaborative-scheduler metrics when applicable.
-func (e *Engine) runScheduler(ctx context.Context, st *taskgraph.State) (*sched.Metrics, error) {
+// returning collaborative-scheduler metrics when applicable. queryID, when
+// non-empty and Options.PprofLabels is on, tags the workers with pprof
+// labels for the duration of the run (the recorder uses the ID either way).
+func (e *Engine) runScheduler(ctx context.Context, queryID string, st *taskgraph.State) (*sched.Metrics, error) {
 	e.propagations.Add(1)
+	if !e.opts.PprofLabels {
+		queryID = "" // sched uses the ID only for labels; drop it at zero cost
+	}
 	// A flight recorder arms tracing on every run so a run that turns out
 	// slow still has its full timeline to retain — slowness is only known
 	// after the fact. Recorder-armed traces (not requested by the user)
@@ -424,6 +468,7 @@ func (e *Engine) runScheduler(ctx context.Context, st *taskgraph.State) (*sched.
 			Trace:     trace,
 			LazyTrace: lazy,
 			Ctx:       ctx,
+			QueryID:   queryID,
 		}
 		var m *sched.Metrics
 		var err error
@@ -440,6 +485,8 @@ func (e *Engine) runScheduler(ctx context.Context, st *taskgraph.State) (*sched.
 			Trace:     trace,
 			LazyTrace: lazy,
 			Ctx:       ctx,
+			QueryID:   queryID,
+			Gauges:    e.stealGauges,
 		})
 		return e.observeRun(m, err)
 	case Serial:
@@ -506,9 +553,10 @@ func (e *Engine) CollectMarginalContext(ctx context.Context, ev potential.Eviden
 		entry.states.Put(st)
 		return nil, err
 	}
+	id := e.queryID(ctx)
 	start := time.Now()
-	sm, err := e.runScheduler(ctx, st)
-	e.recordRun(ctx, "collect", len(ev), time.Since(start), sm, err)
+	sm, err := e.runScheduler(ctx, id, st)
+	e.recordRun(id, "collect", len(ev), time.Since(start), sm, err)
 	if err != nil {
 		return nil, err // state possibly still referenced; drop it
 	}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEscapeLabel locks the exposition-format escaping rules for the three
+// characters the format requires quoting.
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"plain", `hello world`, `hello world`},
+		{"backslash", `C:\temp`, `C:\\temp`},
+		{"double-quote", `say "hi"`, `say \"hi\"`},
+		{"newline", "line1\nline2", `line1\nline2`},
+		{"all-three", "a\\\"b\"\nc", `a\\\"b\"\nc`},
+		{"backslash-n-literal", `already\n`, `already\\n`},
+		{"empty", ``, ``},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := escapeLabel(c.in); got != c.want {
+				t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+// TestEscapeLabelRoundTrip: whatever goes through WriteSample must come back
+// byte-identical through the lint parser — escaping and unescaping are
+// inverses.
+func TestEscapeLabelRoundTrip(t *testing.T) {
+	values := []string{
+		`plain`, `back\slash`, `"quoted"`, "new\nline", "mix\\\"\n\\n", `trailing\`,
+	}
+	for _, v := range values {
+		var b strings.Builder
+		WriteSample(&b, "m", map[string]string{"v": v}, 1)
+		_, labels, _, err := parseSampleLine(strings.TrimSuffix(b.String(), "\n"))
+		if err != nil {
+			t.Fatalf("value %q: %v (line %q)", v, err, b.String())
+		}
+		if labels["v"] != v {
+			t.Errorf("value %q round-tripped to %q", v, labels["v"])
+		}
+	}
+}
+
+// TestHistogramExpositionConformance: a populated histogram's Prometheus
+// rendering must carry a terminal +Inf bucket that equals _count, a _sum,
+// and monotone cumulative buckets — checked by the linter.
+func TestHistogramExpositionConformance(t *testing.T) {
+	h := &Histogram{}
+	for _, d := range []time.Duration{
+		0, time.Microsecond, 50 * time.Microsecond, time.Millisecond,
+		20 * time.Millisecond, time.Second, 2 * time.Hour, // overflow bucket
+	} {
+		h.Observe(d)
+	}
+	var b strings.Builder
+	h.WritePrometheus(&b, "test_latency_seconds", "Test latencies.")
+	out := b.String()
+	if problems := LintExposition(strings.NewReader(out)); len(problems) != 0 {
+		t.Fatalf("conformance problems:\n%s\nin:\n%s", strings.Join(problems, "\n"), out)
+	}
+	if !strings.Contains(out, `test_latency_seconds_bucket{le="+Inf"} 7`) {
+		t.Errorf("missing or wrong +Inf bucket in:\n%s", out)
+	}
+	if !strings.Contains(out, "test_latency_seconds_count 7") {
+		t.Errorf("missing _count in:\n%s", out)
+	}
+}
+
+// TestEmptyHistogramConformance: the zero histogram still emits a complete,
+// consistent family (all-zero buckets, +Inf terminal, zero _count/_sum).
+func TestEmptyHistogramConformance(t *testing.T) {
+	h := &Histogram{}
+	var b strings.Builder
+	h.WritePrometheus(&b, "empty_seconds", "Empty.")
+	if problems := LintExposition(strings.NewReader(b.String())); len(problems) != 0 {
+		t.Fatalf("conformance problems:\n%s", strings.Join(problems, "\n"))
+	}
+	if !strings.Contains(b.String(), `empty_seconds_bucket{le="+Inf"} 0`) {
+		t.Errorf("empty histogram lacks +Inf bucket:\n%s", b.String())
+	}
+}
+
+// TestAggregateSnapshotConformance lints the scheduler metric family block.
+func TestAggregateSnapshotConformance(t *testing.T) {
+	var agg Aggregate
+	agg.Observe(&Report{
+		Workers:  2,
+		Elapsed:  time.Millisecond,
+		Busy:     []time.Duration{2 * time.Millisecond, time.Millisecond},
+		Overhead: []time.Duration{10 * time.Microsecond, 5 * time.Microsecond},
+		Tasks:    7,
+	})
+	var b strings.Builder
+	agg.Snapshot().WritePrometheus(&b, "evprop_sched")
+	if problems := LintExposition(strings.NewReader(b.String())); len(problems) != 0 {
+		t.Fatalf("conformance problems:\n%s\nin:\n%s", strings.Join(problems, "\n"), b.String())
+	}
+}
+
+// TestLintExpositionCatches: the linter must actually flag the defect
+// classes it exists for (a linter that passes everything proves nothing).
+func TestLintExpositionCatches(t *testing.T) {
+	cases := []struct {
+		name, payload, wantProblem string
+	}{
+		{
+			"missing help",
+			"# TYPE x counter\nx 1\n",
+			"no # HELP",
+		},
+		{
+			"missing type",
+			"# HELP x about x\nx 1\n",
+			"no # TYPE",
+		},
+		{
+			"histogram without +Inf",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n",
+			"no terminal +Inf",
+		},
+		{
+			"count mismatch",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			"_count 3 != +Inf bucket 2",
+		},
+		{
+			"missing sum",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n",
+			"missing _sum",
+		},
+		{
+			"non-monotone buckets",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"cumulative count decreases",
+		},
+		{
+			"garbage line",
+			"# HELP x about x\n# TYPE x counter\nnot a metric at all }{\n",
+			"line 3",
+		},
+		{
+			"unterminated label",
+			"# HELP x about x\n# TYPE x counter\nx{a=\"b} 1\n",
+			"unterminated",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			problems := LintExposition(strings.NewReader(c.payload))
+			for _, p := range problems {
+				if strings.Contains(p, c.wantProblem) {
+					return
+				}
+			}
+			t.Errorf("problems %v do not mention %q", problems, c.wantProblem)
+		})
+	}
+}
+
+// TestLintExpositionCleanPayload: a well-formed mixed payload yields no
+// problems (guards against linter false positives).
+func TestLintExpositionCleanPayload(t *testing.T) {
+	payload := `# HELP up Whether the target is up.
+# TYPE up gauge
+up 1
+# HELP rpc_seconds RPC latency.
+# TYPE rpc_seconds histogram
+rpc_seconds_bucket{le="0.1"} 1
+rpc_seconds_bucket{le="+Inf"} 3
+rpc_seconds_sum 0.5
+rpc_seconds_count 3
+# HELP reqs_total Requests.
+# TYPE reqs_total counter
+reqs_total{code="200",path="/v1/query"} 10
+reqs_total{code="500",path="/v1/que\"ry\n"} 0
+`
+	if problems := LintExposition(strings.NewReader(payload)); len(problems) != 0 {
+		t.Errorf("unexpected problems: %v", problems)
+	}
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition checks a Prometheus text-exposition (0.0.4) payload for
+// the conformance properties our hand-written writers promise:
+//
+//   - every sample line belongs to a metric family with # HELP and # TYPE
+//     lines seen before its first sample;
+//   - every histogram family ends its buckets with le="+Inf", the +Inf
+//     cumulative count equals the family's _count, a _sum is present, and
+//     cumulative bucket counts are non-decreasing in le order;
+//   - every line parses (UTF-8 text, name{labels} value).
+//
+// It returns a list of human-readable problems, empty when the payload
+// conforms. It is a test helper, not a full scrape parser: exemplars,
+// timestamps and OpenMetrics extensions are out of scope.
+func LintExposition(r io.Reader) []string {
+	var problems []string
+	helps := map[string]bool{}
+	types := map[string]string{}
+	// Histogram series accounting per family.
+	type histo struct {
+		buckets map[float64]float64 // le -> cumulative count
+		count   float64
+		hasCnt  bool
+		hasSum  bool
+	}
+	histos := map[string]*histo{}
+	sampled := map[string]bool{}
+
+	family := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && types[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			f := strings.Fields(line)
+			if len(f) < 3 {
+				problems = append(problems, fmt.Sprintf("line %d: malformed HELP", lineNo))
+				continue
+			}
+			helps[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				problems = append(problems, fmt.Sprintf("line %d: malformed TYPE", lineNo))
+				continue
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("line %d: %v", lineNo, err))
+			continue
+		}
+		fam := family(name)
+		if !sampled[fam] {
+			sampled[fam] = true
+			if !helps[fam] {
+				problems = append(problems, fmt.Sprintf("line %d: series %s has no # HELP %s", lineNo, name, fam))
+			}
+			if _, ok := types[fam]; !ok {
+				problems = append(problems, fmt.Sprintf("line %d: series %s has no # TYPE %s", lineNo, name, fam))
+			}
+		}
+		if types[fam] == "histogram" {
+			h := histos[fam]
+			if h == nil {
+				h = &histo{buckets: map[float64]float64{}}
+				histos[fam] = h
+			}
+			switch name {
+			case fam + "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					problems = append(problems, fmt.Sprintf("line %d: %s_bucket without le label", lineNo, fam))
+					continue
+				}
+				b, err := parseLe(le)
+				if err != nil {
+					problems = append(problems, fmt.Sprintf("line %d: bad le %q", lineNo, le))
+					continue
+				}
+				h.buckets[b] = value
+			case fam + "_sum":
+				h.hasSum = true
+			case fam + "_count":
+				h.hasCnt = true
+				h.count = value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("read: %v", err))
+	}
+
+	fams := make([]string, 0, len(histos))
+	for fam := range histos {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		h := histos[fam]
+		inf, ok := h.buckets[math.Inf(1)]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("histogram %s: no terminal +Inf bucket", fam))
+		}
+		if !h.hasSum {
+			problems = append(problems, fmt.Sprintf("histogram %s: missing _sum", fam))
+		}
+		if !h.hasCnt {
+			problems = append(problems, fmt.Sprintf("histogram %s: missing _count", fam))
+		} else if ok && h.count != inf {
+			problems = append(problems, fmt.Sprintf("histogram %s: _count %g != +Inf bucket %g", fam, h.count, inf))
+		}
+		les := make([]float64, 0, len(h.buckets))
+		for le := range h.buckets {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		for i := 1; i < len(les); i++ {
+			if h.buckets[les[i]] < h.buckets[les[i-1]] {
+				problems = append(problems, fmt.Sprintf("histogram %s: cumulative count decreases at le=%s", fam, formatValue(les[i])))
+			}
+		}
+	}
+	return problems
+}
+
+func parseLe(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseSampleLine splits `name{k="v",...} value` (labels optional) into its
+// parts, undoing the exposition format's label-value escaping.
+func parseSampleLine(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, fmt.Errorf("no value separator in %q", line)
+	} else {
+		name = rest[:i]
+		rest = rest[i:]
+	}
+	if name == "" {
+		return "", nil, 0, fmt.Errorf("empty metric name in %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		labels = map[string]string{}
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, ",")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 || !strings.HasPrefix(rest[eq+1:], `"`) {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			key := rest[:eq]
+			rest = rest[eq+2:]
+			var b strings.Builder
+			closed := false
+			for i := 0; i < len(rest); i++ {
+				c := rest[i]
+				if c == '\\' && i+1 < len(rest) {
+					i++
+					switch rest[i] {
+					case 'n':
+						b.WriteByte('\n')
+					case '\\':
+						b.WriteByte('\\')
+					case '"':
+						b.WriteByte('"')
+					default:
+						return "", nil, 0, fmt.Errorf("bad escape \\%c in %q", rest[i], line)
+					}
+					continue
+				}
+				if c == '"' {
+					rest = rest[i+1:]
+					closed = true
+					break
+				}
+				b.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			labels[key] = b.String()
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp after the value is legal in the format; our writers never
+	// emit one, so only the first field must parse as the value.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := parseLe(rest) // same spelling rules as le values (+Inf etc.)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	return name, labels, v, nil
+}

@@ -83,6 +83,78 @@ func TestWindowBucketRotationReuses(t *testing.T) {
 	}
 }
 
+// TestWindowRotationRace drives every writer into the SAME bucket index
+// while the clock keeps jumping by whole multiples of WindowSeconds, so the
+// rotation reset races concurrent Observe/ObserveCache/Snapshot calls on
+// one bucket as hard as possible. Under -race this pins the mutex-guarded
+// reset against the lock-free counters; the assertions pin the documented
+// approximation bound (counts may be lost at a rotation edge, but never
+// invented, mixed across seconds, or left inconsistent).
+func TestWindowRotationRace(t *testing.T) {
+	w, sec := testWindow()
+	const (
+		writers    = 8
+		perWriter  = 400
+		rotations  = 50
+		hitsPerObs = 1
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWriter; i++ {
+				w.Observe(time.Duration(i)*time.Microsecond, i%7 == 0, 1.5)
+				w.ObserveCache(hitsPerObs, 2)
+			}
+		}(g)
+	}
+	// The rotator forces the same bucket to represent ever-newer seconds:
+	// advancing by exactly WindowSeconds keeps the index fixed while making
+	// the stored second stale, so every write triggers the rotation path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < rotations; i++ {
+			sec.Add(WindowSeconds)
+			w.Snapshot() // concurrent reader during rotation
+		}
+	}()
+	close(start)
+	wg.Wait()
+	s := w.Snapshot()
+	if s.Requests < 0 || s.Requests > writers*perWriter {
+		t.Errorf("requests %d outside [0, %d]", s.Requests, writers*perWriter)
+	}
+	// A rotation can land between a writer's two adds, so consistency holds
+	// up to one in-flight observation per writer — the "handful of requests"
+	// bound the Window documents — never more.
+	if s.Errors > s.Requests+writers {
+		t.Errorf("errors %d exceed requests %d beyond the rotation-edge bound", s.Errors, s.Requests)
+	}
+	if s.CacheHits > s.CacheLookups+writers {
+		t.Errorf("cache hits %d exceed lookups %d beyond the rotation-edge bound", s.CacheHits, s.CacheLookups)
+	}
+	if s.CacheHitRate < 0 {
+		t.Errorf("negative cache hit rate %v", s.CacheHitRate)
+	}
+	if s.ErrorRate < 0 {
+		t.Errorf("negative error rate %v", s.ErrorRate)
+	}
+	// After the final rotation burst everything lives in the current second:
+	// the whole window's counts must appear in the newest series slot.
+	var seriesTotal int64
+	for _, n := range s.QPSSeries {
+		seriesTotal += n
+	}
+	if seriesTotal != s.Requests {
+		t.Errorf("series total %d != requests %d", seriesTotal, s.Requests)
+	}
+}
+
 // TestWindowConcurrent hammers one window from many goroutines across
 // rotating seconds — the -race check for the atomic counters and the
 // once-per-second reset.

@@ -1,0 +1,259 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"evprop/internal/jtree"
+	"evprop/internal/taskgraph"
+)
+
+func gaugeTestGraph(t *testing.T, n int, seed int64) *taskgraph.Graph {
+	t.Helper()
+	tr, err := jtree.Random(jtree.RandomConfig{N: n, Width: 6, States: 2, Degree: 3, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MaterializeRandom(seed); err != nil {
+		t.Fatal(err)
+	}
+	return taskgraph.Build(tr)
+}
+
+// TestPoolGaugesAccountRun checks the pool's gauge surface balances after a
+// run: GL depth and LL depths return to zero, completed tasks sum to the
+// graph size, and busy time moved.
+func TestPoolGaugesAccountRun(t *testing.T) {
+	g := gaugeTestGraph(t, 24, 5)
+	p, err := NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(st, Options{Threshold: 8, QueryID: "q-test-1"}); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Gauges().Snapshot()
+	if s.GlobalDepth != 0 {
+		t.Errorf("global depth %d after a completed run, want 0", s.GlobalDepth)
+	}
+	if s.ActiveRuns != 0 {
+		t.Errorf("active runs %d, want 0", s.ActiveRuns)
+	}
+	var completed, items, busy, depth, weight int64
+	for _, w := range s.Workers {
+		completed += w.Completed
+		items += w.Items
+		busy += w.BusyNs
+		depth += w.QueueDepth
+		weight += w.QueueWeight
+	}
+	if completed != int64(g.N()) {
+		t.Errorf("completed %d, want %d", completed, g.N())
+	}
+	if items < completed {
+		t.Errorf("items %d < completed %d (pieces should only add)", items, completed)
+	}
+	if busy <= 0 {
+		t.Errorf("busy %d, want > 0", busy)
+	}
+	if depth != 0 || weight != 0 {
+		t.Errorf("leftover LL depth %d / weight %d after drain", depth, weight)
+	}
+	if s.TotalBusy() != time.Duration(busy) {
+		t.Errorf("TotalBusy %v != summed %v", s.TotalBusy(), time.Duration(busy))
+	}
+}
+
+// TestGaugesSnapshotDuringRuns races lock-free snapshots against concurrent
+// runs; under -race this pins the wait-free read contract of the surface.
+func TestGaugesSnapshotDuringRuns(t *testing.T) {
+	g := gaugeTestGraph(t, 24, 7)
+	p, err := NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := p.Gauges().Snapshot()
+			if s.GlobalDepth < 0 {
+				t.Error("negative global depth")
+				return
+			}
+			for _, w := range s.Workers {
+				if w.StateName == "unknown" {
+					t.Errorf("unknown worker state %d", w.State)
+					return
+				}
+			}
+		}
+	}()
+	var runs sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		runs.Add(1)
+		go func() {
+			defer runs.Done()
+			for j := 0; j < 3; j++ {
+				st, err := g.NewState()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := p.Run(st, Options{Threshold: 8, QueryID: "q-race"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	runs.Wait()
+	close(stop)
+	snaps.Wait()
+}
+
+// TestStealingGaugesAccumulate checks a shared gauge surface accumulates
+// across an engine's successive stealing runs and moves the steal counters.
+func TestStealingGaugesAccumulate(t *testing.T) {
+	g := gaugeTestGraph(t, 40, 9)
+	gauges := NewGauges(4)
+	for i := 0; i < 2; i++ {
+		st, err := g.NewState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := RunStealing(st, Options{Workers: 4, Threshold: 8, Gauges: gauges, QueryID: "q-steal"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := gauges.Snapshot()
+		var completed, attempts, steals int64
+		for _, w := range s.Workers {
+			completed += w.Completed
+			attempts += w.StealAttempts
+			steals += w.Steals
+		}
+		if want := int64((i + 1) * g.N()); completed != want {
+			t.Errorf("run %d: completed %d, want %d (accumulating)", i, completed, want)
+		}
+		if steals != 0 && attempts < steals {
+			t.Errorf("run %d: %d steals but only %d attempts", i, steals, attempts)
+		}
+		if int64(m.Steals) > steals {
+			t.Errorf("run %d: metrics report %d steals, gauges only %d total", i, m.Steals, steals)
+		}
+		if s.GlobalDepth != 0 {
+			t.Errorf("run %d: global depth %d, want 0", i, s.GlobalDepth)
+		}
+	}
+}
+
+// TestStealingGaugesSizeMismatch: a wrong-sized surface must not be indexed
+// out of range — RunStealing falls back to a private one.
+func TestStealingGaugesSizeMismatch(t *testing.T) {
+	g := gaugeTestGraph(t, 8, 11)
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := NewGauges(1)
+	if _, err := RunStealing(st, Options{Workers: 4, Gauges: small}); err != nil {
+		t.Fatal(err)
+	}
+	s := small.Snapshot()
+	for _, w := range s.Workers {
+		if w.Completed != 0 {
+			t.Error("mismatched surface was written to")
+		}
+	}
+}
+
+// TestGaugesFailedRunWritesOff: a cancelled run must not leak GL depth.
+func TestGaugesFailedRunWritesOff(t *testing.T) {
+	g := gaugeTestGraph(t, 24, 13)
+	p, err := NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := g.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(st, Options{Ctx: ctx}); err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	// Stragglers of the failed run may retire a few tasks after the write-off;
+	// the invariant is the clamp: depth never goes negative and, once the
+	// leftovers drain, settles at 0.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s := p.Gauges().Snapshot()
+		if s.GlobalDepth == 0 && s.ActiveRuns == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gauges did not settle: depth %d, active %d", s.GlobalDepth, s.ActiveRuns)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWorkerStateStrings(t *testing.T) {
+	cases := map[WorkerState]string{
+		WorkerParked:    "parked",
+		WorkerFetching:  "fetching",
+		WorkerStealing:  "stealing",
+		WorkerExecuting: "executing",
+		WorkerIdle:      "idle",
+		WorkerState(99): "unknown",
+	}
+	for st, want := range cases {
+		if got := st.String(); got != want {
+			t.Errorf("state %d = %q, want %q", st, got, want)
+		}
+	}
+}
+
+func TestLabelSetNilSafety(t *testing.T) {
+	if ls := newLabelSet(context.Background(), ""); ls != nil {
+		t.Error("empty query ID should disable labelling")
+	}
+	wg := NewGauges(1).worker(0)
+	var ls *labelSet
+	ls.apply(taskgraph.Kind(0), wg) // must not panic
+	ls = newLabelSet(nil, "q-1")
+	for k := 0; k < taskgraph.NumKinds; k++ {
+		ls.apply(taskgraph.Kind(k), wg)
+	}
+	ls.apply(taskgraph.Kind(taskgraph.NumKinds+3), wg) // out of range → clamped
+	ls.apply(taskgraph.Kind(0), wg)                    // cache hit path: same ctx pointer
+	ls.apply(taskgraph.Kind(0), wg)
+	clearLabels(wg)
+	clearLabels(wg) // second clear is a no-op (Swap returns nil)
+}
+
+func TestNilGaugesSnapshot(t *testing.T) {
+	var g *Gauges
+	s := g.Snapshot()
+	if s.GlobalDepth != 0 || len(s.Workers) != 0 {
+		t.Errorf("nil snapshot %+v", s)
+	}
+}

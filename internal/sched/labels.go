@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"context"
+	"runtime/pprof"
+
+	"evprop/internal/taskgraph"
+)
+
+// pprof goroutine labels let CPU profiles captured under evserve's -pprof
+// segment scheduler time by query and by node-level primitive:
+//
+//	go tool pprof -tagfocus query_id=q-ab12-7 http://host/debug/pprof/profile
+//	go tool pprof -tagfocus task_kind=marginalize ...
+//
+// pprof.WithLabels allocates a new label map, so a labelSet precomputes one
+// labelled context per task kind at run start; switching the executing
+// goroutine's labels per item is then a single pprof.SetGoroutineLabels
+// (a pointer store into the g struct), cheap enough for the hot path.
+type labelSet struct {
+	kindCtx [taskgraph.NumKinds]context.Context
+}
+
+// newLabelSet builds the per-kind labelled contexts for one run. Returns
+// nil when id is empty (no query ID → no labels, zero hot-path cost).
+func newLabelSet(ctx context.Context, id string) *labelSet {
+	if id == "" {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ls := &labelSet{}
+	for k := 0; k < taskgraph.NumKinds; k++ {
+		ls.kindCtx[k] = pprof.WithLabels(ctx,
+			pprof.Labels("query_id", id, "task_kind", taskgraph.Kind(k).String()))
+	}
+	return ls
+}
+
+// apply tags the calling goroutine with the run's query_id and the item's
+// task_kind. Safe on a nil labelSet. wg's lastLabel slot caches the context
+// applied by this goroutine last, so consecutive same-kind items of one run
+// cost a single atomic load — a cache hit is only possible when the setter
+// was this same goroutine, because distinct runs hold distinct labelSets
+// (and so distinct context addresses) even when they share a gauge slot.
+func (ls *labelSet) apply(kind taskgraph.Kind, wg *workerGauges) {
+	if ls == nil {
+		return
+	}
+	if int(kind) >= taskgraph.NumKinds {
+		kind = 0
+	}
+	ctxp := &ls.kindCtx[kind]
+	if wg.lastLabel.Load() == ctxp {
+		return
+	}
+	wg.lastLabel.Store(ctxp)
+	pprof.SetGoroutineLabels(*ctxp)
+}
+
+// clearLabels drops the calling goroutine's labels; workers call it before
+// parking so an idle worker never keeps a finished query's tags. A nil
+// cache means no labels were applied since the last clear, making the
+// no-label park (QueryID off) free.
+func clearLabels(wg *workerGauges) {
+	if wg.lastLabel.Swap(nil) != nil {
+		pprof.SetGoroutineLabels(context.Background())
+	}
+}

@@ -43,16 +43,18 @@ func TestPartitionRoundRobinWrapAround(t *testing.T) {
 	// A run whose lists no worker drains: partition pushes the spread pieces
 	// and executes only the first piece inline, which never completes the
 	// combiner — exactly the slot-indexing path, with nothing concurrent.
+	gg := NewGauges(3)
 	r := &run{
 		st:        st,
 		g:         g,
 		opts:      Options{Threshold: δ},
 		deps:      g.DepCounts(),
-		lists:     []*localList{newLocalList(), newLocalList(), newLocalList()},
+		lists:     []*localList{newLocalList(gg.worker(0)), newLocalList(gg.worker(1)), newLocalList(gg.worker(2))},
 		remaining: int64(g.N()),
 		metrics:   make([]WorkerMetrics, 3),
 		done:      make(chan struct{}),
 		start:     time.Now(),
+		gauges:    gg,
 	}
 	// Two increments below the wrap point: the pieces pushed here walk the
 	// cursor across ^uint64(0) → 0.

@@ -61,6 +61,16 @@ type Options struct {
 	// cancelled run stops at the next task boundary instead of running to
 	// completion. nil means never cancelled.
 	Ctx context.Context
+	// QueryID, when non-empty, tags the worker goroutines with pprof labels
+	// (query_id, task_kind) while they execute this run's items, so CPU
+	// profiles segment by query and by primitive. Empty disables labelling
+	// at zero hot-path cost.
+	QueryID string
+	// Gauges optionally accumulates live gauge updates for schedulers that
+	// do not own a persistent pool (RunStealing); pass the same surface on
+	// every run so counters accumulate across propagations. Pool.Run
+	// ignores it in favor of the pool's own gauge surface.
+	Gauges *Gauges
 }
 
 // WorkerMetrics records per-worker accounting for the paper's Fig. 8.
@@ -110,18 +120,20 @@ type combiner struct {
 	bufs    []*potential.Potential
 }
 
-// localList is a worker's local ready list (LL) with its weight counter.
-// Any worker may push (the Allocate module), so it is lock-protected.
+// localList is a worker's local ready list (LL). Any worker may push (the
+// Allocate module), so it is lock-protected. The paper's W_i weight counter
+// lives in the gauge slot's packed LL word, where it doubles as the live
+// queue-weight gauge — one atomic add maintains both.
 type localList struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	items   []item
-	weight  int64 // sum of queued item weights (the paper's W_i)
 	stopped bool
+	g       *workerGauges // owning worker's gauge slot (never nil)
 }
 
-func newLocalList() *localList {
-	l := &localList{}
+func newLocalList(g *workerGauges) *localList {
+	l := &localList{g: g}
 	l.cond = sync.NewCond(&l.mu)
 	return l
 }
@@ -129,26 +141,34 @@ func newLocalList() *localList {
 func (l *localList) push(it item) {
 	l.mu.Lock()
 	l.items = append(l.items, it)
-	atomic.AddInt64(&l.weight, it.weight)
+	l.g.llAdd(1, it.weight)
 	l.mu.Unlock()
 	l.cond.Signal()
 }
 
 // fetch blocks until an item is available or the list is stopped. Queued
-// items are always drained before a stop takes effect.
-func (l *localList) fetch() (item, bool) {
+// items are always drained before a stop takes effect. g is the calling
+// worker's gauge slot: fetch keeps the list's depth/weight gauges in step
+// and publishes the parked transition, but only on the slow path — the
+// returned waited flag tells the caller to republish its executing state.
+// A worker draining a hot list therefore performs no state stores at all.
+func (l *localList) fetch(g *workerGauges) (item, bool, bool) {
+	waited := false
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
 		if len(l.items) > 0 {
 			it := l.items[0]
 			l.items = l.items[1:]
-			atomic.AddInt64(&l.weight, -it.weight)
-			return it, true
+			l.g.llAdd(-1, -it.weight)
+			return it, true, waited
 		}
 		if l.stopped {
-			return item{}, false
+			return item{}, false, waited
 		}
+		waited = true
+		g.state.Store(int32(WorkerParked))
+		clearLabels(g)
 		l.cond.Wait()
 	}
 }
@@ -167,6 +187,7 @@ func (l *localList) stop() {
 // runs; their items interleave on the shared ready lists.
 type Pool struct {
 	lists  []*localList
+	gauges *Gauges
 	wg     sync.WaitGroup
 	closed atomic.Bool
 }
@@ -177,19 +198,29 @@ func NewPool(workers int) (*Pool, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("sched: need at least 1 worker, got %d", workers)
 	}
-	p := &Pool{lists: make([]*localList, workers)}
+	p := &Pool{lists: make([]*localList, workers), gauges: NewGauges(workers)}
 	for i := range p.lists {
-		p.lists[i] = newLocalList()
+		p.lists[i] = newLocalList(p.gauges.worker(i))
 	}
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
 		go func(w int) {
 			defer p.wg.Done()
 			l := p.lists[w]
+			wg := p.gauges.worker(w)
+			executing := false
 			for {
-				it, ok := l.fetch()
+				it, ok, waited := l.fetch(wg)
 				if !ok {
+					wg.state.Store(int32(WorkerParked))
 					return
+				}
+				// Publish the executing state only when it could have
+				// changed (first item, or after a park) — the fast path
+				// stays free of state stores.
+				if !executing || waited {
+					wg.state.Store(int32(WorkerExecuting))
+					executing = true
 				}
 				it.r.process(w, it)
 			}
@@ -200,6 +231,9 @@ func NewPool(workers int) (*Pool, error) {
 
 // Workers returns the pool size P.
 func (p *Pool) Workers() int { return len(p.lists) }
+
+// Gauges exposes the pool's live gauge surface for samplers.
+func (p *Pool) Gauges() *Gauges { return p.gauges }
 
 // Close stops the workers after the queued items drain and waits for them
 // to exit. Close is idempotent; Run after Close returns an error.
@@ -237,6 +271,8 @@ type run struct {
 	parted   int64
 	start    time.Time
 	tbufs    *traceBufs // per-worker event buffers, merged lazily when tracing
+	gauges   *Gauges    // live gauge surface (never nil in pool runs)
+	labels   *labelSet  // pprof query/kind labels (nil when Options.QueryID == "")
 }
 
 // Run executes the state's task graph on the pool's workers and returns
@@ -264,6 +300,8 @@ func (p *Pool) Run(st *taskgraph.State, opts Options) (*Metrics, error) {
 		remaining: int64(g.N()),
 		metrics:   make([]WorkerMetrics, len(p.lists)),
 		done:      make(chan struct{}),
+		gauges:    p.gauges,
+		labels:    newLabelSet(opts.Ctx, opts.QueryID),
 	}
 	start := time.Now()
 	r.start = start
@@ -277,11 +315,23 @@ func (p *Pool) Run(st *taskgraph.State, opts Options) (*Metrics, error) {
 	if opts.Trace {
 		r.tbufs = getTraceBufs(len(p.lists))
 	}
+	p.gauges.runStarted(g.N())
 	// Line 1 of Algorithm 2: distribute the initially ready tasks evenly.
 	for i, id := range g.Sources() {
 		r.lists[i%len(r.lists)].push(r.wholeItem(id))
 	}
 	<-r.done
+	// A successful run has remaining == 0; a failed one writes off its
+	// unfinished tasks so the GL-depth gauge doesn't leak (stragglers that
+	// still retire tasks are why Snapshot clamps at zero).
+	p.gauges.runFinished(atomic.LoadInt64(&r.remaining))
+	if r.err == nil {
+		// Fold the run's busy/item totals into the cumulative gauges. A
+		// failed run is skipped: its stragglers still write r.metrics (see
+		// the Run doc), so reading it here would race — that run's busy
+		// time is simply not attributed.
+		p.gauges.flushRun(r.metrics)
+	}
 	m := &Metrics{
 		Workers:   r.metrics,
 		Elapsed:   time.Since(start),
@@ -359,10 +409,12 @@ func (r *run) process(w int, it item) {
 			r.partition(w, it.task, size)
 			return
 		}
+		kind := r.g.Tasks[it.task].Kind
+		wg := r.gauges.worker(w)
+		r.labels.apply(kind, wg)
 		t0 := time.Now()
 		err := r.st.Execute(it.task)
 		d := time.Since(t0)
-		kind := r.g.Tasks[it.task].Kind
 		r.metrics[w].Busy += d
 		r.metrics[w].KindBusy[kind] += d
 		r.metrics[w].Tasks++
@@ -384,6 +436,7 @@ func (r *run) partition(w int, id, size int) {
 	n := (size + δ - 1) / δ
 	comb := &combiner{task: id, pending: int32(n)}
 	atomic.AddInt64(&r.parted, 1)
+	r.gauges.worker(w).partitions.Add(1)
 	pieceW := int64(r.g.Tasks[id].Weight)/int64(n) + 1
 	var first item
 	for k := 0; k < n; k++ {
@@ -406,10 +459,12 @@ func (r *run) partition(w int, id, size int) {
 }
 
 func (r *run) runPiece(w int, it item) {
+	kind := r.g.Tasks[it.task].Kind
+	wg := r.gauges.worker(w)
+	r.labels.apply(kind, wg)
 	t0 := time.Now()
 	err := r.st.ExecutePiece(it.task, it.lo, it.hi, it.buf)
 	d := time.Since(t0)
-	kind := r.g.Tasks[it.task].Kind
 	r.metrics[w].Busy += d
 	r.metrics[w].KindBusy[kind] += d
 	r.metrics[w].Tasks++
@@ -433,10 +488,12 @@ func (r *run) runPiece(w int, it item) {
 }
 
 func (r *run) runCombiner(w int, it item) {
+	kind := r.g.Tasks[it.task].Kind
+	wg := r.gauges.worker(w)
+	r.labels.apply(kind, wg)
 	t0 := time.Now()
 	err := r.st.Combine(it.task, it.comb.bufs)
 	d := time.Since(t0)
-	kind := r.g.Tasks[it.task].Kind
 	r.metrics[w].Busy += d
 	r.metrics[w].KindBusy[kind] += d
 	r.metrics[w].Tasks++
@@ -458,6 +515,7 @@ func (r *run) completeTask(w int, id int) {
 		}
 	}
 	r.metrics[w].Overhead += time.Since(tAlloc)
+	r.gauges.worker(w).completed.Add(1)
 	if atomic.AddInt64(&r.remaining, -1) == 0 {
 		r.finish()
 	}
@@ -475,7 +533,7 @@ func (r *run) record(w, task int, kind taskgraph.Kind, lo, hi int, comb bool, st
 func (r *run) allocate(it item) {
 	best, bestW := 0, int64(1)<<62
 	for i, l := range r.lists {
-		if w := atomic.LoadInt64(&l.weight); w < bestW {
+		if w := l.g.llWeight(); w < bestW {
 			best, bestW = i, w
 		}
 	}

@@ -26,6 +26,10 @@ func RunStealing(st *taskgraph.State, opts Options) (*Metrics, error) {
 		return nil, fmt.Errorf("sched: need at least 1 worker, got %d", opts.Workers)
 	}
 	g := st.Graph()
+	gauges := opts.Gauges
+	if gauges == nil || gauges.Workers() != opts.Workers {
+		gauges = NewGauges(opts.Workers)
+	}
 	r := &stealRun{
 		st:        st,
 		g:         g,
@@ -35,6 +39,8 @@ func RunStealing(st *taskgraph.State, opts Options) (*Metrics, error) {
 		weights:   make([]int64, opts.Workers),
 		remaining: int64(g.N()),
 		metrics:   make([]WorkerMetrics, opts.Workers),
+		gauges:    gauges,
+		labels:    newLabelSet(opts.Ctx, opts.QueryID),
 	}
 	r.cond = sync.NewCond(&r.mu)
 	start := time.Now()
@@ -49,6 +55,7 @@ func RunStealing(st *taskgraph.State, opts Options) (*Metrics, error) {
 	if opts.Trace {
 		r.tbufs = getTraceBufs(opts.Workers)
 	}
+	gauges.runStarted(g.N())
 	for i, id := range g.Sources() {
 		r.push(i%opts.Workers, r.item(id))
 	}
@@ -61,6 +68,10 @@ func RunStealing(st *taskgraph.State, opts Options) (*Metrics, error) {
 		}(w)
 	}
 	wg.Wait()
+	gauges.runFinished(atomic.LoadInt64(&r.remaining))
+	// All workers have exited, so r.metrics is quiescent even on failure —
+	// unlike Pool.Run, the flush here is unconditional.
+	gauges.flushRun(r.metrics)
 	m := &Metrics{
 		Workers:   r.metrics,
 		Elapsed:   time.Since(start),
@@ -100,6 +111,8 @@ type stealRun struct {
 	metrics   []WorkerMetrics
 	start     time.Time
 	tbufs     *traceBufs // per-worker event buffers, merged lazily when tracing
+	gauges    *Gauges    // shared across an engine's runs so counters accumulate
+	labels    *labelSet  // pprof query/kind labels (nil when Options.QueryID == "")
 }
 
 // record appends a trace event to the worker's private buffer.
@@ -118,13 +131,18 @@ func (r *stealRun) push(w int, it item) {
 	r.mu.Lock()
 	r.lists[w] = append(r.lists[w], it)
 	r.weights[w] += it.weight
+	r.gauges.worker(w).llAdd(1, it.weight)
 	r.mu.Unlock()
 	r.cond.Signal()
 }
 
 // fetch pops the head of the worker's own list, or steals the tail of the
-// heaviest other list, or sleeps.
-func (r *stealRun) fetch(w int) (item, bool) {
+// heaviest other list, or sleeps. State transitions are published only on
+// the slow paths (steal scan, park); the returned waited flag tells the
+// caller to republish its executing state afterwards.
+func (r *stealRun) fetch(w int) (item, bool, bool) {
+	self := r.gauges.worker(w)
+	waited := false
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
@@ -132,9 +150,13 @@ func (r *stealRun) fetch(w int) (item, bool) {
 			it := r.lists[w][0]
 			r.lists[w] = r.lists[w][1:]
 			r.weights[w] -= it.weight
-			return it, true
+			self.llAdd(-1, -it.weight)
+			return it, true, waited
 		}
 		// Steal from the heaviest victim's tail.
+		waited = true
+		self.state.Store(int32(WorkerStealing))
+		self.stealAttempts.Add(1)
 		victim, best := -1, int64(0)
 		for v := range r.lists {
 			if v != w && len(r.lists[v]) > 0 && r.weights[v] > best {
@@ -146,12 +168,16 @@ func (r *stealRun) fetch(w int) (item, bool) {
 			it := r.lists[victim][n-1]
 			r.lists[victim] = r.lists[victim][:n-1]
 			r.weights[victim] -= it.weight
+			r.gauges.worker(victim).llAdd(-1, -it.weight)
+			self.steals.Add(1)
 			atomic.AddInt64(&r.steals, 1)
-			return it, true
+			return it, true, true
 		}
 		if r.done {
-			return item{}, false
+			return item{}, false, waited
 		}
+		self.state.Store(int32(WorkerParked))
+		clearLabels(self)
 		r.cond.Wait()
 	}
 }
@@ -167,12 +193,22 @@ func (r *stealRun) finish(err error) {
 }
 
 func (r *stealRun) worker(w int) {
+	wg := r.gauges.worker(w)
+	defer func() {
+		wg.state.Store(int32(WorkerParked))
+		clearLabels(wg)
+	}()
+	executing := false
 	for {
 		t0 := time.Now()
-		it, ok := r.fetch(w)
+		it, ok, waited := r.fetch(w)
 		r.metrics[w].Overhead += time.Since(t0)
 		if !ok {
 			return
+		}
+		if !executing || waited {
+			wg.state.Store(int32(WorkerExecuting))
+			executing = true
 		}
 		r.process(w, it)
 	}
@@ -188,12 +224,14 @@ func (r *stealRun) process(w int, it item) {
 			return
 		}
 	}
+	wg := r.gauges.worker(w)
 	switch {
 	case it.isComb:
+		kind := r.g.Tasks[it.task].Kind
+		r.labels.apply(kind, wg)
 		t0 := time.Now()
 		err := r.st.Combine(it.task, it.comb.bufs)
 		d := time.Since(t0)
-		kind := r.g.Tasks[it.task].Kind
 		r.metrics[w].Busy += d
 		r.metrics[w].KindBusy[kind] += d
 		r.metrics[w].Tasks++
@@ -202,12 +240,13 @@ func (r *stealRun) process(w int, it item) {
 			r.finish(err)
 			return
 		}
-		r.complete(it.task)
+		r.complete(w, it.task)
 	case it.comb != nil:
+		kind := r.g.Tasks[it.task].Kind
+		r.labels.apply(kind, wg)
 		t0 := time.Now()
 		err := r.st.ExecutePiece(it.task, it.lo, it.hi, it.buf)
 		d := time.Since(t0)
-		kind := r.g.Tasks[it.task].Kind
 		r.metrics[w].Busy += d
 		r.metrics[w].KindBusy[kind] += d
 		r.metrics[w].Tasks++
@@ -232,10 +271,11 @@ func (r *stealRun) process(w int, it item) {
 			r.partition(w, it.task, size)
 			return
 		}
+		kind := r.g.Tasks[it.task].Kind
+		r.labels.apply(kind, wg)
 		t0 := time.Now()
 		err := r.st.Execute(it.task)
 		d := time.Since(t0)
-		kind := r.g.Tasks[it.task].Kind
 		r.metrics[w].Busy += d
 		r.metrics[w].KindBusy[kind] += d
 		r.metrics[w].Tasks++
@@ -244,7 +284,7 @@ func (r *stealRun) process(w int, it item) {
 			r.finish(err)
 			return
 		}
-		r.complete(it.task)
+		r.complete(w, it.task)
 	}
 }
 
@@ -253,6 +293,7 @@ func (r *stealRun) partition(w int, id, size int) {
 	n := (size + δ - 1) / δ
 	comb := &combiner{task: id, pending: int32(n)}
 	atomic.AddInt64(&r.parted, 1)
+	r.gauges.worker(w).partitions.Add(1)
 	pieceW := int64(r.g.Tasks[id].Weight)/int64(n) + 1
 	var first item
 	for k := 0; k < n; k++ {
@@ -272,12 +313,13 @@ func (r *stealRun) partition(w int, id, size int) {
 	r.process(w, first)
 }
 
-func (r *stealRun) complete(id int) {
+func (r *stealRun) complete(w, id int) {
 	for _, s := range r.g.Tasks[id].Succs {
 		if atomic.AddInt32(&r.deps[s], -1) == 0 {
 			r.allocate(r.item(s))
 		}
 	}
+	r.gauges.worker(w).completed.Add(1)
 	if atomic.AddInt64(&r.remaining, -1) == 0 {
 		r.finish(nil)
 	}
@@ -294,6 +336,7 @@ func (r *stealRun) allocate(it item) {
 	}
 	r.lists[best] = append(r.lists[best], it)
 	r.weights[best] += it.weight
+	r.gauges.worker(best).llAdd(1, it.weight)
 	r.mu.Unlock()
 	r.cond.Signal()
 }
