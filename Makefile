@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck fmt-check bench bench-serving fuzz-smoke trace smoke-evtop check
+.PHONY: build test race vet staticcheck fmt-check bench bench-serving fuzz-smoke trace smoke-evtop smoke-multimodel check
 
 build:
 	$(GO) build ./...
@@ -59,7 +59,41 @@ smoke-evtop:
 	if [ $$rc -ne 0 ]; then echo "smoke-evtop: frame did not render"; exit 1; fi; \
 	echo "smoke-evtop: ok"
 
+# Smoke-test multi-model serving end to end: boot evserve with two models
+# from -models-dir, query both, hot-reload one mid-traffic (expecting a
+# version bump and zero failed queries), and check the per-model stats.
+smoke-multimodel:
+	@$(GO) build -o /tmp/evserve-smoke ./cmd/evserve
+	@dir=$$(mktemp -d); trap 'rm -rf '"$$dir" EXIT; \
+	cp cmd/evserve/testdata/models/rainA.bif $$dir/wet.bif; \
+	cp cmd/evserve/testdata/models/rainB.bif $$dir/dry.bif; \
+	/tmp/evserve-smoke -models-dir $$dir -addr 127.0.0.1:18099 >/dev/null 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do \
+		if curl -sf http://127.0.0.1:18099/v1/readyz >/dev/null 2>&1; then break; fi; \
+		sleep 0.1; done; \
+	fail=0; \
+	curl -sf -X POST http://127.0.0.1:18099/v1/models/wet/query \
+		-d '{"evidence":{"Wet":1},"query":["Rain"]}' | grep -q p_evidence || fail=1; \
+	curl -sf -X POST http://127.0.0.1:18099/v1/models/dry/query \
+		-d '{"evidence":{"Wet":1},"query":["Rain"]}' | grep -q p_evidence || fail=2; \
+	( for i in $$(seq 1 60); do \
+		curl -sf -X POST http://127.0.0.1:18099/v1/models/wet/query \
+			-d '{"evidence":{"Wet":1},"query":["Rain"]}' >/dev/null || echo fail >> $$dir/errs; \
+	done ) & traffic=$$!; \
+	cp cmd/evserve/testdata/models/rainB.bif $$dir/wet.bif; \
+	curl -sf -X POST "http://127.0.0.1:18099/v1/models/wet/reload?wait=1" \
+		| grep -q '"version":2' || fail=3; \
+	wait $$traffic; \
+	[ ! -e $$dir/errs ] || fail=4; \
+	curl -sf http://127.0.0.1:18099/v1/models/wet/stats | grep -q '"queries"' || fail=5; \
+	curl -sf http://127.0.0.1:18099/v1/stats | grep -q '"legacy_requests"' || fail=6; \
+	curl -sf http://127.0.0.1:18099/v1/readyz >/dev/null || fail=7; \
+	kill $$pid; wait $$pid 2>/dev/null; \
+	if [ $$fail -ne 0 ]; then echo "smoke-multimodel: step $$fail failed"; exit 1; fi; \
+	echo "smoke-multimodel: ok"
+
 # The PR gate: formatting and static checks plus the full test suite under
 # the race detector (includes the concurrent-engine stress tests) and the
-# evtop-against-evserve smoke test.
-check: fmt-check vet staticcheck race smoke-evtop
+# evserve smoke tests (evtop dashboard + multi-model hot reload).
+check: fmt-check vet staticcheck race smoke-evtop smoke-multimodel

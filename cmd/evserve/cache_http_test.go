@@ -24,11 +24,11 @@ func TestQueryCacheHitCounters(t *testing.T) {
 	if first.Posteriors["Lung"][1] != second.Posteriors["Lung"][1] {
 		t.Errorf("cached posterior %v differs from fresh %v", second.Posteriors, first.Posteriors)
 	}
-	cs := srv.eng.CacheStats()
+	cs := srv.defaultEngine().CacheStats()
 	if !cs.Enabled || cs.Hits < 1 {
 		t.Fatalf("CacheStats = %+v, want enabled with ≥1 hit", cs)
 	}
-	if got := srv.eng.Stats().Propagations; got != 1 {
+	if got := srv.defaultEngine().Stats().Propagations; got != 1 {
 		t.Errorf("Propagations = %d, want 1 (second query must be a cache hit)", got)
 	}
 
@@ -71,7 +71,7 @@ func TestCachedFlightRecord(t *testing.T) {
 	req := queryRequest{Evidence: evprop.Evidence{"Smoke": 1}, Query: []string{"Lung"}}
 	post(t, ts.URL+"/v1/query", req)
 	post(t, ts.URL+"/v1/query", req)
-	recs := srv.eng.RecentQueries()
+	recs := srv.defaultEngine().RecentQueries()
 	if len(recs) != 2 {
 		t.Fatalf("%d flight records, want 2", len(recs))
 	}
@@ -116,7 +116,7 @@ func TestBatchWindowCoalesces(t *testing.T) {
 			t.Errorf("sub-query %d posterior %v, oracle %v", i, r.Posteriors["Lung"], oracle)
 		}
 	}
-	if got := srv.eng.Stats().Propagations; got != 2 {
+	if got := srv.defaultEngine().Stats().Propagations; got != 2 {
 		t.Errorf("Propagations = %d, want 2 (one per distinct evidence)", got)
 	}
 	if got := srv.co.coalesced.Load(); got != 6 {
@@ -173,7 +173,7 @@ func TestBatchWindowRunDetachedFromLeader(t *testing.T) {
 			t.Fatalf("sub-query %d: %s", i, r.Error)
 		}
 	}
-	if got := srv.eng.Stats().Propagations; got != 1 {
+	if got := srv.defaultEngine().Stats().Propagations; got != 1 {
 		t.Errorf("Propagations = %d, want 1", got)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"evprop"
+	"evprop/internal/registry"
 )
 
 // Server-side micro-batching: when -batch-window is set, /v1/batch
@@ -23,19 +24,33 @@ import (
 // detached from the leader's request context — a leader whose client
 // disconnects must not void its riders — but keeps the server's per-request
 // timeout.
+//
+// Groups are keyed by (model version, evidence signature): two models may
+// share variable names and therefore evidence signatures, and one model's
+// versions may swap mid-window, so the version pointer itself is part of
+// the key — riders only ever project from a propagation of the exact
+// engine build their batch pinned.
 
-// coalescer groups same-evidence sub-queries inside a batch window.
+// coalesceKey identifies one open window: the pinned model version and
+// the evidence signature within it.
+type coalesceKey struct {
+	v   *registry.Version
+	sig string
+}
+
+// coalescer groups same-version same-evidence sub-queries inside a batch
+// window.
 type coalescer struct {
 	window time.Duration
 	mu     sync.Mutex
-	groups map[string]*coalesceGroup
+	groups map[coalesceKey]*coalesceGroup
 	// coalesced counts sub-queries that rode on another sub-query's
 	// propagation instead of running their own.
 	coalesced atomic.Int64
 }
 
 func newCoalescer(window time.Duration) *coalescer {
-	return &coalescer{window: window, groups: map[string]*coalesceGroup{}}
+	return &coalescer{window: window, groups: map[coalesceKey]*coalesceGroup{}}
 }
 
 // coalesceGroup is one open window's shared outcome. done is closed exactly
@@ -50,25 +65,28 @@ type coalesceGroup struct {
 
 // coalescedQuery answers one batch sub-query through the coalescer. It
 // blocks for up to the batch window (plus the propagation) and returns the
-// sub-query's projected response.
-func (s *server) coalescedQuery(ctx context.Context, req queryRequest) (*queryResponse, error) {
+// sub-query's projected response. v is the version the enclosing batch
+// pinned; the batch holds its reference until every sub-query finishes, so
+// the shared run's engine outlives the window.
+func (s *server) coalescedQuery(ctx context.Context, model string, v *registry.Version, ms *modelStats, req queryRequest) (*queryResponse, error) {
 	start := time.Now()
 	ri := reqInfoFrom(ctx)
 	ri.noteQuery(len(req.Evidence))
 	// The signature both validates the evidence and keys the group; queries
 	// the engine would cache together are exactly the ones that share it.
-	sig, err := s.eng.EvidenceSignature(req.Evidence, nil)
+	sig, err := v.Engine.EvidenceSignature(req.Evidence, nil)
 	if err != nil {
 		return nil, err
 	}
+	key := coalesceKey{v: v, sig: sig}
 	co := s.co
 	co.mu.Lock()
-	g, ok := co.groups[sig]
+	g, ok := co.groups[key]
 	if !ok {
 		g = &coalesceGroup{done: make(chan struct{})}
-		co.groups[sig] = g
+		co.groups[key] = g
 		co.mu.Unlock()
-		go s.runCoalesced(ctx, sig, g, req.Evidence)
+		go s.runCoalesced(ctx, key, g, req.Evidence)
 	} else {
 		co.mu.Unlock()
 		co.coalesced.Add(1)
@@ -82,11 +100,14 @@ func (s *server) coalescedQuery(ctx context.Context, req queryRequest) (*queryRe
 	if g.err != nil {
 		return nil, g.err
 	}
-	resp, err := projectQuery(s.net, g, req)
+	resp, err := projectQuery(v.Net, g, req)
 	if err != nil {
 		return nil, err
 	}
-	s.stats.observe(time.Since(start))
+	resp.Model, resp.Version = model, v.ID
+	elapsed := time.Since(start)
+	s.stats.observe(elapsed)
+	ms.latency.Observe(elapsed)
 	return resp, nil
 }
 
@@ -95,7 +116,7 @@ func (s *server) coalescedQuery(ctx context.Context, req queryRequest) (*queryRe
 // the leader's cancellation (riders depend on it) but re-bounded by the
 // server's per-request timeout, and it keeps the leader's query ID so the
 // flight-recorder entry correlates with the access log.
-func (s *server) runCoalesced(leaderCtx context.Context, sig string, g *coalesceGroup, ev evprop.Evidence) {
+func (s *server) runCoalesced(leaderCtx context.Context, key coalesceKey, g *coalesceGroup, ev evprop.Evidence) {
 	defer close(g.done)
 	timer := time.NewTimer(s.co.window)
 	defer timer.Stop()
@@ -104,7 +125,7 @@ func (s *server) runCoalesced(leaderCtx context.Context, sig string, g *coalesce
 	// propagation open a fresh window (and will typically hit the engine's
 	// result cache).
 	s.co.mu.Lock()
-	delete(s.co.groups, sig)
+	delete(s.co.groups, key)
 	s.co.mu.Unlock()
 
 	runCtx := context.WithoutCancel(leaderCtx)
@@ -113,7 +134,7 @@ func (s *server) runCoalesced(leaderCtx context.Context, sig string, g *coalesce
 		runCtx, cancel = context.WithTimeout(runCtx, s.timeout)
 		defer cancel()
 	}
-	res, err := s.eng.PropagateContext(runCtx, ev)
+	res, err := key.v.Engine.PropagateContext(runCtx, ev)
 	if err != nil {
 		g.err = err
 		return

@@ -1,37 +1,57 @@
-// Command evserve serves exact inference over HTTP. Requests propagate
-// concurrently on one shared engine — handlers take no lock — and each
-// query costs exactly one evidence propagation.
+// Command evserve serves exact inference over HTTP for many models at
+// once. Models live in a registry: each is compiled to its own engine in
+// the background and published by an atomic pointer swap, so uploads and
+// hot reloads never pause serving — new queries route to the new version
+// while in-flight queries drain against the old one. Handlers take no
+// lock and each query costs exactly one evidence propagation.
 //
 //	evserve -network asia -addr :8080
-//	evserve -bif model.bif -log json -request-timeout 5s
+//	evserve -models-dir ./models -log json -request-timeout 5s
 //
-// Versioned endpoints (JSON):
+// Model management (JSON):
 //
-//	GET  /v1/model  → {"variables": [{"name": "...", "states": n}, …]}
-//	POST /v1/query  ← {"evidence": {"XRay": 1}, "query": ["Lung"]}
-//	                → {"p_evidence": 0.11, "posteriors": {"Lung": [0.51, 0.49]}}
-//	POST /v1/batch  ← {"queries": [{"evidence": …, "query": …}, …]}
-//	                → {"results": [{"p_evidence": …, "posteriors": …}, …]}
-//	POST /v1/mpe    ← {"evidence": {"XRay": 1}}
-//	                → {"assignment": {"Lung": 1, …}, "probability": 0.37}
-//	POST /v1/dsep   ← {"x": ["Asia"], "y": ["Smoke"], "z": []}
-//	                → {"separated": true}
-//	GET  /v1/stats  → request counters, latency percentiles, 60 s window
-//	GET  /v1/metrics → Prometheus text exposition of the same
-//	GET  /v1/stream → Server-Sent Events, one stats+gauges snapshot/second
-//	                (the feed evtop renders)
-//	GET  /v1/healthz → liveness: build info, go version, uptime
-//	GET  /v1/readyz  → readiness: 200 while serving, 503 once drain begins
-//	GET  /v1/debug/flightrecorder → recent query ring + slow-query captures;
-//	                ?id=q-… filters to one query ID
+//	GET    /v1/models                 → {"models": [{"name": …, "state": "ready", "version": 3, …}, …]}
+//	GET    /v1/models/{name}          → model info + {"variables": [{"name": "...", "states": n}, …]}
+//	PUT    /v1/models/{name}          ← a BIF or XMLBIF document (sniffed); ?wait=1 blocks for the compile
+//	DELETE /v1/models/{name}          → drains in-flight queries, then releases the engine
+//	POST   /v1/models/{name}/reload   → recompile from the retained source (re-reads file sources); ?wait=1 blocks
+//	GET    /v1/models/{name}/stats    → that model's counters, latency, window, cache, gauges
 //
-// The pre-/v1 paths /model, /query, /mpe and /dsep remain as aliases, and
-// -pprof additionally exposes net/http/pprof under /debug/pprof/.
+// Model-scoped queries:
 //
-// Repeated-evidence traffic is served from a shared result cache
+//	POST /v1/models/{name}/query  ← {"evidence": {"XRay": 1}, "query": ["Lung"]}
+//	                              → {"p_evidence": 0.11, "posteriors": {"Lung": [0.51, 0.49]}, "model": …, "version": …}
+//	POST /v1/models/{name}/batch  ← {"queries": [{"evidence": …, "query": …}, …]}
+//	POST /v1/models/{name}/mpe    ← {"evidence": {"XRay": 1}}
+//	POST /v1/models/{name}/dsep   ← {"x": ["Asia"], "y": ["Smoke"], "z": []}
+//
+// The single-model routes /v1/model, /v1/query, /v1/batch, /v1/mpe and
+// /v1/dsep alias onto the model named "default" (what -network/-bif
+// boot). The pre-/v1 paths /model, /query, /mpe and /dsep remain too but
+// are deprecated: responses carry Deprecation and Sunset headers, and
+// /v1/stats counts their traffic as legacy_requests.
+//
+// Introspection:
+//
+//	GET /v1/stats  → request counters (global + per model), latency percentiles, 60 s window
+//	GET /v1/metrics → Prometheus text exposition, incl. per-model labeled series
+//	GET /v1/stream → Server-Sent Events, one stats+gauges snapshot/second (the feed evtop renders)
+//	GET /v1/healthz → liveness: build info, go version, uptime
+//	GET /v1/readyz  → readiness: 200 while serving, 503 once drain begins
+//	GET /v1/debug/flightrecorder → recent query ring + slow-query captures;
+//	                ?model= selects a model, ?id=q-… filters to one query ID
+//
+// Errors are uniform: every failure answers
+// {"error": {"code": …, "message": …, "query_id": …}} with the status
+// from one typed-error mapping table (unknown variable/impossible
+// evidence → 422, unknown model → 404, overload → 429, timeout → 504).
+//
+// Repeated-evidence traffic is served from a per-model result cache
 // (-cache-size, on by default) with singleflight collapsing of concurrent
 // identical queries, and -batch-window additionally coalesces same-evidence
 // /v1/batch sub-queries arriving within the window into one propagation.
+// -max-inflight bounds concurrently admitted propagating requests (429
+// beyond it).
 //
 // Every response carries an X-Query-ID header (minted per request, or echoed
 // from the client's own X-Query-ID when it is ≤64 bytes of [A-Za-z0-9._:-];
@@ -55,6 +75,7 @@ import (
 
 	"evprop"
 	"evprop/internal/buildinfo"
+	"evprop/internal/registry"
 )
 
 // shutdownGrace bounds how long a drain may take once a signal arrives.
@@ -62,20 +83,22 @@ const shutdownGrace = 10 * time.Second
 
 func main() {
 	var (
-		network  = flag.String("network", "asia", "network: asia, sprinkler, student, random")
-		bifFile  = flag.String("bif", "", "load the network from a BIF file")
-		nodes    = flag.Int("nodes", 30, "random network: node count")
-		seed     = flag.Int64("seed", 1, "random network: seed")
-		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		addr     = flag.String("addr", ":8080", "listen address")
-		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-		logFmt   = flag.String("log", "text", "access-log format: text or json")
-		timeout  = flag.Duration("request-timeout", 0, "per-request deadline (0 = none)")
-		slowThr  = flag.Duration("slow-threshold", 0, "flight-recorder slow-query capture floor (0 = adaptive, 2×p99)")
-		recorder = flag.Int("recorder-size", 0, "flight-recorder ring capacity (0 = default)")
-		cacheSz  = flag.Int("cache-size", 1024, "shared-evidence result cache entries (0 = disable caching)")
-		batchWin = flag.Duration("batch-window", 0, "coalesce same-evidence /v1/batch sub-queries arriving within this window (0 = off)")
-		version  = flag.Bool("version", false, "print version and exit")
+		network   = flag.String("network", "asia", "default model: asia, sprinkler, student, random")
+		bifFile   = flag.String("bif", "", "load the default model from a BIF file")
+		modelsDir = flag.String("models-dir", "", "serve every *.bif/*.xml/*.xmlbif in this directory, named by file basename")
+		nodes     = flag.Int("nodes", 30, "random network: node count")
+		seed      = flag.Int64("seed", 1, "random network: seed")
+		workers   = flag.Int("workers", 0, "worker goroutines per model (0 = GOMAXPROCS)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		logFmt    = flag.String("log", "text", "access-log format: text or json")
+		timeout   = flag.Duration("request-timeout", 0, "per-request deadline (0 = none)")
+		inflight  = flag.Int("max-inflight", 0, "reject propagating requests beyond this many in flight with 429 (0 = unlimited)")
+		slowThr   = flag.Duration("slow-threshold", 0, "flight-recorder slow-query capture floor (0 = adaptive, 2×p99)")
+		recorder  = flag.Int("recorder-size", 0, "flight-recorder ring capacity (0 = default)")
+		cacheSz   = flag.Int("cache-size", 1024, "per-model shared-evidence result cache entries (0 = disable caching)")
+		batchWin  = flag.Duration("batch-window", 0, "coalesce same-evidence /v1/batch sub-queries arriving within this window (0 = off)")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -90,12 +113,7 @@ func main() {
 	}
 	slog.SetDefault(logger)
 
-	bn, err := loadNetwork(*network, *bifFile, *nodes, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "evserve:", err)
-		os.Exit(1)
-	}
-	srv, err := newServer(bn, evprop.Options{
+	opts := evprop.Options{
 		Workers:            *workers,
 		SlowQueryThreshold: *slowThr,
 		FlightRecorderSize: *recorder,
@@ -103,14 +121,26 @@ func main() {
 		// Worker pprof labels are readable only through /debug/pprof/, so
 		// they ride the same flag and cost nothing when it is off.
 		PprofLabels: *pprofOn,
-	})
+	}
+	srv := newMultiServer(opts)
+	if *modelsDir != "" {
+		// Directory boot: one model per file, all compiled concurrently.
+		err = srv.reg.LoadDir(*modelsDir)
+	} else {
+		// Single-model boot: the model is named "default" and its source is
+		// retained, so POST /v1/models/default/reload works for file- and
+		// generator-backed defaults too.
+		err = srv.reg.LoadSync(defaultModel, bootSource(*network, *bifFile, *nodes, *seed))
+	}
 	if err != nil {
+		srv.close()
 		fmt.Fprintln(os.Stderr, "evserve:", err)
 		os.Exit(1)
 	}
 	srv.pprofEnabled = *pprofOn
 	srv.log = logger
 	srv.timeout = *timeout
+	srv.maxInflight = int64(*inflight)
 	if *batchWin > 0 {
 		srv.co = newCoalescer(*batchWin)
 	}
@@ -119,17 +149,18 @@ func main() {
 	defer stop()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		srv.close()
 		fmt.Fprintln(os.Stderr, "evserve:", err)
 		os.Exit(1)
 	}
 	logger.Info("evserve: listening",
-		slog.Int("variables", len(bn.Variables())),
+		slog.Int("models", len(srv.reg.Names())),
 		slog.String("addr", ln.Addr().String()))
 	srv.startSampler()
 	srv.ready.Store(true)
 	err = serve(ctx, ln, srv, logger)
 	srv.beginDrain() // listener-failure path: Shutdown never ran
-	srv.eng.Close()
+	srv.close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evserve:", err)
 		os.Exit(1)
@@ -182,26 +213,14 @@ func serve(ctx context.Context, ln net.Listener, srv *server, logger *slog.Logge
 	return nil
 }
 
-func loadNetwork(kind, bifFile string, nodes int, seed int64) (*evprop.Network, error) {
+// bootSource maps the single-model boot flags onto a registry Source, so
+// the default model's retained source supports /reload.
+func bootSource(kind, bifFile string, nodes int, seed int64) registry.Source {
 	if bifFile != "" {
-		f, err := os.Open(bifFile)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		net, _, err := evprop.ParseBIF(f)
-		return net, err
+		return registry.FileSource(bifFile)
 	}
-	switch kind {
-	case "asia":
-		return evprop.Asia(), nil
-	case "sprinkler":
-		return evprop.Sprinkler(), nil
-	case "student":
-		return evprop.Student(), nil
-	case "random":
-		return evprop.RandomNetwork(nodes, 2, 3, seed), nil
-	default:
-		return nil, fmt.Errorf("unknown network %q", kind)
+	if kind == "random" {
+		return registry.RandomSource(nodes, seed)
 	}
+	return registry.BuiltinSource(kind)
 }

@@ -37,6 +37,11 @@ type reqInfo struct {
 	// engines compiled without a cache.
 	cacheHits    atomic.Int64
 	cacheLookups atomic.Int64
+	// model names the model the request resolved to and modelStats points
+	// at its counters; set by server.acquire once routing picked a model,
+	// so errors and window traffic attribute to the right tenant.
+	model      atomic.Pointer[string]
+	modelStats atomic.Pointer[modelStats]
 }
 
 type reqInfoKey struct{}
@@ -75,6 +80,35 @@ func (ri *reqInfo) noteCache(hit bool) {
 	if hit {
 		ri.cacheHits.Add(1)
 	}
+}
+
+// noteModel records which model the request resolved to.
+func (ri *reqInfo) noteModel(name string, ms *modelStats) {
+	if ri == nil {
+		return
+	}
+	ri.model.Store(&name)
+	ri.modelStats.Store(ms)
+}
+
+// stats returns the resolved model's counters, nil before routing resolved
+// a model (bad name, unknown model).
+func (ri *reqInfo) stats() *modelStats {
+	if ri == nil {
+		return nil
+	}
+	return ri.modelStats.Load()
+}
+
+// modelName returns the resolved model's name, "" when none resolved.
+func (ri *reqInfo) modelName() string {
+	if ri == nil {
+		return ""
+	}
+	if p := ri.model.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 func (ri *reqInfo) lastLoadBalance() float64 {
@@ -133,6 +167,30 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// legacySunset is when the unversioned aliases (/query, /model, /mpe,
+// /dsep) stop being served; announced on every legacy response via the
+// Sunset header (RFC 8594) so clients can migrate on their own schedule.
+const legacySunset = "Sat, 01 May 2027 00:00:00 GMT"
+
+// deprecated marks a legacy unversioned alias: responses carry
+// Deprecation (RFC 9745) and Sunset headers plus a Link to the successor
+// route, and the request counts into the legacy-traffic counter surfaced
+// by /v1/stats and /v1/metrics.
+func (s *server) deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.stats.legacy.Add(1)
+		successor := "/v1/models/default" + r.URL.Path
+		if r.URL.Path == "/model" {
+			successor = "/v1/models/default" // schema lives on the model resource
+		}
+		hdr := w.Header()
+		hdr.Set("Deprecation", "@1767225600") // 2026-01-01, when /v1 became canonical
+		hdr.Set("Sunset", legacySunset)
+		hdr.Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
 // instrument wraps a handler with the per-request observability layer.
 func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -159,10 +217,15 @@ func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		}
 		s.window.Observe(latency, status >= 400, ri.lastLoadBalance())
 		s.window.ObserveCache(ri.cacheHits.Load(), ri.cacheLookups.Load())
+		if ms := ri.stats(); ms != nil {
+			ms.window.Observe(latency, status >= 400, ri.lastLoadBalance())
+			ms.window.ObserveCache(ri.cacheHits.Load(), ri.cacheLookups.Load())
+		}
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.String("id", id),
 			slog.String("method", r.Method),
 			slog.String("endpoint", endpoint),
+			slog.String("model", ri.modelName()),
 			slog.Int("status", status),
 			slog.Int("bytes", sw.bytes),
 			slog.Int64("evidence_vars", ri.evidenceVars.Load()),

@@ -1,0 +1,425 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"evprop"
+	evclient "evprop/client"
+)
+
+// mmRainNet builds a two-variable network whose posterior P(Rain | Wet=1)
+// is controlled by pRain, so different models (and different versions of
+// one model) give distinguishable answers.
+func mmRainNet(pRain float64) *evprop.Network {
+	n := evprop.NewNetwork()
+	n.MustAddVariable("Rain", 2, nil, []float64{1 - pRain, pRain})
+	n.MustAddVariable("Wet", 2, []string{"Rain"}, []float64{
+		0.9, 0.1,
+		0.2, 0.8,
+	})
+	return n
+}
+
+// mmRainBIF renders mmRainNet(pRain) as a BIF document for uploads.
+func mmRainBIF(t *testing.T, pRain float64) []byte {
+	t.Helper()
+	var b strings.Builder
+	if err := mmRainNet(pRain).WriteBIF(&b, "rain", nil); err != nil {
+		t.Fatal(err)
+	}
+	return []byte(b.String())
+}
+
+func mmOracle(t *testing.T, pRain float64) float64 {
+	t.Helper()
+	m, err := mmRainNet(pRain).ExactMarginal("Rain", evprop.Evidence{"Wet": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m[1]
+}
+
+// TestMultiModelLifecycle drives the full model lifecycle through the Go
+// client: upload → query → replace → reload → delete, plus the default
+// model staying untouched throughout.
+func TestMultiModelLifecycle(t *testing.T) {
+	ts, _ := testServerFull(t, evprop.Options{Workers: 2})
+	c := evclient.New(ts.URL)
+	ctx := context.Background()
+
+	models, err := c.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || models[0].Name != "default" || models[0].State != "ready" {
+		t.Fatalf("initial models %+v", models)
+	}
+
+	info, err := c.Upload(ctx, "rain", mmRainBIF(t, 0.2), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != "ready" || info.Version != 1 {
+		t.Fatalf("uploaded model %+v", info)
+	}
+	q, err := c.Query(ctx, "rain", evclient.Evidence{"Wet": 1}, "Rain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := q.Posteriors["Rain"][1], mmOracle(t, 0.2); got != want {
+		t.Errorf("posterior %v, oracle %v", got, want)
+	}
+	if q.Model != "rain" || q.Version != 1 {
+		t.Errorf("answer attribution %q v%d", q.Model, q.Version)
+	}
+
+	schema, err := c.Model(ctx, "rain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema.VariableList) != 2 {
+		t.Errorf("schema %+v", schema.VariableList)
+	}
+
+	// Replacing the model bumps the version and changes the answer.
+	if info, err = c.Upload(ctx, "rain", mmRainBIF(t, 0.7), true); err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 {
+		t.Errorf("replaced version %d, want 2", info.Version)
+	}
+	if q, err = c.Query(ctx, "rain", evclient.Evidence{"Wet": 1}, "Rain"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := q.Posteriors["Rain"][1], mmOracle(t, 0.7); got != want {
+		t.Errorf("post-replace posterior %v, oracle %v", got, want)
+	}
+
+	// Reload recompiles the retained source: version 3, same answer.
+	if info, err = c.Reload(ctx, "rain", true); err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 3 {
+		t.Errorf("reloaded version %d, want 3", info.Version)
+	}
+
+	// Delete; subsequent queries 404 with the typed sentinel.
+	if err := c.Delete(ctx, "rain"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(ctx, "rain", evclient.Evidence{"Wet": 1}); !errors.Is(err, evclient.ErrModelNotFound) {
+		t.Errorf("post-delete error = %v, want ErrModelNotFound", err)
+	}
+	// The default model never noticed any of this.
+	if _, err := c.Query(ctx, evclient.DefaultModel, evclient.Evidence{"XRay": 1}, "Lung"); err != nil {
+		t.Errorf("default model: %v", err)
+	}
+}
+
+// TestErrorEnvelope is the envelope-conformance test: every failure mode
+// answers the uniform JSON envelope with the table's status and code.
+func TestErrorEnvelope(t *testing.T) {
+	ts, srv := testServerFull(t, evprop.Options{Workers: 2})
+
+	check := func(t *testing.T, resp *http.Response, status int, code string, wantID bool) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != status {
+			t.Errorf("status %d, want %d", resp.StatusCode, status)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Content-Type %q", ct)
+		}
+		var env errorEnvelope
+		decode(t, resp, &env)
+		if env.Error.Code != code {
+			t.Errorf("code %q, want %q", env.Error.Code, code)
+		}
+		if env.Error.Message == "" {
+			t.Error("empty message")
+		}
+		if wantID && env.Error.QueryID == "" {
+			t.Error("missing query_id")
+		}
+	}
+
+	t.Run("model_not_found", func(t *testing.T) {
+		resp := post(t, ts.URL+"/v1/models/nope/query", queryRequest{})
+		check(t, resp, http.StatusNotFound, "model_not_found", true)
+	})
+	t.Run("unknown_variable", func(t *testing.T) {
+		resp := post(t, ts.URL+"/v1/query", queryRequest{Query: []string{"nope"}})
+		check(t, resp, http.StatusUnprocessableEntity, "unknown_variable", true)
+	})
+	t.Run("zero_probability_evidence", func(t *testing.T) {
+		// Asia's CPTs are strictly positive, so upload a deterministic
+		// two-node model and observe its impossible state.
+		det := evprop.NewNetwork()
+		det.MustAddVariable("Cause", 2, nil, []float64{1, 0})
+		det.MustAddVariable("Effect", 2, []string{"Cause"}, []float64{1, 0, 0, 1})
+		var b strings.Builder
+		if err := det.WriteBIF(&b, "det", nil); err != nil {
+			t.Fatal(err)
+		}
+		c := evclient.New(ts.URL)
+		if _, err := c.Upload(context.Background(), "det", []byte(b.String()), true); err != nil {
+			t.Fatal(err)
+		}
+		resp := post(t, ts.URL+"/v1/models/det/mpe", mpeRequest{Evidence: evprop.Evidence{"Effect": 1}})
+		check(t, resp, http.StatusUnprocessableEntity, "zero_probability_evidence", true)
+	})
+	t.Run("bad_model_name", func(t *testing.T) {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/models/bad!name", strings.NewReader("network x {}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, resp, http.StatusUnprocessableEntity, "bad_model_name", true)
+	})
+	t.Run("bad_request", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader("{oops"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, resp, http.StatusBadRequest, "bad_request", true)
+	})
+	t.Run("overloaded", func(t *testing.T) {
+		srv.maxInflight = 1
+		srv.inflight.Add(1) // simulate one admitted request holding the slot
+		defer func() { srv.maxInflight = 0; srv.inflight.Add(-1) }()
+		resp := post(t, ts.URL+"/v1/query", queryRequest{Evidence: evprop.Evidence{"XRay": 1}})
+		check(t, resp, http.StatusTooManyRequests, "overloaded", true)
+	})
+	t.Run("client_decodes_envelope", func(t *testing.T) {
+		c := evclient.New(ts.URL)
+		_, err := c.Query(context.Background(), "default", nil, "nope")
+		if !errors.Is(err, evclient.ErrUnknownVariable) {
+			t.Fatalf("client error = %v, want ErrUnknownVariable", err)
+		}
+		var apiErr *evclient.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnprocessableEntity || apiErr.QueryID == "" {
+			t.Errorf("decoded %+v", apiErr)
+		}
+	})
+}
+
+// TestHotSwapRaceHTTP is the serving-layer half of the loss-free reload
+// guarantee: clients hammer one model over HTTP while uploads keep
+// swapping its versions between two distinguishable networks. Zero failed
+// queries, and every answer bit-identical to one version's oracle.
+func TestHotSwapRaceHTTP(t *testing.T) {
+	ts, _ := testServerFull(t, evprop.Options{Workers: 2, CacheSize: 64})
+	c := evclient.New(ts.URL)
+	ctx := context.Background()
+	if _, err := c.Upload(ctx, "m", mmRainBIF(t, 0.2), true); err != nil {
+		t.Fatal(err)
+	}
+	oracleA, oracleB := mmOracle(t, 0.2), mmOracle(t, 0.7)
+	docA, docB := mmRainBIF(t, 0.2), mmRainBIF(t, 0.7)
+
+	const (
+		clients   = 6
+		perClient = 60
+	)
+	var wg sync.WaitGroup
+	var queries, swaps atomic.Int64
+	stop := make(chan struct{})
+	errc := make(chan error, clients+1)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				q, err := c.Query(ctx, "m", evclient.Evidence{"Wet": 1}, "Rain")
+				if err != nil {
+					errc <- err
+					return
+				}
+				queries.Add(1)
+				if p := q.Posteriors["Rain"][1]; p != oracleA && p != oracleB {
+					errc <- errors.New("posterior matches neither version's oracle")
+					return
+				}
+			}
+		}()
+	}
+	var swapWg sync.WaitGroup
+	swapWg.Add(1)
+	go func() {
+		defer swapWg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			doc := docA
+			if i%2 == 0 {
+				doc = docB
+			}
+			if _, err := c.Upload(ctx, "m", doc, true); err != nil {
+				errc <- err
+				return
+			}
+			swaps.Add(1)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	swapWg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if got := queries.Load(); got != clients*perClient {
+		t.Fatalf("%d queries answered, want %d (lossy swap)", got, clients*perClient)
+	}
+	if swaps.Load() == 0 {
+		t.Fatal("no version swaps happened under load")
+	}
+	t.Logf("queries=%d swaps=%d", queries.Load(), swaps.Load())
+}
+
+// TestPerModelCacheIsolationHTTP is the differential check over HTTP: two
+// models share variable names and evidence (identical evidence
+// signatures), caches on, interleaved traffic — warm cached answers must
+// always match their own model's oracle.
+func TestPerModelCacheIsolationHTTP(t *testing.T) {
+	ts, _ := testServerFull(t, evprop.Options{Workers: 2, CacheSize: 64})
+	c := evclient.New(ts.URL)
+	ctx := context.Background()
+	oracle := map[string]float64{}
+	for name, p := range map[string]float64{"a": 0.2, "b": 0.7} {
+		if _, err := c.Upload(ctx, name, mmRainBIF(t, p), true); err != nil {
+			t.Fatal(err)
+		}
+		oracle[name] = mmOracle(t, p)
+	}
+	for i := 0; i < 10; i++ {
+		for _, name := range []string{"a", "b"} {
+			q, err := c.Query(ctx, name, evclient.Evidence{"Wet": 1}, "Rain")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := q.Posteriors["Rain"][1]; got != oracle[name] {
+				t.Fatalf("round %d: model %q posterior %v, own oracle %v (cross-model cache hit?)",
+					i, name, got, oracle[name])
+			}
+		}
+	}
+	// Both models' caches were actually consulted: the isolation above was
+	// proven on warm caches, not on misses.
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := map[string]int64{}
+	for _, row := range stats.Models {
+		hits[row.Name] = row.CacheHits
+	}
+	for _, name := range []string{"a", "b"} {
+		if hits[name] == 0 {
+			t.Errorf("model %q: cache never hit", name)
+		}
+	}
+}
+
+// TestDeprecationHeaders: the unversioned aliases answer with Deprecation
+// and Sunset headers and count into legacy_requests; /v1 routes carry
+// neither.
+func TestDeprecationHeaders(t *testing.T) {
+	ts, _ := testServerFull(t, evprop.Options{Workers: 2})
+	legacy := post(t, ts.URL+"/query", queryRequest{Evidence: evprop.Evidence{"XRay": 1}})
+	if legacy.StatusCode != http.StatusOK {
+		t.Fatalf("legacy query status %d", legacy.StatusCode)
+	}
+	if legacy.Header.Get("Deprecation") == "" || legacy.Header.Get("Sunset") == "" {
+		t.Errorf("legacy headers %+v", legacy.Header)
+	}
+	if link := legacy.Header.Get("Link"); !strings.Contains(link, "/v1/models/default/query") {
+		t.Errorf("Link %q", link)
+	}
+	v1 := post(t, ts.URL+"/v1/query", queryRequest{Evidence: evprop.Evidence{"XRay": 1}})
+	if v1.Header.Get("Deprecation") != "" || v1.Header.Get("Sunset") != "" {
+		t.Error("versioned route carries deprecation headers")
+	}
+	scoped := post(t, ts.URL+"/v1/models/default/query", queryRequest{Evidence: evprop.Evidence{"XRay": 1}})
+	if scoped.StatusCode != http.StatusOK {
+		t.Fatalf("scoped query status %d", scoped.StatusCode)
+	}
+	var st statsResponse
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decode(t, resp, &st)
+	if st.LegacyRequests != 1 {
+		t.Errorf("legacy_requests %d, want 1", st.LegacyRequests)
+	}
+	if st.Queries != 3 {
+		t.Errorf("queries %d, want 3", st.Queries)
+	}
+}
+
+// TestModelScopedStats: per-model counters accumulate under the model
+// that served the traffic, and /v1/models/{name}/stats reports them.
+func TestModelScopedStats(t *testing.T) {
+	ts, _ := testServerFull(t, evprop.Options{Workers: 2, CacheSize: 16})
+	c := evclient.New(ts.URL)
+	ctx := context.Background()
+	if _, err := c.Upload(ctx, "m", mmRainBIF(t, 0.5), true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Query(ctx, "m", evclient.Evidence{"Wet": 1}, "Rain"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Query(ctx, evclient.DefaultModel, evclient.Evidence{"XRay": 1}, "Lung"); err != nil {
+		t.Fatal(err)
+	}
+	var ms modelStatsResponse
+	resp, err := http.Get(ts.URL + "/v1/models/m/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decode(t, resp, &ms)
+	if ms.Queries != 3 {
+		t.Errorf("model m queries %d, want 3", ms.Queries)
+	}
+	if ms.Propagations == 0 {
+		t.Error("model m propagations 0")
+	}
+	// Unknown model's stats 404 through the envelope.
+	resp2, err := http.Get(ts.URL + "/v1/models/ghost/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("ghost stats status %d", resp2.StatusCode)
+	}
+	// The global rows attribute traffic per model.
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]evclient.ModelStatsInline{}
+	for _, row := range stats.Models {
+		byName[row.Name] = row
+	}
+	if byName["m"].Queries != 3 || byName["default"].Queries != 1 {
+		t.Errorf("per-model rows %+v", stats.Models)
+	}
+}

@@ -124,7 +124,7 @@ func TestClientSuppliedQueryID(t *testing.T) {
 		t.Errorf("echoed ID %q", got)
 	}
 	var found bool
-	for _, rec := range srv.eng.RecentQueries() {
+	for _, rec := range srv.defaultEngine().RecentQueries() {
 		if rec.ID == "trace-me-42" {
 			found = true
 		}
@@ -162,7 +162,7 @@ func TestQueryIDValidation(t *testing.T) {
 		if got == bad || !strings.HasPrefix(got, "q-") {
 			t.Errorf("ID %q was not replaced (response carries %q)", bad, got)
 		}
-		for _, rec := range srv.eng.RecentQueries() {
+		for _, rec := range srv.defaultEngine().RecentQueries() {
 			if rec.ID == bad {
 				t.Errorf("invalid ID %q reached the flight recorder", bad)
 			}
@@ -315,5 +315,5 @@ func TestServeGracefulShutdown(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("serve did not return after cancel")
 	}
-	srv.eng.Close()
+	srv.close()
 }

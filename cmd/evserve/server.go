@@ -2,44 +2,61 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"evprop"
 	"evprop/internal/obs"
+	"evprop/internal/registry"
 )
 
-// server wraps one compiled engine behind HTTP handlers. The engine is safe
-// for fully concurrent propagation, so handlers run lock-free: every request
-// propagates independently on the shared engine, and request cancellation
-// propagates into the scheduler via the request context.
+// defaultModel is the model the single-model routes (versioned and
+// legacy) alias onto; a server always tries to serve one.
+const defaultModel = "default"
+
+// server routes HTTP requests onto a registry of compiled models. Handlers
+// run lock-free: every request pins its model's current version with one
+// atomic acquire, propagates on that engine, and releases it — a version
+// swapped out mid-request drains gracefully under the requests still
+// holding it.
 type server struct {
-	net   *evprop.Network
-	eng   *evprop.Engine
+	// reg holds every model; compiles happen in the background and publish
+	// by atomic pointer swap.
+	reg *registry.Registry
+	// opts is the compile-options template shared by every model.
+	opts  evprop.Options
 	stats serverStats
+	// perModel maps model name → its request counters and traffic window.
+	// Entries are created lazily on first use and dropped on model delete.
+	perModel sync.Map // map[string]*modelStats
 	// log receives one access-log record per request (see instrument).
 	log *slog.Logger
-	// window aggregates the last 60 seconds of traffic for /v1/stats.
+	// window aggregates the last 60 seconds of traffic for /v1/stats,
+	// across all models; each model also has its own window in perModel.
 	window *obs.Window
 	// timeout, when non-zero, bounds every request with a deadline that the
 	// engine observes mid-propagation.
 	timeout time.Duration
+	// maxInflight, when non-zero, bounds concurrently admitted
+	// propagating requests; excess requests get 429 overloaded.
+	maxInflight int64
+	inflight    atomic.Int64
 	// pprofEnabled wires net/http/pprof under /debug/pprof/ (opt-in via
 	// the -pprof flag: profiling endpoints expose internals and should not
 	// be on by default).
 	pprofEnabled bool
-	// co coalesces same-evidence /v1/batch sub-queries inside a micro-batch
-	// window (the -batch-window flag); nil when the window is off.
+	// co coalesces same-model same-evidence /v1/batch sub-queries inside a
+	// micro-batch window (the -batch-window flag); nil when the window is
+	// off.
 	co *coalescer
-	// cacheOn mirrors the engine's cache configuration so the hot path can
-	// skip cache accounting without asking the engine each time.
+	// cacheOn mirrors the engines' cache configuration so the hot path can
+	// skip cache accounting without asking an engine each time.
 	cacheOn bool
 	// sampler takes the 1 s snapshots behind /v1/stream; started is the
 	// uptime epoch reported by /v1/healthz and every snapshot.
@@ -59,8 +76,12 @@ type serverStats struct {
 	queries atomic.Int64
 	batches atomic.Int64
 	mpes    atomic.Int64
+	// legacy counts requests through the deprecated unversioned aliases
+	// (/query, /mpe, /dsep, /model), so operators can measure remaining
+	// pre-/v1 traffic before removal.
+	legacy atomic.Int64
 	// errors counts HTTP error responses, incremented exactly once per
-	// request inside httpError (the single choke point). Per-query
+	// request inside writeErrorCode (the single choke point). Per-query
 	// failures inside a /v1/batch body are reported in place and are not
 	// HTTP errors.
 	errors  atomic.Int64
@@ -69,14 +90,35 @@ type serverStats struct {
 
 func (st *serverStats) observe(d time.Duration) { st.latency.Observe(d) }
 
-func newServer(net *evprop.Network, opts evprop.Options) (*server, error) {
-	eng, err := net.Compile(opts)
-	if err != nil {
-		return nil, err
+// modelStats is one model's slice of the serving counters: request counts
+// by kind, error count, latency histogram, and a 60 s traffic window.
+// Stats outlive version swaps (they belong to the model, not the version)
+// and are dropped when the model is deleted.
+type modelStats struct {
+	queries atomic.Int64
+	batches atomic.Int64
+	mpes    atomic.Int64
+	errors  atomic.Int64
+	latency obs.Histogram
+	window  *obs.Window
+}
+
+// modelStatsFor returns the named model's stats, creating them on first
+// use.
+func (s *server) modelStatsFor(name string) *modelStats {
+	if v, ok := s.perModel.Load(name); ok {
+		return v.(*modelStats)
 	}
+	v, _ := s.perModel.LoadOrStore(name, &modelStats{window: obs.NewWindow()})
+	return v.(*modelStats)
+}
+
+// newMultiServer builds a server over an empty registry; models are added
+// with addModel / the registry's LoadDir.
+func newMultiServer(opts evprop.Options) *server {
 	s := &server{
-		net:     net,
-		eng:     eng,
+		reg:     registry.New(opts),
+		opts:    opts,
 		log:     slog.Default(),
 		window:  obs.NewWindow(),
 		cacheOn: opts.CacheSize > 0,
@@ -84,32 +126,70 @@ func newServer(net *evprop.Network, opts evprop.Options) (*server, error) {
 		drain:   make(chan struct{}),
 	}
 	s.sampler = obs.NewSampler(streamInterval, 60, s.snapshotNow)
+	return s
+}
+
+// newServer builds a server whose "default" model is the given network —
+// the single-model boot path and the test constructor.
+func newServer(net *evprop.Network, opts evprop.Options) (*server, error) {
+	s := newMultiServer(opts)
+	if err := s.reg.LoadSync(defaultModel, registry.LiteralSource(net, "boot")); err != nil {
+		s.close()
+		return nil, err
+	}
 	return s, nil
 }
 
-// mux routes the versioned /v1 API plus the original unversioned paths,
-// kept as aliases so pre-/v1 clients keep working. Every route goes through
-// instrument, so each request carries a query ID and emits one access-log
-// record; only the pprof endpoints bypass it.
+// close releases every model's engine; for shutdown and failed boots.
+func (s *server) close() { s.reg.Close() }
+
+// defaultEngine returns the default model's live engine, nil when absent.
+// evprop.Engine methods are nil-safe, so stats paths use it directly.
+func (s *server) defaultEngine() *evprop.Engine {
+	if v, err := s.reg.Current(defaultModel); err == nil {
+		return v.Engine
+	}
+	return nil
+}
+
+// mux routes the model-scoped /v1 API. Single-model routes (/v1/query,
+// /v1/model, …) alias onto the "default" model, and the original
+// unversioned paths remain too, marked with Deprecation/Sunset headers.
+// Every route goes through instrument, so each request carries a query ID
+// and emits one access-log record; only the pprof endpoints, the stream
+// and the health probes bypass it.
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
-	routes := map[string]http.HandlerFunc{
-		"/v1/model":                s.handleModel,
-		"/v1/query":                s.handleQuery,
-		"/v1/batch":                s.handleBatch,
-		"/v1/mpe":                  s.handleMPE,
-		"/v1/dsep":                 s.handleDSep,
-		"/v1/stats":                s.handleStats,
-		"/v1/metrics":              s.handleMetrics,
-		"/v1/debug/flightrecorder": s.handleFlightRecorder,
-		"/model":                   s.handleModel,
-		"/query":                   s.handleQuery,
-		"/mpe":                     s.handleMPE,
-		"/dsep":                    s.handleDSep,
+	route := func(pattern, endpoint string, h http.HandlerFunc) {
+		m.HandleFunc(pattern, s.instrument(endpoint, h))
 	}
-	for path, h := range routes {
-		m.HandleFunc(path, s.instrument(path, h))
-	}
+	// Model management.
+	route("/v1/models", "/v1/models", s.handleModels)
+	route("/v1/models/{name}", "/v1/models/{name}", s.handleModelByName)
+	route("/v1/models/{name}/reload", "/v1/models/{name}/reload", s.handleModelReload)
+	route("/v1/models/{name}/stats", "/v1/models/{name}/stats", s.handleModelStats)
+	// Model-scoped queries.
+	route("/v1/models/{name}/query", "/v1/models/{name}/query", s.handleQuery)
+	route("/v1/models/{name}/batch", "/v1/models/{name}/batch", s.handleBatch)
+	route("/v1/models/{name}/mpe", "/v1/models/{name}/mpe", s.handleMPE)
+	route("/v1/models/{name}/dsep", "/v1/models/{name}/dsep", s.handleDSep)
+	// Single-model aliases onto "default" — the pre-registry /v1 API,
+	// fully supported.
+	route("/v1/model", "/v1/model", s.handleModelSchema)
+	route("/v1/query", "/v1/query", s.handleQuery)
+	route("/v1/batch", "/v1/batch", s.handleBatch)
+	route("/v1/mpe", "/v1/mpe", s.handleMPE)
+	route("/v1/dsep", "/v1/dsep", s.handleDSep)
+	// Unversioned legacy aliases: still served, but deprecated (headers +
+	// the legacy_requests counter announce the sunset).
+	route("/model", "/model", s.deprecated(s.handleModelSchema))
+	route("/query", "/query", s.deprecated(s.handleQuery))
+	route("/mpe", "/mpe", s.deprecated(s.handleMPE))
+	route("/dsep", "/dsep", s.deprecated(s.handleDSep))
+	// Introspection.
+	route("/v1/stats", "/v1/stats", s.handleStats)
+	route("/v1/metrics", "/v1/metrics", s.handleMetrics)
+	route("/v1/debug/flightrecorder", "/v1/debug/flightrecorder", s.handleFlightRecorder)
 	// The stream and the health probes stay outside instrument: probes fire
 	// every few seconds and a stream lives for minutes — folding either into
 	// the QPS window or the access log would drown the real traffic signal.
@@ -126,25 +206,27 @@ func (s *server) mux() *http.ServeMux {
 	return m
 }
 
-// statusFor maps engine errors onto HTTP statuses via errors.Is.
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, context.Canceled):
-		return 499 // client closed request
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, evprop.ErrZeroProbabilityEvidence):
-		return http.StatusUnprocessableEntity
-	case errors.Is(err, evprop.ErrUncompiled), errors.Is(err, evprop.ErrResultClosed):
-		return http.StatusInternalServerError
-	default:
-		// ErrUnknownVariable, ErrBadState and remaining input problems.
-		return http.StatusBadRequest
+// modelFor names the request's model: the {name} path segment on scoped
+// routes, the default model on alias routes.
+func modelFor(r *http.Request) string {
+	if name := r.PathValue("name"); name != "" {
+		return name
 	}
+	return defaultModel
 }
 
-type modelResponse struct {
-	Variables []modelVariable `json:"variables"`
+// acquire pins the request's model version and notes the model into the
+// request annotations. On failure it has already answered the request.
+func (s *server) acquire(w http.ResponseWriter, r *http.Request) (*registry.Version, func(), *modelStats, bool) {
+	name := modelFor(r)
+	v, release, err := s.reg.Acquire(name)
+	if err != nil {
+		s.writeError(w, r, err)
+		return nil, nil, nil, false
+	}
+	ms := s.modelStatsFor(name)
+	reqInfoFrom(r.Context()).noteModel(name, ms)
+	return v, release, ms, true
 }
 
 type modelVariable struct {
@@ -152,16 +234,45 @@ type modelVariable struct {
 	States int    `json:"states"`
 }
 
-func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
+// modelResponse is the GET /v1/models/{name} (and /v1/model alias) body:
+// the registry's lifecycle info plus the variable schema.
+type modelResponse struct {
+	registry.Info
+	Variables []modelVariable `json:"variables"`
+}
+
+func modelSchema(info registry.Info, net *evprop.Network) modelResponse {
+	resp := modelResponse{Info: info}
+	for _, name := range net.Variables() {
+		resp.Variables = append(resp.Variables, modelVariable{Name: name, States: net.States(name)})
+	}
+	return resp
+}
+
+// handleModelSchema answers the single-model schema aliases (GET
+// /v1/model, GET /model) against the default model.
+func (s *server) handleModelSchema(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeErrorCode(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
-	resp := modelResponse{}
-	for _, name := range s.net.Variables() {
-		resp.Variables = append(resp.Variables, modelVariable{Name: name, States: s.net.States(name)})
+	v, release, _, ok := s.acquire(w, r)
+	if !ok {
+		return
 	}
-	s.writeJSON(w, resp)
+	defer release()
+	info, _ := s.modelInfo(modelFor(r))
+	s.writeJSON(w, modelSchema(info, v.Net))
+}
+
+// modelInfo finds one model's registry Info.
+func (s *server) modelInfo(name string) (registry.Info, bool) {
+	for _, info := range s.reg.List() {
+		if info.Name == name {
+			return info, true
+		}
+	}
+	return registry.Info{Name: name}, false
 }
 
 type queryRequest struct {
@@ -172,15 +283,20 @@ type queryRequest struct {
 type queryResponse struct {
 	PEvidence  float64              `json:"p_evidence"`
 	Posteriors map[string][]float64 `json:"posteriors"`
+	// Model and Version name the engine build that answered, so clients
+	// can detect hot reloads.
+	Model   string `json:"model,omitempty"`
+	Version int64  `json:"version,omitempty"`
 }
 
-// runQuery answers one query with exactly one evidence propagation: P(e)
-// and the posteriors both derive from the same QueryResult.
-func (s *server) runQuery(ctx context.Context, req queryRequest) (*queryResponse, error) {
+// runQuery answers one query on the pinned version with exactly one
+// evidence propagation: P(e) and the posteriors both derive from the same
+// QueryResult.
+func (s *server) runQuery(ctx context.Context, v *registry.Version, ms *modelStats, req queryRequest) (*queryResponse, error) {
 	start := time.Now()
 	ri := reqInfoFrom(ctx)
 	ri.noteQuery(len(req.Evidence))
-	res, err := s.eng.PropagateContext(ctx, req.Evidence)
+	res, err := v.Engine.PropagateContext(ctx, req.Evidence)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +313,9 @@ func (s *server) runQuery(ctx context.Context, req queryRequest) (*queryResponse
 		}
 		resp.Posteriors = post
 	}
-	s.stats.observe(time.Since(start))
+	elapsed := time.Since(start)
+	s.stats.observe(elapsed)
+	ms.latency.Observe(elapsed)
 	return resp, nil
 }
 
@@ -206,13 +324,35 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.readJSON(w, r, &req) {
 		return
 	}
-	s.stats.queries.Add(1)
-	resp, err := s.runQuery(r.Context(), req)
-	if err != nil {
-		s.httpError(w, statusFor(err), err.Error())
+	if !s.admit(w, r) {
 		return
 	}
+	defer s.inflight.Add(-1)
+	v, release, ms, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	s.stats.queries.Add(1)
+	ms.queries.Add(1)
+	resp, err := s.runQuery(r.Context(), v, ms, req)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	resp.Model, resp.Version = modelFor(r), v.ID
 	s.writeJSON(w, resp)
+}
+
+// admit applies -max-inflight admission control to the propagating
+// routes. On rejection it has already answered 429.
+func (s *server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if n := s.inflight.Add(1); s.maxInflight > 0 && n > s.maxInflight {
+		s.inflight.Add(-1)
+		s.writeError(w, r, fmt.Errorf("%w: %d in flight", errOverloaded, s.maxInflight))
+		return false
+	}
+	return true
 }
 
 type batchRequest struct {
@@ -221,6 +361,11 @@ type batchRequest struct {
 
 type batchResponse struct {
 	Results []batchResult `json:"results"`
+	// Model and Version name the engine build the whole batch ran on (a
+	// batch pins one version — sub-queries are never split across a hot
+	// reload).
+	Model   string `json:"model,omitempty"`
+	Version int64  `json:"version,omitempty"`
 }
 
 // batchResult is one query's outcome; exactly one of Error or the query
@@ -233,18 +378,32 @@ type batchResult struct {
 }
 
 // handleBatch answers many queries in one round trip, propagating them
-// concurrently on the shared engine. With -batch-window set, sub-queries
-// sharing an evidence signature are coalesced into one propagation (see
-// coalesce.go); otherwise each sub-query propagates independently.
+// concurrently on the batch's pinned version. With -batch-window set,
+// sub-queries sharing an evidence signature are coalesced into one
+// propagation (see coalesce.go); otherwise each sub-query propagates
+// independently.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if !s.readJSON(w, r, &req) {
 		return
 	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.inflight.Add(-1)
+	v, release, ms, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	s.stats.batches.Add(1)
+	ms.batches.Add(1)
+	name := modelFor(r)
 	run := s.runQuery
 	if s.co != nil {
-		run = s.coalescedQuery
+		run = func(ctx context.Context, v *registry.Version, ms *modelStats, q queryRequest) (*queryResponse, error) {
+			return s.coalescedQuery(ctx, name, v, ms, q)
+		}
 	}
 	results := make([]batchResult, len(req.Queries))
 	var wg sync.WaitGroup
@@ -252,7 +411,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, q queryRequest) {
 			defer wg.Done()
-			resp, err := run(r.Context(), q)
+			resp, err := run(r.Context(), v, ms, q)
 			if err != nil {
 				results[i] = batchResult{Error: err.Error()}
 				return
@@ -261,7 +420,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(i, q)
 	}
 	wg.Wait()
-	s.writeJSON(w, batchResponse{Results: results})
+	s.writeJSON(w, batchResponse{Results: results, Model: name, Version: v.ID})
 }
 
 type mpeRequest struct {
@@ -271,6 +430,8 @@ type mpeRequest struct {
 type mpeResponse struct {
 	Assignment  map[string]int `json:"assignment"`
 	Probability float64        `json:"probability"`
+	Model       string         `json:"model,omitempty"`
+	Version     int64          `json:"version,omitempty"`
 }
 
 func (s *server) handleMPE(w http.ResponseWriter, r *http.Request) {
@@ -278,24 +439,36 @@ func (s *server) handleMPE(w http.ResponseWriter, r *http.Request) {
 	if !s.readJSON(w, r, &req) {
 		return
 	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.inflight.Add(-1)
+	v, release, ms, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	s.stats.mpes.Add(1)
+	ms.mpes.Add(1)
 	start := time.Now()
 	ri := reqInfoFrom(r.Context())
 	ri.noteQuery(len(req.Evidence))
-	res, err := s.eng.PropagateContext(r.Context(), req.Evidence)
+	res, err := v.Engine.PropagateContext(r.Context(), req.Evidence)
 	if err != nil {
-		s.httpError(w, statusFor(err), err.Error())
+		s.writeError(w, r, err)
 		return
 	}
 	defer res.Close()
 	ri.noteRun(res.Metrics())
 	assignment, p, err := res.MPE()
 	if err != nil {
-		s.httpError(w, statusFor(err), err.Error())
+		s.writeError(w, r, err)
 		return
 	}
-	s.stats.observe(time.Since(start))
-	s.writeJSON(w, mpeResponse{Assignment: assignment, Probability: p})
+	elapsed := time.Since(start)
+	s.stats.observe(elapsed)
+	ms.latency.Observe(elapsed)
+	s.writeJSON(w, mpeResponse{Assignment: assignment, Probability: p, Model: modelFor(r), Version: v.ID})
 }
 
 type dsepRequest struct {
@@ -313,19 +486,26 @@ func (s *server) handleDSep(w http.ResponseWriter, r *http.Request) {
 	if !s.readJSON(w, r, &req) {
 		return
 	}
-	sep, err := s.net.DSeparated(req.X, req.Y, req.Z)
+	v, release, _, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	sep, err := v.Net.DSeparated(req.X, req.Y, req.Z)
 	if err != nil {
-		s.httpError(w, statusFor(err), err.Error())
+		s.writeError(w, r, err)
 		return
 	}
 	s.writeJSON(w, dsepResponse{Separated: sep})
 }
 
 type statsResponse struct {
-	Queries        int64   `json:"queries"`
-	Batches        int64   `json:"batches"`
-	MPEs           int64   `json:"mpes"`
-	Errors         int64   `json:"errors"`
+	Queries int64 `json:"queries"`
+	Batches int64 `json:"batches"`
+	MPEs    int64 `json:"mpes"`
+	Errors  int64 `json:"errors"`
+	// LegacyRequests counts traffic on the deprecated unversioned aliases.
+	LegacyRequests int64   `json:"legacy_requests"`
 	Propagations   int64   `json:"propagations"`
 	Workers        int     `json:"workers"`
 	Scheduler      string  `json:"scheduler"`
@@ -335,20 +515,36 @@ type statsResponse struct {
 	P50LatencyUsec float64 `json:"p50_latency_usec"`
 	P95LatencyUsec float64 `json:"p95_latency_usec"`
 	P99LatencyUsec float64 `json:"p99_latency_usec"`
-	// LoadBalance and SchedOverheadFrac are the most recent propagation's
-	// Fig. 8 gauges (max/mean per-worker busy time; scheduling fraction of
-	// total worker time).
+	// LoadBalance and SchedOverheadFrac are the default model's most
+	// recent propagation's Fig. 8 gauges (max/mean per-worker busy time;
+	// scheduling fraction of total worker time).
 	LoadBalance       float64 `json:"load_balance"`
 	SchedOverheadFrac float64 `json:"sched_overhead_fraction"`
 	// Window covers only the last 60 seconds of traffic, where the fields
 	// above aggregate over the whole process lifetime.
 	Window windowStats `json:"window"`
-	// Cache reports the engine's shared-evidence result cache plus the
-	// server-side batch coalescer.
+	// Cache reports the default model's shared-evidence result cache plus
+	// the server-side batch coalescer; per-model caches are in Models and
+	// /v1/models/{name}/stats.
 	Cache cacheStats `json:"cache"`
-	// Gauges is the live scheduler surface (GL depth, active runs, per-worker
-	// state/queue/steal gauges) — the same data /v1/stream pushes.
+	// Gauges is the default model's live scheduler surface (GL depth,
+	// active runs, per-worker state/queue/steal gauges) — the same data
+	// /v1/stream pushes.
 	Gauges evprop.SchedulerGauges `json:"scheduler_gauges"`
+	// Models summarizes every registered model: lifecycle state, version,
+	// and per-model request counters.
+	Models []modelStatsSummary `json:"models"`
+}
+
+// modelStatsSummary is one model's row in /v1/stats.
+type modelStatsSummary struct {
+	registry.Info
+	Queries      int64 `json:"queries"`
+	Batches      int64 `json:"batches"`
+	MPEs         int64 `json:"mpes"`
+	Errors       int64 `json:"errors"`
+	Propagations int64 `json:"propagations"`
+	CacheHits    int64 `json:"cache_hits"`
 }
 
 // cacheStats is the engine's cache snapshot plus the server-side coalescer
@@ -360,7 +556,7 @@ type cacheStats struct {
 }
 
 func (s *server) cacheStats() cacheStats {
-	cs := cacheStats{CacheStats: s.eng.CacheStats()}
+	cs := cacheStats{CacheStats: s.defaultEngine().CacheStats()}
 	if s.co != nil {
 		cs.BatchWindowUsec = float64(s.co.window.Nanoseconds()) / 1e3
 		cs.BatchCoalesced = s.co.coalesced.Load()
@@ -388,8 +584,7 @@ type windowStats struct {
 	CacheHitRateSeries []float64 `json:"cache_hit_rate_series"`
 }
 
-func (s *server) windowStats() windowStats {
-	ws := s.window.Snapshot()
+func toWindowStats(ws obs.WindowSnapshot) windowStats {
 	return windowStats{
 		Seconds:            ws.Seconds,
 		Requests:           ws.Requests,
@@ -405,24 +600,70 @@ func (s *server) windowStats() windowStats {
 	}
 }
 
-// handleStats reports request counters, the engine's scheduler invocation
-// count, and propagation latency aggregates. Every latency field derives
-// from the histogram, and the observed == 0 case yields plain zeros —
-// never a 0/0 NaN, which would be invalid JSON.
+func (s *server) windowStats() windowStats { return toWindowStats(s.window.Snapshot()) }
+
+// propagationsTotal sums completed scheduler invocations across every
+// live model version.
+func (s *server) propagationsTotal() int64 {
+	var total int64
+	for _, v := range s.reg.CurrentVersions() {
+		total += v.Engine.Stats().Propagations
+	}
+	return total
+}
+
+// modelSummaries builds the per-model stats rows, sorted by name.
+func (s *server) modelSummaries() []modelStatsSummary {
+	infos := s.reg.List()
+	versions := s.reg.CurrentVersions()
+	out := make([]modelStatsSummary, 0, len(infos))
+	for _, info := range infos {
+		row := modelStatsSummary{Info: info}
+		if ms, ok := s.perModel.Load(info.Name); ok {
+			m := ms.(*modelStats)
+			row.Queries = m.queries.Load()
+			row.Batches = m.batches.Load()
+			row.MPEs = m.mpes.Load()
+			row.Errors = m.errors.Load()
+		}
+		if v, ok := versions[info.Name]; ok {
+			row.Propagations = v.Engine.Stats().Propagations
+			row.CacheHits = v.Engine.CacheStats().Hits
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// handleStats reports request counters, per-model summaries, the default
+// model's scheduler surface, and propagation latency aggregates. Every
+// latency field derives from the histogram, and the observed == 0 case
+// yields plain zeros — never a 0/0 NaN, which would be invalid JSON.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeErrorCode(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
-	es := s.eng.Stats()
-	sr := s.eng.SchedulerReport()
+	eng := s.defaultEngine()
+	es := eng.Stats()
+	sr := eng.SchedulerReport()
+	if es.Workers == 0 {
+		// No default model: borrow the shared configuration from any live
+		// version so workers/scheduler stay meaningful.
+		for _, v := range s.reg.CurrentVersions() {
+			es.Workers = v.Engine.Stats().Workers
+			es.Scheduler = v.Engine.Stats().Scheduler
+			break
+		}
+	}
 	h := &s.stats.latency
 	resp := statsResponse{
 		Queries:           s.stats.queries.Load(),
 		Batches:           s.stats.batches.Load(),
 		MPEs:              s.stats.mpes.Load(),
 		Errors:            s.stats.errors.Load(),
-		Propagations:      es.Propagations,
+		LegacyRequests:    s.stats.legacy.Load(),
+		Propagations:      s.propagationsTotal(),
 		Workers:           es.Workers,
 		Scheduler:         es.Scheduler,
 		Observed:          h.Count(),
@@ -430,7 +671,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SchedOverheadFrac: sr.LastOverheadFraction,
 		Window:            s.windowStats(),
 		Cache:             s.cacheStats(),
-		Gauges:            s.eng.SchedulerGauges(),
+		Gauges:            eng.SchedulerGauges(),
+		Models:            s.modelSummaries(),
 	}
 	if resp.Observed > 0 {
 		resp.AvgLatencyUsec = float64(h.Mean()) / 1e3
@@ -442,12 +684,65 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, resp)
 }
 
+// handleModelStats serves GET /v1/models/{name}/stats: the model's own
+// request counters, latency, window, cache and scheduler gauges.
+func (s *server) handleModelStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeErrorCode(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	name := modelFor(r)
+	info, ok := s.modelInfo(name)
+	if !ok {
+		s.writeError(w, r, fmt.Errorf("%w: %q", registry.ErrNotFound, name))
+		return
+	}
+	ms := s.modelStatsFor(name)
+	resp := modelStatsResponse{
+		Info:    info,
+		Queries: ms.queries.Load(),
+		Batches: ms.batches.Load(),
+		MPEs:    ms.mpes.Load(),
+		Errors:  ms.errors.Load(),
+		Window:  toWindowStats(ms.window.Snapshot()),
+	}
+	if h := &ms.latency; h.Count() > 0 {
+		resp.Observed = h.Count()
+		resp.AvgLatencyUsec = float64(h.Mean()) / 1e3
+		resp.P50LatencyUsec = float64(h.Quantile(0.50)) / 1e3
+		resp.P99LatencyUsec = float64(h.Quantile(0.99)) / 1e3
+	}
+	if v, err := s.reg.Current(name); err == nil {
+		resp.Propagations = v.Engine.Stats().Propagations
+		resp.Cache = v.Engine.CacheStats()
+		resp.Gauges = v.Engine.SchedulerGauges()
+	}
+	s.writeJSON(w, resp)
+}
+
+// modelStatsResponse is the GET /v1/models/{name}/stats body.
+type modelStatsResponse struct {
+	registry.Info
+	Queries        int64                  `json:"queries"`
+	Batches        int64                  `json:"batches"`
+	MPEs           int64                  `json:"mpes"`
+	Errors         int64                  `json:"errors"`
+	Propagations   int64                  `json:"propagations"`
+	Observed       int64                  `json:"observed"`
+	AvgLatencyUsec float64                `json:"avg_latency_usec"`
+	P50LatencyUsec float64                `json:"p50_latency_usec"`
+	P99LatencyUsec float64                `json:"p99_latency_usec"`
+	Window         windowStats            `json:"window"`
+	Cache          evprop.CacheStats      `json:"cache"`
+	Gauges         evprop.SchedulerGauges `json:"scheduler_gauges"`
+}
+
 // handleMetrics serves the Prometheus text exposition: request counters,
-// the latency histogram, and the engine's scheduler observability (load
-// balance, overhead fraction, per-kind time breakdown).
+// the latency histogram, the default model's scheduler observability, and
+// per-model labeled series for every registered model.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeErrorCode(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -457,13 +752,16 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteSample(w, "evprop_http_requests_total", map[string]string{"kind": "mpe"}, float64(s.stats.mpes.Load()))
 	obs.WriteHeader(w, "evprop_http_errors_total", "HTTP error responses.", "counter")
 	obs.WriteSample(w, "evprop_http_errors_total", nil, float64(s.stats.errors.Load()))
-	es := s.eng.Stats()
-	obs.WriteHeader(w, "evprop_propagations_total", "Completed scheduler invocations.", "counter")
-	obs.WriteSample(w, "evprop_propagations_total", nil, float64(es.Propagations))
-	obs.WriteHeader(w, "evprop_workers", "Configured propagation workers.", "gauge")
+	obs.WriteHeader(w, "evprop_legacy_requests_total", "Requests through the deprecated unversioned aliases.", "counter")
+	obs.WriteSample(w, "evprop_legacy_requests_total", nil, float64(s.stats.legacy.Load()))
+	eng := s.defaultEngine()
+	es := eng.Stats()
+	obs.WriteHeader(w, "evprop_propagations_total", "Completed scheduler invocations across all models.", "counter")
+	obs.WriteSample(w, "evprop_propagations_total", nil, float64(s.propagationsTotal()))
+	obs.WriteHeader(w, "evprop_workers", "Configured propagation workers per model.", "gauge")
 	obs.WriteSample(w, "evprop_workers", nil, float64(es.Workers))
 	s.stats.latency.WritePrometheus(w, "evprop_request_duration_seconds", "End-to-end propagation latency of successful requests.")
-	s.eng.WriteSchedulerMetrics(w, "evprop_sched")
+	eng.WriteSchedulerMetrics(w, "evprop_sched")
 	ws := s.window.Snapshot()
 	obs.WriteHeader(w, "evprop_window_requests", "Requests in the last 60 seconds.", "gauge")
 	obs.WriteSample(w, "evprop_window_requests", nil, float64(ws.Requests))
@@ -477,51 +775,110 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteHeader(w, "evprop_window_load_balance", "Mean load-balance factor over the last 60 seconds.", "gauge")
 	obs.WriteSample(w, "evprop_window_load_balance", nil, ws.LoadBalance)
 	cs := s.cacheStats()
-	obs.WriteHeader(w, "evprop_cache_hits_total", "Result-cache hits.", "counter")
+	obs.WriteHeader(w, "evprop_cache_hits_total", "Result-cache hits (default model).", "counter")
 	obs.WriteSample(w, "evprop_cache_hits_total", nil, float64(cs.Hits))
-	obs.WriteHeader(w, "evprop_cache_misses_total", "Result-cache misses.", "counter")
+	obs.WriteHeader(w, "evprop_cache_misses_total", "Result-cache misses (default model).", "counter")
 	obs.WriteSample(w, "evprop_cache_misses_total", nil, float64(cs.Misses))
-	obs.WriteHeader(w, "evprop_cache_collapsed_total", "Queries collapsed onto another caller's in-flight propagation.", "counter")
+	obs.WriteHeader(w, "evprop_cache_collapsed_total", "Queries collapsed onto another caller's in-flight propagation (default model).", "counter")
 	obs.WriteSample(w, "evprop_cache_collapsed_total", nil, float64(cs.Collapsed))
-	obs.WriteHeader(w, "evprop_cache_entries", "Result-cache entries currently held.", "gauge")
+	obs.WriteHeader(w, "evprop_cache_entries", "Result-cache entries currently held (default model).", "gauge")
 	obs.WriteSample(w, "evprop_cache_entries", nil, float64(cs.Entries))
-	obs.WriteHeader(w, "evprop_cache_capacity", "Result-cache configured capacity.", "gauge")
+	obs.WriteHeader(w, "evprop_cache_capacity", "Result-cache configured capacity (default model).", "gauge")
 	obs.WriteSample(w, "evprop_cache_capacity", nil, float64(cs.Capacity))
 	obs.WriteHeader(w, "evprop_batch_coalesced_total", "Batch sub-queries coalesced into a window-mate's propagation.", "counter")
 	obs.WriteSample(w, "evprop_batch_coalesced_total", nil, float64(cs.BatchCoalesced))
 	obs.WriteHeader(w, "evprop_window_cache_hit_rate", "Result-cache hit fraction over the last 60 seconds.", "gauge")
 	obs.WriteSample(w, "evprop_window_cache_hit_rate", nil, ws.CacheHitRate)
-	fs := s.eng.FlightRecorderStats()
-	obs.WriteHeader(w, "evprop_flightrecorder_recorded_total", "Propagations seen by the flight recorder.", "counter")
+	fs := eng.FlightRecorderStats()
+	obs.WriteHeader(w, "evprop_flightrecorder_recorded_total", "Propagations seen by the flight recorder (default model).", "counter")
 	obs.WriteSample(w, "evprop_flightrecorder_recorded_total", nil, float64(fs.Recorded))
-	obs.WriteHeader(w, "evprop_flightrecorder_slow_total", "Slow-query captures taken by the flight recorder.", "counter")
+	obs.WriteHeader(w, "evprop_flightrecorder_slow_total", "Slow-query captures taken by the flight recorder (default model).", "counter")
 	obs.WriteSample(w, "evprop_flightrecorder_slow_total", nil, float64(fs.SlowCaptured))
 	obs.WriteHeader(w, "evprop_flightrecorder_slow_threshold_seconds", "Current slow-query capture threshold (0 while calibrating).", "gauge")
 	obs.WriteSample(w, "evprop_flightrecorder_slow_threshold_seconds", nil, fs.SlowThresholdUsec/1e6)
 	s.writeGaugeMetrics(w)
+	s.writeModelMetrics(w)
 }
 
-// flightRecorderResponse is the /v1/debug/flightrecorder payload: recorder
-// counters, the ring of recent queries, and the retained slow-query captures
-// (full scheduler traces).
+// writeModelMetrics renders the per-model labeled series: lifecycle info,
+// request counters by kind, propagations, cache counters and window QPS,
+// one series per model.
+func (s *server) writeModelMetrics(w http.ResponseWriter) {
+	infos := s.reg.List()
+	if len(infos) == 0 {
+		return
+	}
+	versions := s.reg.CurrentVersions()
+	label := func(name string) map[string]string { return map[string]string{"model": name} }
+	obs.WriteHeader(w, "evprop_model_info", "Registered models: state and current version as labels, value 1.", "gauge")
+	for _, info := range infos {
+		obs.WriteSample(w, "evprop_model_info", map[string]string{
+			"model": info.Name, "state": string(info.State), "version": fmt.Sprintf("%d", info.Version),
+		}, 1)
+	}
+	obs.WriteHeader(w, "evprop_model_requests_total", "HTTP requests by model and kind.", "counter")
+	for _, info := range infos {
+		ms := s.modelStatsFor(info.Name)
+		obs.WriteSample(w, "evprop_model_requests_total", map[string]string{"model": info.Name, "kind": "query"}, float64(ms.queries.Load()))
+		obs.WriteSample(w, "evprop_model_requests_total", map[string]string{"model": info.Name, "kind": "batch"}, float64(ms.batches.Load()))
+		obs.WriteSample(w, "evprop_model_requests_total", map[string]string{"model": info.Name, "kind": "mpe"}, float64(ms.mpes.Load()))
+	}
+	obs.WriteHeader(w, "evprop_model_errors_total", "HTTP error responses by model.", "counter")
+	for _, info := range infos {
+		obs.WriteSample(w, "evprop_model_errors_total", label(info.Name), float64(s.modelStatsFor(info.Name).errors.Load()))
+	}
+	obs.WriteHeader(w, "evprop_model_propagations_total", "Completed scheduler invocations by model (current version).", "counter")
+	for _, info := range infos {
+		if v, ok := versions[info.Name]; ok {
+			obs.WriteSample(w, "evprop_model_propagations_total", label(info.Name), float64(v.Engine.Stats().Propagations))
+		}
+	}
+	obs.WriteHeader(w, "evprop_model_cache_hits_total", "Result-cache hits by model (current version).", "counter")
+	for _, info := range infos {
+		if v, ok := versions[info.Name]; ok {
+			obs.WriteSample(w, "evprop_model_cache_hits_total", label(info.Name), float64(v.Engine.CacheStats().Hits))
+		}
+	}
+	obs.WriteHeader(w, "evprop_model_window_qps", "Mean requests/second over the last 60 seconds, by model.", "gauge")
+	for _, info := range infos {
+		obs.WriteSample(w, "evprop_model_window_qps", label(info.Name), s.modelStatsFor(info.Name).window.Snapshot().QPS)
+	}
+}
+
+// flightRecorderResponse is the /v1/debug/flightrecorder payload: one
+// model's recorder counters, its ring of recent queries, and its retained
+// slow-query captures (full scheduler traces).
 type flightRecorderResponse struct {
+	Model    string                     `json:"model"`
 	Recorder evprop.FlightRecorderStats `json:"recorder"`
 	Records  []evprop.FlightRecord      `json:"records"`
 	Slow     []evprop.SlowQueryCapture  `json:"slow"`
 }
 
-// handleFlightRecorder dumps the flight recorder. `?id=q-…` filters both the
-// ring and the slow captures to one query ID — the lookup used to correlate
-// an X-Query-ID response header or access-log line with its scheduler run.
+// handleFlightRecorder dumps a model's flight recorder (the recorder is
+// scoped per model version — `?model=` selects one, default "default").
+// `?id=q-…` filters both the ring and the slow captures to one query ID —
+// the lookup used to correlate an X-Query-ID response header or
+// access-log line with its scheduler run.
 func (s *server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeErrorCode(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	name := r.URL.Query().Get("model")
+	if name == "" {
+		name = defaultModel
+	}
+	v, err := s.reg.Current(name)
+	if err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	resp := flightRecorderResponse{
-		Recorder: s.eng.FlightRecorderStats(),
-		Records:  s.eng.RecentQueries(),
-		Slow:     s.eng.SlowQueryCaptures(),
+		Model:    name,
+		Recorder: v.Engine.FlightRecorderStats(),
+		Records:  v.Engine.RecentQueries(),
+		Slow:     v.Engine.SlowQueryCaptures(),
 	}
 	if id := r.URL.Query().Get("id"); id != "" {
 		var recs []evprop.FlightRecord
@@ -541,38 +898,13 @@ func (s *server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, resp)
 }
 
-// readJSON decodes a POST body, answering the error response itself (and
-// returning false) when the method or payload is wrong.
-func (s *server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
-	if r.Method != http.MethodPost {
-		s.httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return false
-	}
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
-		return false
-	}
-	return true
-}
-
-func (s *server) writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(v); err != nil {
-		// The response is already committed, so no error body can follow;
-		// count the failure without writing a second header.
-		s.stats.errors.Add(1)
-	}
-}
-
-// httpError writes the error response and increments the error counter —
-// the one place it is incremented, so a request that fails is counted
-// exactly once no matter which handler path rejected it.
-func (s *server) httpError(w http.ResponseWriter, code int, msg string) {
-	s.stats.errors.Add(1)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+// sortedModelNames returns the model names with live stats entries.
+func (s *server) sortedModelNames() []string {
+	var names []string
+	s.perModel.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	return names
 }

@@ -117,9 +117,9 @@ func TestQueryAllEndpoint(t *testing.T) {
 
 func TestQueryErrors(t *testing.T) {
 	ts := testServer(t)
-	// Unknown variable.
+	// Unknown variable: semantically invalid input → 422 per the error table.
 	resp := post(t, ts.URL+"/query", queryRequest{Query: []string{"nope"}})
-	if resp.StatusCode != http.StatusBadRequest {
+	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("unknown variable status %d", resp.StatusCode)
 	}
 	// Malformed JSON.
@@ -161,9 +161,9 @@ func TestMPEEndpoint(t *testing.T) {
 	}
 }
 
-func TestLoadNetwork(t *testing.T) {
+func TestBootSource(t *testing.T) {
 	for _, kind := range []string{"asia", "sprinkler", "student", "random"} {
-		n, err := loadNetwork(kind, "", 10, 1)
+		n, err := bootSource(kind, "", 10, 1).Instantiate()
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
@@ -171,10 +171,10 @@ func TestLoadNetwork(t *testing.T) {
 			t.Fatalf("%s: %v", kind, err)
 		}
 	}
-	if _, err := loadNetwork("bogus", "", 0, 0); err == nil {
+	if _, err := bootSource("bogus", "", 0, 0).Instantiate(); err == nil {
 		t.Error("accepted bogus kind")
 	}
-	if _, err := loadNetwork("", "/does/not/exist.bif", 0, 0); err == nil {
+	if _, err := bootSource("", "/does/not/exist.bif", 0, 0).Instantiate(); err == nil {
 		t.Error("accepted missing BIF file")
 	}
 }
@@ -196,7 +196,7 @@ func TestDSepEndpoint(t *testing.T) {
 		t.Error("Asia and Smoke should be d-connected given Dysp")
 	}
 	resp = post(t, ts.URL+"/dsep", dsepRequest{X: []string{"missing"}, Y: []string{"Smoke"}})
-	if resp.StatusCode != http.StatusBadRequest {
+	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("unknown variable status %d", resp.StatusCode)
 	}
 }

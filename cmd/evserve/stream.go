@@ -46,15 +46,20 @@ type streamSnapshot struct {
 	// Scheduler names the engine's execution strategy; Workers its size.
 	Scheduler string `json:"scheduler"`
 	Workers   int    `json:"workers"`
-	// Gauges is the live scheduler surface: GL depth, active runs, and
-	// per-worker state/queue/steal/partition gauges.
+	// Models is how many models the registry currently serves.
+	Models int `json:"models"`
+	// Gauges is the default model's live scheduler surface: GL depth,
+	// active runs, and per-worker state/queue/steal/partition gauges.
 	Gauges evprop.SchedulerGauges `json:"gauges"`
 }
 
 // snapshotNow assembles one stream snapshot from the wait-free surfaces.
+// Traffic numbers aggregate over every model; the scheduler gauge surface
+// is the default model's (the one evtop renders).
 func (s *server) snapshotNow() streamSnapshot {
 	ws := s.window.Snapshot()
-	es := s.eng.Stats()
+	eng := s.defaultEngine()
+	es := eng.Stats()
 	return streamSnapshot{
 		Time:         time.Now(),
 		UptimeSec:    time.Since(s.started).Seconds(),
@@ -65,11 +70,12 @@ func (s *server) snapshotNow() streamSnapshot {
 		P99Usec:      float64(ws.P99.Nanoseconds()) / 1e3,
 		LoadBalance:  ws.LoadBalance,
 		CacheHitRate: ws.CacheHitRate,
-		Propagations: es.Propagations,
+		Propagations: s.propagationsTotal(),
 		Errors:       s.stats.errors.Load(),
 		Scheduler:    es.Scheduler,
 		Workers:      es.Workers,
-		Gauges:       s.eng.SchedulerGauges(),
+		Models:       len(s.reg.Names()),
+		Gauges:       eng.SchedulerGauges(),
 	}
 }
 
@@ -101,12 +107,12 @@ func (s *server) beginDrain() {
 // the QPS window would pollute both.
 func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeErrorCode(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		s.httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		s.writeErrorCode(w, r, http.StatusInternalServerError, "internal", "streaming unsupported")
 		return
 	}
 	// Subscribe before the first event so no sample between it and the loop
@@ -174,7 +180,7 @@ type healthzResponse struct {
 // finishes in-flight work — that is readyz's distinction to make).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeErrorCode(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
 	s.writeJSON(w, healthzResponse{
@@ -191,7 +197,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // begins, so load balancers pull the instance before its listener closes.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.httpError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeErrorCode(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
 	if !s.ready.Load() {
@@ -206,7 +212,7 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // writeGaugeMetrics renders the live gauge surface as Prometheus series —
 // the /v1/metrics half of the introspection layer.
 func (s *server) writeGaugeMetrics(w http.ResponseWriter) {
-	gg := s.eng.SchedulerGauges()
+	gg := s.defaultEngine().SchedulerGauges()
 	obs.WriteHeader(w, "evprop_sched_global_depth", "Tasks submitted to the scheduler but not yet completed.", "gauge")
 	obs.WriteSample(w, "evprop_sched_global_depth", nil, float64(gg.GlobalDepth))
 	obs.WriteHeader(w, "evprop_sched_active_runs", "Propagations currently in flight.", "gauge")

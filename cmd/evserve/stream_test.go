@@ -165,7 +165,7 @@ func TestServeShutdownClosesStream(t *testing.T) {
 	default:
 		t.Error("drain channel not closed by Shutdown hook")
 	}
-	srv.eng.Close()
+	srv.close()
 }
 
 // TestHealthzReadyz covers the probe pair across the server lifecycle:

@@ -13,16 +13,15 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	evclient "evprop/client"
 	"evprop/internal/buildinfo"
 )
 
@@ -52,9 +51,10 @@ func main() {
 // until the first frame in -once mode.
 func run(ctx context.Context, url string, once bool) error {
 	m := &model{url: url}
+	c := evclient.New(url)
 	drew := false
 	for {
-		err := stream(ctx, url, func(s snapshot) bool {
+		err := c.Stream(ctx, func(s snapshot) bool {
 			m.observe(s)
 			if once {
 				fmt.Print(m.frame())
@@ -84,30 +84,6 @@ func run(ctx context.Context, url string, once bool) error {
 		case <-time.After(reconnectDelay):
 		}
 	}
-}
-
-// stream opens /v1/stream and feeds decoded snapshots to fn until the
-// stream ends, fn returns false, or ctx is canceled.
-func stream(ctx context.Context, url string, fn func(snapshot) bool) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/stream", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: HTTP %d", url+"/v1/stream", resp.StatusCode)
-	}
-	return scanEvents(resp.Body, func(ev sseEvent) bool {
-		var s snapshot
-		if json.Unmarshal([]byte(ev.data), &s) != nil {
-			return true // tolerate malformed events; the next one will do
-		}
-		return fn(s)
-	})
 }
 
 // draw repaints the frame in place: clear the screen once on the first

@@ -5,27 +5,12 @@ import (
 	"strings"
 	"time"
 
-	"evprop"
+	evclient "evprop/client"
 )
 
-// snapshot mirrors the JSON shape of one /v1/stream event (streamSnapshot
-// on the evserve side — the wire format is the contract, not the type).
-type snapshot struct {
-	Time         time.Time              `json:"time"`
-	UptimeSec    float64                `json:"uptime_sec"`
-	Requests     int64                  `json:"window_requests"`
-	QPS          float64                `json:"qps"`
-	ErrorRate    float64                `json:"error_rate"`
-	P50Usec      float64                `json:"p50_usec"`
-	P99Usec      float64                `json:"p99_usec"`
-	LoadBalance  float64                `json:"load_balance"`
-	CacheHitRate float64                `json:"cache_hit_rate"`
-	Propagations int64                  `json:"propagations"`
-	Errors       int64                  `json:"errors"`
-	Scheduler    string                 `json:"scheduler"`
-	Workers      int                    `json:"workers"`
-	Gauges       evprop.SchedulerGauges `json:"gauges"`
-}
+// snapshot is one /v1/stream event, decoded by the evclient package (the
+// wire format is the contract, not the type).
+type snapshot = evclient.Snapshot
 
 // histLen bounds the sparkline history (one entry per stream event).
 const histLen = 60

@@ -98,33 +98,3 @@ func TestSparklineAndBar(t *testing.T) {
 		t.Errorf("negative bar %q", b)
 	}
 }
-
-// TestScanEvents covers the SSE parser: multi-line data, comments, ids, and
-// early stop.
-func TestScanEvents(t *testing.T) {
-	payload := ": keep-alive\nid: 1\ndata: {\"a\":\ndata: 1}\n\nid: 2\ndata: second\n\ndata: third\n\n"
-	var got []sseEvent
-	if err := scanEvents(strings.NewReader(payload), func(ev sseEvent) bool {
-		got = append(got, ev)
-		return true
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 3 {
-		t.Fatalf("events %+v", got)
-	}
-	if got[0].id != "1" || got[0].data != "{\"a\":\n1}" {
-		t.Errorf("event 0 %+v", got[0])
-	}
-	if got[1].id != "2" || got[1].data != "second" {
-		t.Errorf("event 1 %+v", got[1])
-	}
-	// Early stop: fn returning false ends the scan after the first event.
-	n := 0
-	if err := scanEvents(strings.NewReader(payload), func(sseEvent) bool {
-		n++
-		return false
-	}); err != nil || n != 1 {
-		t.Errorf("early stop: n=%d err=%v", n, err)
-	}
-}
