@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck fmt-check bench bench-serving fuzz-smoke trace smoke-evtop smoke-multimodel check
+.PHONY: build test race vet staticcheck fmt-check bench bench-serving bench-kernels smoke-kernels fuzz-smoke trace smoke-evtop smoke-multimodel check
 
 build:
 	$(GO) build ./...
@@ -32,10 +32,25 @@ bench:
 bench-serving:
 	$(GO) test -run xxx -bench 'BenchmarkConcurrentQuery|BenchmarkMutexSerializedQuery|BenchmarkCachedQuery|BenchmarkSingleflightStorm' -benchtime 2s -cpu 4 .
 
-# Short fuzz run of the evidence-signature canonicalization (the same smoke
-# step CI runs); go test -fuzz accepts one fuzz target per invocation.
+# Per-primitive kernel timings (blocked vs scalar, median-of-5 ns/entry at
+# small/medium/large cardinalities), recorded in BENCH_kernels.json. The
+# README perf table and the ≥2× blocked-vs-scalar acceptance numbers come
+# from this file.
+bench-kernels:
+	$(GO) run ./cmd/evkernels -iters 5 -out BENCH_kernels.json
+
+# One-iteration smoke of the kernel bench harness: validates the tool runs
+# and emits well-formed JSON without spending benchmarking time.
+smoke-kernels:
+	@$(GO) run ./cmd/evkernels -iters 1 -min-entries 262144 -out /tmp/evkernels-smoke.json
+	@grep -q '"speedup"' /tmp/evkernels-smoke.json || { echo "smoke-kernels: no results"; exit 1; }
+	@echo "smoke-kernels: ok"
+
+# Short fuzz runs (the same smoke steps CI runs); go test -fuzz accepts one
+# fuzz target per invocation.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzEvidenceSignature -fuzztime 10s ./internal/cache
+	$(GO) test -run xxx -fuzz FuzzKernelBlockedVsScalar -fuzztime 10s ./internal/potential
 
 # Smoke-test the Chrome trace export: one traced propagation, written as
 # trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev).
@@ -94,6 +109,7 @@ smoke-multimodel:
 	echo "smoke-multimodel: ok"
 
 # The PR gate: formatting and static checks plus the full test suite under
-# the race detector (includes the concurrent-engine stress tests) and the
-# evserve smoke tests (evtop dashboard + multi-model hot reload).
-check: fmt-check vet staticcheck race smoke-evtop smoke-multimodel
+# the race detector (includes the concurrent-engine stress tests), the
+# evserve smoke tests (evtop dashboard + multi-model hot reload), and the
+# kernel bench harness smoke.
+check: fmt-check vet staticcheck race smoke-evtop smoke-multimodel smoke-kernels

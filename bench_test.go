@@ -226,6 +226,58 @@ func BenchmarkPrimitiveExtend(b *testing.B) {
 	}
 }
 
+// BenchmarkPrimitiveMarginalizeScalar is the per-entry reference path for
+// BenchmarkPrimitiveMarginalize: the same marginalization without the
+// run-decomposed kernel, for an at-a-glance blocked-vs-scalar comparison
+// (cmd/evkernels produces the systematic one in BENCH_kernels.json).
+func BenchmarkPrimitiveMarginalizeScalar(b *testing.B) {
+	vars := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	card := make([]int, len(vars))
+	for i := range card {
+		card[i] = 2
+	}
+	p, err := potential.NewConstant(vars, card, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := potential.New(vars[:7], card[:7])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(p.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.MarginalIntoScalar(dst, 0, p.Len()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrimitiveMultiplyScalar is the per-entry reference path for
+// BenchmarkPrimitiveMultiply.
+func BenchmarkPrimitiveMultiplyScalar(b *testing.B) {
+	vars := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	card := make([]int, len(vars))
+	for i := range card {
+		card[i] = 2
+	}
+	p, err := potential.NewConstant(vars, card, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := potential.NewConstant(vars[:7], card[:7], 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(p.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.MulRangeScalar(q, 0, p.Len()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCompileAsia measures the full Bayesian-network-to-junction-tree
 // compilation pipeline.
 func BenchmarkCompileAsia(b *testing.B) {

@@ -1,0 +1,181 @@
+// evkernels times the five potential-table primitives directly — blocked
+// (run-decomposed) kernel vs the per-entry scalar reference — and writes the
+// results as JSON. It is the source of BENCH_kernels.json:
+//
+//	go run ./cmd/evkernels -out BENCH_kernels.json
+//
+// Each measurement repeats the primitive over the whole table until at least
+// -min-entries entries have been processed, takes the median of -iters such
+// samples, and reports ns/entry. -iters 1 is the smoke mode wired into
+// `make check`: it validates the harness and the JSON shape in well under a
+// second without producing publication-quality numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"evprop/internal/potential"
+)
+
+type shape struct {
+	Name    string `json:"size"`
+	Entries int    `json:"entries"`
+	SubSize int    `json:"subset_entries"`
+	sup     *potential.Potential
+	sub     *potential.Potential
+}
+
+type result struct {
+	Primitive string  `json:"primitive"`
+	Size      string  `json:"size"`
+	Entries   int     `json:"entries"`
+	BlockedNs float64 `json:"ns_per_entry_blocked"`
+	ScalarNs  float64 `json:"ns_per_entry_scalar"`
+	Speedup   float64 `json:"speedup"`
+}
+
+type report struct {
+	CPU        string   `json:"cpu"`
+	GoVersion  string   `json:"go_version"`
+	Iterations int      `json:"iterations"`
+	MinEntries int      `json:"min_entries_per_sample"`
+	Results    []result `json:"results"`
+}
+
+func shapes() []shape {
+	mk := func(name string, nSup, nSub, states int) shape {
+		vars := make([]int, nSup)
+		card := make([]int, nSup)
+		for i := range vars {
+			vars[i] = i
+			card[i] = states
+		}
+		rng := rand.New(rand.NewSource(17))
+		sup := potential.MustNew(vars, card)
+		sub := potential.MustNew(vars[:nSub], card[:nSub])
+		for i := range sup.Data {
+			sup.Data[i] = rng.Float64() + 0.5
+		}
+		// The subset table is exactly 1.0 everywhere: multiply and divide
+		// are repeated thousands of times over the same work table per
+		// sample, and any other factor would drift it into denormals
+		// (slow on x86) or infinity. Multiplying by 1.0 costs the same
+		// cycles as any normal operand.
+		for i := range sub.Data {
+			sub.Data[i] = 1.0
+		}
+		return shape{name, sup.Len(), sub.Len(), sup, sub}
+	}
+	// The clique→separator shape the engine partitions: the subset is a
+	// prefix of the superset variables, so trailing variables are absent
+	// and the run plan produces constant-subset-index slices.
+	return []shape{
+		mk("small", 3, 2, 4),  // 64 entries
+		mk("medium", 6, 3, 4), // 4096 entries
+		mk("large", 9, 4, 4),  // 262144 entries
+	}
+}
+
+// sample times fn repeated until minEntries table entries are processed and
+// returns ns/entry.
+func sample(entries, minEntries int, fn func()) float64 {
+	reps := (minEntries + entries - 1) / entries
+	if reps < 1 {
+		reps = 1
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps*entries)
+}
+
+func median(iters, entries, minEntries int, fn func()) float64 {
+	fn() // warm up
+	xs := make([]float64, iters)
+	for i := range xs {
+		xs[i] = sample(entries, minEntries, fn)
+	}
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+func main() {
+	iters := flag.Int("iters", 5, "samples per measurement (median taken); 1 = smoke mode")
+	minEntries := flag.Int("min-entries", 1<<21, "minimum table entries processed per sample")
+	out := flag.String("out", "-", "output file (- for stdout)")
+	flag.Parse()
+
+	check := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evkernels:", err)
+			os.Exit(1)
+		}
+	}
+
+	rep := report{
+		CPU:        fmt.Sprintf("%s/%s %d cores", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		GoVersion:  runtime.Version(),
+		Iterations: *iters,
+		MinEntries: *minEntries,
+	}
+	for _, sh := range shapes() {
+		n := sh.Entries
+		p, q := sh.sup, sh.sub
+		work := p.Clone()
+		dstSub := q.CloneZero()
+		dstSup := p.CloneZero()
+		prims := []struct {
+			name            string
+			blocked, scalar func()
+		}{
+			{"multiply",
+				func() { check(work.MulRange(q, 0, n)) },
+				func() { check(work.MulRangeScalar(q, 0, n)) }},
+			{"divide",
+				func() { check(work.DivRange(q, 0, n)) },
+				func() { check(work.DivRangeScalar(q, 0, n)) }},
+			{"marginalize",
+				func() { check(p.MarginalInto(dstSub, 0, n)) },
+				func() { check(p.MarginalIntoScalar(dstSub, 0, n)) }},
+			{"max-marginalize",
+				func() { check(p.MaxMarginalInto(dstSub, 0, n)) },
+				func() { check(p.MaxMarginalIntoScalar(dstSub, 0, n)) }},
+			{"extend",
+				func() { check(q.ExtendInto(dstSup, 0, n)) },
+				func() { check(q.ExtendIntoScalar(dstSup, 0, n)) }},
+		}
+		for _, pr := range prims {
+			b := median(*iters, n, *minEntries, pr.blocked)
+			s := median(*iters, n, *minEntries, pr.scalar)
+			rep.Results = append(rep.Results, result{
+				Primitive: pr.name,
+				Size:      sh.Name,
+				Entries:   n,
+				BlockedNs: round3(b),
+				ScalarNs:  round3(s),
+				Speedup:   round2(s / b),
+			})
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	check(err)
+	buf = append(buf, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(buf)
+	} else {
+		err = os.WriteFile(*out, buf, 0o644)
+	}
+	check(err)
+}
+
+func round3(x float64) float64 { return float64(int(x*1000+0.5)) / 1000 }
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }

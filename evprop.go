@@ -480,12 +480,15 @@ func (n *Network) Compile(opts Options) (*Engine, error) {
 		threshold = 0 // disabled
 	case threshold == 0:
 		// Automatic δ: twice the mean clique table size, so only the
-		// heavyweight operations split.
+		// heavyweight operations split — rounded up to a whole cache line
+		// of entries (64 bytes), matching the minimum piece granularity
+		// the schedulers snap to.
 		total := 0
 		for i := range tree.Cliques {
 			total += tree.Cliques[i].TableSize()
 		}
 		threshold = 2 * total / tree.N()
+		threshold = (threshold + 7) / 8 * 8
 	}
 	var recorder *obs.FlightRecorder
 	if !opts.DisableFlightRecorder {

@@ -40,7 +40,7 @@ func TestReportIdleRun(t *testing.T) {
 
 func realRun(t *testing.T, workers, threshold int) *sched.Metrics {
 	t.Helper()
-	tr, err := jtree.Random(jtree.RandomConfig{N: 64, Width: 10, States: 2, Degree: 3, Seed: 7})
+	tr, err := jtree.Random(jtree.RandomConfig{N: 64, Width: 12, States: 2, Degree: 3, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,11 @@ func realRun(t *testing.T, workers, threshold int) *sched.Metrics {
 // scheduler's bookkeeping relative to the arithmetic).
 func TestFromSchedRealRun(t *testing.T) {
 	const workers = 4
-	m := realRun(t, workers, 256)
+	// δ picks piece sizes large enough that the blocked kernels' arithmetic
+	// still dominates the per-piece scheduling bookkeeping; the run-
+	// decomposed kernels do several entries per ns, so 256-entry pieces
+	// would be all overhead.
+	m := realRun(t, workers, 1024)
 	r := FromSched(m)
 	if r.Workers != workers {
 		t.Fatalf("workers %d", r.Workers)

@@ -7,11 +7,27 @@ import "fmt"
 // inner machinery of multiplication, division, extension and
 // marginalization, all of which pair each entry of the larger table with one
 // entry of the smaller.
+//
+// Besides the per-entry odometer (seek/next, the scalar reference path), an
+// aligner carries a *run plan* computed once at construction: because tables
+// are row-major with the last variable fastest, the superset index space
+// factors into maximal runs of runLen consecutive entries over which the
+// subset index is either constant (contig == false: the trailing superset
+// variables are absent from the subset) or advances by exactly one per entry
+// (contig == true: the trailing superset variables are shared with the
+// subset and dense there). The blocked kernels in ops.go and maxops.go walk
+// runs — one O(w) seek per range plus one O(1)-amortized advanceRun per run
+// — and run flat slice loops inside each run.
 type aligner struct {
 	card      []int // cardinalities of the superset domain
 	subStride []int // stride of each superset variable in the subset (0 if absent)
 	digits    []int // current per-variable state in the superset
 	subIdx    int   // linear index in the subset for the current position
+
+	// Run plan (fixed per domain pair, computed by newAligner).
+	runLen  int  // entries per maximal run (≥ 1; divides the table size)
+	contig  bool // subset index advances +1 per entry within a run (else constant)
+	nPrefix int  // leading superset dims that change only across run boundaries
 }
 
 // newAligner builds an aligner from the superset domain (supVars, supCard)
@@ -46,7 +62,40 @@ func newAligner(supVars, supCard, subVars, subCard []int) (*aligner, error) {
 	if j != len(subVars) {
 		return nil, fmt.Errorf("potential: variable %d of subset not present in superset %v", subVars[j], supVars)
 	}
+	a.planRuns()
 	return a, nil
+}
+
+// planRuns classifies the maximal trailing dimension block of the superset.
+// A trailing absent variable (subStride 0) can only be followed by further
+// absent variables in the suffix scan, and a trailing shared variable is
+// necessarily the subset's own last variable (stride 1), so the two suffix
+// shapes are mutually exclusive: either the suffix is absent → constant
+// runs, or it is shared-and-dense → contiguous runs. Dimensions interior to
+// the prefix are handled by the run odometer regardless of shape.
+func (a *aligner) planRuns() {
+	n := len(a.card)
+	a.runLen = 1
+	i := n - 1
+	if n > 0 && a.subStride[n-1] != 0 {
+		// Trailing variables shared with the subset: extend the suffix while
+		// the subset stride matches the dense row-major pattern.
+		a.contig = true
+		acc := 1
+		for i >= 0 && a.subStride[i] == acc {
+			a.runLen *= a.card[i]
+			acc *= a.card[i]
+			i--
+		}
+	} else {
+		// Trailing variables absent from the subset: the subset index is
+		// constant over the run.
+		for i >= 0 && a.subStride[i] == 0 {
+			a.runLen *= a.card[i]
+			i--
+		}
+	}
+	a.nPrefix = i + 1
 }
 
 // seek positions the aligner at superset linear index idx.
@@ -65,6 +114,21 @@ func (a *aligner) seek(idx int) {
 // the tracked subset index in O(1) amortized time.
 func (a *aligner) next() {
 	for i := len(a.card) - 1; i >= 0; i-- {
+		a.digits[i]++
+		a.subIdx += a.subStride[i]
+		if a.digits[i] < a.card[i] {
+			return
+		}
+		a.digits[i] = 0
+		a.subIdx -= a.card[i] * a.subStride[i]
+	}
+}
+
+// advanceRun moves the aligner from the start of one run to the start of the
+// next, stepping only the prefix dims (the suffix digits are zero at every
+// run boundary). Like next it is O(1) amortized.
+func (a *aligner) advanceRun() {
+	for i := a.nPrefix - 1; i >= 0; i-- {
 		a.digits[i]++
 		a.subIdx += a.subStride[i]
 		if a.digits[i] < a.card[i] {

@@ -1,0 +1,173 @@
+package potential
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Per-primitive blocked-vs-scalar benchmarks at three table sizes, the
+// in-package counterpart of cmd/evkernels (which writes BENCH_kernels.json).
+// The domain shape is the engine's clique→separator pattern: the subset is a
+// prefix of the superset's variables, so the trailing superset variables are
+// absent and every run is a constant-subset-index slice.
+
+type kernelShape struct {
+	name    string
+	supVars []int
+	supCard []int
+	subVars []int
+	subCard []int
+}
+
+func kernelShapes() []kernelShape {
+	mk := func(name string, nSup, nSub, states int) kernelShape {
+		sup := make([]int, nSup)
+		supCard := make([]int, nSup)
+		for i := range sup {
+			sup[i] = i
+			supCard[i] = states
+		}
+		return kernelShape{name, sup, supCard, sup[:nSub], supCard[:nSub]}
+	}
+	return []kernelShape{
+		mk("small", 3, 2, 4),  // 64-entry table, 16-entry subset
+		mk("medium", 6, 3, 4), // 4096-entry table, 64-entry subset
+		mk("large", 9, 4, 4),  // 262144-entry table, 256-entry subset
+	}
+}
+
+func benchPair(b *testing.B, sh kernelShape) (*Potential, *Potential) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	p := randomPotential(rng, sh.supVars, sh.supCard)
+	q := randomPotential(rng, sh.subVars, sh.subCard)
+	return p, q
+}
+
+func perEntry(b *testing.B, entries int) {
+	b.Helper()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(entries), "ns/entry")
+}
+
+func BenchmarkKernelMultiply(b *testing.B) {
+	for _, sh := range kernelShapes() {
+		p, q := benchPair(b, sh)
+		n := p.Len()
+		b.Run(fmt.Sprintf("%s/blocked", sh.name), func(b *testing.B) {
+			w := p.Clone()
+			for i := 0; i < b.N; i++ {
+				if err := w.MulRange(q, 0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perEntry(b, n)
+		})
+		b.Run(fmt.Sprintf("%s/scalar", sh.name), func(b *testing.B) {
+			w := p.Clone()
+			for i := 0; i < b.N; i++ {
+				if err := w.MulRangeScalar(q, 0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perEntry(b, n)
+		})
+	}
+}
+
+func BenchmarkKernelDivide(b *testing.B) {
+	for _, sh := range kernelShapes() {
+		p, q := benchPair(b, sh)
+		n := p.Len()
+		b.Run(fmt.Sprintf("%s/blocked", sh.name), func(b *testing.B) {
+			w := p.Clone()
+			for i := 0; i < b.N; i++ {
+				if err := w.DivRange(q, 0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perEntry(b, n)
+		})
+		b.Run(fmt.Sprintf("%s/scalar", sh.name), func(b *testing.B) {
+			w := p.Clone()
+			for i := 0; i < b.N; i++ {
+				if err := w.DivRangeScalar(q, 0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perEntry(b, n)
+		})
+	}
+}
+
+func BenchmarkKernelMarginalize(b *testing.B) {
+	for _, sh := range kernelShapes() {
+		p, q := benchPair(b, sh)
+		n := p.Len()
+		dst := q.CloneZero()
+		b.Run(fmt.Sprintf("%s/blocked", sh.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := p.MarginalInto(dst, 0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perEntry(b, n)
+		})
+		b.Run(fmt.Sprintf("%s/scalar", sh.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := p.MarginalIntoScalar(dst, 0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perEntry(b, n)
+		})
+	}
+}
+
+func BenchmarkKernelMaxMarginalize(b *testing.B) {
+	for _, sh := range kernelShapes() {
+		p, q := benchPair(b, sh)
+		n := p.Len()
+		dst := q.CloneZero()
+		b.Run(fmt.Sprintf("%s/blocked", sh.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := p.MaxMarginalInto(dst, 0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perEntry(b, n)
+		})
+		b.Run(fmt.Sprintf("%s/scalar", sh.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := p.MaxMarginalIntoScalar(dst, 0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perEntry(b, n)
+		})
+	}
+}
+
+func BenchmarkKernelExtend(b *testing.B) {
+	for _, sh := range kernelShapes() {
+		p, q := benchPair(b, sh)
+		n := p.Len()
+		dst := p.CloneZero()
+		b.Run(fmt.Sprintf("%s/blocked", sh.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := q.ExtendInto(dst, 0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perEntry(b, n)
+		})
+		b.Run(fmt.Sprintf("%s/scalar", sh.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := q.ExtendIntoScalar(dst, 0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perEntry(b, n)
+		})
+	}
+}

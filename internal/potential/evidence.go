@@ -9,17 +9,20 @@ type Evidence map[int]int
 // Reduce absorbs evidence into p: every entry inconsistent with an observed
 // state of a variable in p's domain is zeroed. Variables not in p's domain
 // are ignored, so the same Evidence can be applied to every clique. It
-// reports an error if an observed state is out of range.
+// reports an error if an observed state is out of range, in which case the
+// table is left untouched: all observed states are validated before any
+// entry is zeroed, so a bad observation can never leave the table partially
+// reduced.
 func (p *Potential) Reduce(ev Evidence) error {
 	for pos, v := range p.Vars {
-		state, ok := ev[v]
-		if !ok {
-			continue
-		}
-		if state < 0 || state >= p.Card[pos] {
+		if state, ok := ev[v]; ok && (state < 0 || state >= p.Card[pos]) {
 			return fmt.Errorf("evidence: variable %d observed in state %d but has %d states", v, state, p.Card[pos])
 		}
-		p.zeroExcept(pos, state)
+	}
+	for pos, v := range p.Vars {
+		if state, ok := ev[v]; ok {
+			p.zeroExcept(pos, state)
+		}
 	}
 	return nil
 }

@@ -39,6 +39,20 @@ func (p *Potential) MaxMarginalInto(dst *Potential, lo, hi int) error {
 	if err := checkRange(lo, hi, len(p.Data)); err != nil {
 		return fmt.Errorf("max-marginal: %w", err)
 	}
+	p.maxMarginalBlocked(dst, a, lo, hi)
+	return nil
+}
+
+// MaxMarginalIntoScalar is the per-entry reference implementation of
+// MaxMarginalInto.
+func (p *Potential) MaxMarginalIntoScalar(dst *Potential, lo, hi int) error {
+	a, err := newAligner(p.Vars, p.Card, dst.Vars, dst.Card)
+	if err != nil {
+		return fmt.Errorf("max-marginal: %w", err)
+	}
+	if err := checkRange(lo, hi, len(p.Data)); err != nil {
+		return fmt.Errorf("max-marginal: %w", err)
+	}
 	a.seek(lo)
 	for i := lo; i < hi; i++ {
 		if v := p.Data[i]; v > dst.Data[a.subIdx] {
@@ -77,33 +91,49 @@ func (p *Potential) ArgMax() (int, float64) {
 
 // ArgMaxConsistent returns the linear index and value of the largest entry
 // whose states agree with the partial assignment (variable id → state).
-// Variables absent from the assignment are unconstrained. It reports an
-// error if no entry is consistent (cannot happen for a non-empty table,
-// since every cell has some assignment, unless the constraint names a state
-// out of range).
+// Variables absent from the assignment are unconstrained, and assignment
+// entries for variables outside p's domain are ignored. Under ties the
+// entry with the smallest linear index wins.
+//
+// The map is consulted once per *variable*, not once per variable per table
+// entry: the fixed variables contribute a constant base offset, and only the
+// free subspace is walked — an odometer over the free dimensions' strides
+// that visits exactly the consistent entries in increasing linear order,
+// skipping inconsistent blocks by stride.
 func (p *Potential) ArgMaxConsistent(fixed map[int]int) (int, float64, error) {
-	for pos, v := range p.Vars {
-		if s, ok := fixed[v]; ok && (s < 0 || s >= p.Card[pos]) {
-			return 0, 0, fmt.Errorf("arg-max: variable %d fixed to state %d of %d", v, s, p.Card[pos])
+	base, total := 0, 1
+	var freeCard, freeStride []int // free dims, fastest (smallest stride) first
+	stride := 1
+	for pos := len(p.Vars) - 1; pos >= 0; pos-- {
+		v := p.Vars[pos]
+		if s, ok := fixed[v]; ok {
+			if s < 0 || s >= p.Card[pos] {
+				return 0, 0, fmt.Errorf("arg-max: variable %d fixed to state %d of %d", v, s, p.Card[pos])
+			}
+			base += s * stride
+		} else {
+			freeCard = append(freeCard, p.Card[pos])
+			freeStride = append(freeStride, stride)
+			total *= p.Card[pos]
 		}
+		stride *= p.Card[pos]
 	}
-	best, bestV := -1, 0.0
-	states := make([]int, len(p.Vars))
-	for i := range p.Data {
-		p.assignmentInto(i, states)
-		ok := true
-		for pos, v := range p.Vars {
-			if s, fixedHere := fixed[v]; fixedHere && states[pos] != s {
-				ok = false
+	best, bestV := base, p.Data[base]
+	digits := make([]int, len(freeCard))
+	idx := base
+	for n := 1; n < total; n++ {
+		for i := 0; ; i++ {
+			digits[i]++
+			idx += freeStride[i]
+			if digits[i] < freeCard[i] {
 				break
 			}
+			digits[i] = 0
+			idx -= freeCard[i] * freeStride[i]
 		}
-		if ok && (best < 0 || p.Data[i] > bestV) {
-			best, bestV = i, p.Data[i]
+		if v := p.Data[idx]; v > bestV {
+			best, bestV = idx, v
 		}
-	}
-	if best < 0 {
-		return 0, 0, fmt.Errorf("arg-max: no entry consistent with %v", fixed)
 	}
 	return best, bestV, nil
 }

@@ -107,6 +107,138 @@ func TestArgMaxConsistent(t *testing.T) {
 	}
 }
 
+// argMaxConsistentRef is the pre-optimization implementation: walk every
+// entry and test the fixed map per variable. Kept as the oracle for the tie
+// test and the baseline for BenchmarkArgMaxConsistent.
+func argMaxConsistentRef(p *Potential, fixed map[int]int) (int, float64, error) {
+	for pos, v := range p.Vars {
+		if s, ok := fixed[v]; ok && (s < 0 || s >= p.Card[pos]) {
+			return 0, 0, errOutOfRange
+		}
+	}
+	best, bestV := -1, 0.0
+	states := make([]int, len(p.Vars))
+	for idx := 0; idx < p.Len(); idx++ {
+		p.assignmentInto(idx, states)
+		ok := true
+		for pos, v := range p.Vars {
+			if s, fixedHere := fixed[v]; fixedHere && states[pos] != s {
+				ok = false
+				break
+			}
+		}
+		if ok && (best < 0 || p.Data[idx] > bestV) {
+			best, bestV = idx, p.Data[idx]
+		}
+	}
+	return best, bestV, nil
+}
+
+var errOutOfRange = errOOR{}
+
+type errOOR struct{}
+
+func (errOOR) Error() string { return "out of range" }
+
+// TestArgMaxConsistentTies pins the tie-breaking contract under a partial
+// assignment: when several consistent entries share the maximum, the lowest
+// linear index wins — exactly what the old per-entry scan returned, so the
+// strided walk must agree with the reference on every subset of fixings.
+func TestArgMaxConsistentTies(t *testing.T) {
+	p := MustNew([]int{0, 1, 2}, []int{2, 3, 2})
+	// All entries tie at 1 except a few raised to 2; the raised set is
+	// chosen so different fixings select different winners.
+	for i := range p.Data {
+		p.Data[i] = 1
+	}
+	p.Data[3] = 2  // states (0,1,1)
+	p.Data[7] = 2  // states (1,0,1)
+	p.Data[11] = 2 // states (1,2,1)
+	cases := []struct {
+		fixed   map[int]int
+		wantIdx int
+		wantV   float64
+	}{
+		{map[int]int{}, 3, 2},                 // global: first of the tied maxima
+		{map[int]int{0: 1}, 7, 2},             // restrict to x0=1: first raised entry there
+		{map[int]int{1: 2}, 11, 2},            // restrict to x1=2
+		{map[int]int{0: 0, 1: 0}, 0, 1},       // all-ties block: lowest index
+		{map[int]int{0: 1, 1: 1, 2: 0}, 8, 1}, // fully fixed, flat value
+		{map[int]int{2: 0}, 0, 1},             // raised entries all have x2=1: ties at 1
+	}
+	for _, c := range cases {
+		idx, v, err := p.ArgMaxConsistent(c.fixed)
+		if err != nil {
+			t.Fatalf("fixed %v: %v", c.fixed, err)
+		}
+		if idx != c.wantIdx || v != c.wantV {
+			t.Errorf("fixed %v: got (%d, %v), want (%d, %v)", c.fixed, idx, v, c.wantIdx, c.wantV)
+		}
+		refIdx, refV, err := argMaxConsistentRef(p, c.fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != refIdx || v != refV {
+			t.Errorf("fixed %v: diverges from reference (%d, %v)", c.fixed, refIdx, refV)
+		}
+	}
+}
+
+// TestQuickArgMaxConsistentMatchesRef cross-checks the strided walk against
+// the per-entry reference on random tables and random partial assignments,
+// with quantized values so ties are common.
+func TestQuickArgMaxConsistentMatchesRef(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vars, card := randomDomain(rng, 5)
+		p := randomPotential(rng, vars, card)
+		for i := range p.Data {
+			p.Data[i] = math.Floor(p.Data[i]*8) / 8
+		}
+		fixed := map[int]int{}
+		for i, v := range vars {
+			if rng.Intn(3) == 0 {
+				fixed[v] = rng.Intn(card[i])
+			}
+		}
+		gi, gv, err := p.ArgMaxConsistent(fixed)
+		if err != nil {
+			return false
+		}
+		ri, rv, err := argMaxConsistentRef(p, fixed)
+		if err != nil {
+			return false
+		}
+		return gi == ri && gv == rv
+	}
+	if err := quick.Check(f, quickCfg(34)); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkArgMaxConsistent shows the satellite fix's win: the strided walk
+// visits only consistent entries and never touches a map in the loop, while
+// the old path scanned the full table with a map lookup per variable.
+func BenchmarkArgMaxConsistent(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	p := randomPotential(rng, []int{0, 1, 2, 3, 4}, []int{4, 4, 4, 4, 4})
+	fixed := map[int]int{1: 2, 3: 1}
+	b.Run("strided", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.ArgMaxConsistent(fixed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan-ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := argMaxConsistentRef(p, fixed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func TestQuickMaxMarginalDominatesEntries(t *testing.T) {
 	// Every max-marginal cell equals the max over its fiber, so it must
 	// dominate every entry mapping to it and be attained by at least one.

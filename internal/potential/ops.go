@@ -1,6 +1,9 @@
 package potential
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // This file implements the four node-level primitives of evidence
 // propagation, each in a whole-table and a [lo,hi)-range form. The range
@@ -11,6 +14,12 @@ import "fmt"
 //     output, so combining them requires no extra work (concatenation);
 //   - Marginalize range subtasks read disjoint slices of the *input* and
 //     accumulate into private zero buffers that the combiner subtask Adds.
+//
+// The public range forms execute the run-decomposed blocked kernels of
+// kernels.go. Each also has a *Scalar variant — the original per-entry
+// odometer walk — retained as the reference implementation: the blocked
+// kernels must match it bit for bit (kernels_fuzz_test.go, runsplit_test.go)
+// and beat it on ns/entry (bench_kernels_test.go, cmd/evkernels).
 
 // MulBy multiplies p in place by q, whose domain must be a subset of p's.
 func (p *Potential) MulBy(q *Potential) error { return p.MulRange(q, 0, len(p.Data)) }
@@ -18,6 +27,19 @@ func (p *Potential) MulBy(q *Potential) error { return p.MulRange(q, 0, len(p.Da
 // MulRange multiplies entries lo..hi-1 of p in place by the aligned entries
 // of q, whose domain must be a subset of p's.
 func (p *Potential) MulRange(q *Potential, lo, hi int) error {
+	a, err := newAligner(p.Vars, p.Card, q.Vars, q.Card)
+	if err != nil {
+		return fmt.Errorf("multiply: %w", err)
+	}
+	if err := checkRange(lo, hi, len(p.Data)); err != nil {
+		return fmt.Errorf("multiply: %w", err)
+	}
+	p.mulBlocked(q, a, lo, hi)
+	return nil
+}
+
+// MulRangeScalar is the per-entry reference implementation of MulRange.
+func (p *Potential) MulRangeScalar(q *Potential, lo, hi int) error {
 	a, err := newAligner(p.Vars, p.Card, q.Vars, q.Card)
 	if err != nil {
 		return fmt.Errorf("multiply: %w", err)
@@ -40,6 +62,19 @@ func (p *Potential) DivBy(q *Potential) error { return p.DivRange(q, 0, len(p.Da
 // DivRange divides entries lo..hi-1 of p in place by the aligned entries of
 // q (0/0 = 0), whose domain must be a subset of p's.
 func (p *Potential) DivRange(q *Potential, lo, hi int) error {
+	a, err := newAligner(p.Vars, p.Card, q.Vars, q.Card)
+	if err != nil {
+		return fmt.Errorf("divide: %w", err)
+	}
+	if err := checkRange(lo, hi, len(p.Data)); err != nil {
+		return fmt.Errorf("divide: %w", err)
+	}
+	p.divBlocked(q, a, lo, hi)
+	return nil
+}
+
+// DivRangeScalar is the per-entry reference implementation of DivRange.
+func (p *Potential) DivRangeScalar(q *Potential, lo, hi int) error {
 	a, err := newAligner(p.Vars, p.Card, q.Vars, q.Card)
 	if err != nil {
 		return fmt.Errorf("divide: %w", err)
@@ -88,6 +123,20 @@ func (p *Potential) MarginalInto(dst *Potential, lo, hi int) error {
 	if err := checkRange(lo, hi, len(p.Data)); err != nil {
 		return fmt.Errorf("marginal: %w", err)
 	}
+	p.marginalBlocked(dst, a, lo, hi)
+	return nil
+}
+
+// MarginalIntoScalar is the per-entry reference implementation of
+// MarginalInto.
+func (p *Potential) MarginalIntoScalar(dst *Potential, lo, hi int) error {
+	a, err := newAligner(p.Vars, p.Card, dst.Vars, dst.Card)
+	if err != nil {
+		return fmt.Errorf("marginal: %w", err)
+	}
+	if err := checkRange(lo, hi, len(p.Data)); err != nil {
+		return fmt.Errorf("marginal: %w", err)
+	}
 	a.seek(lo)
 	for i := lo; i < hi; i++ {
 		dst.Data[a.subIdx] += p.Data[i]
@@ -97,20 +146,29 @@ func (p *Potential) MarginalInto(dst *Potential, lo, hi int) error {
 }
 
 // MarginalizeOut sums the given variables out of p, returning a fresh
-// potential over the remaining variables.
+// potential over the remaining variables. out may arrive unsorted and with
+// duplicates — it is canonicalized first, and a sorted merge against the
+// domain computes the kept variables in O(|Vars| + |out| log |out|).
+// Variables in out but not in p's domain are ignored, as before.
 func (p *Potential) MarginalizeOut(out []int) (*Potential, error) {
+	o := append([]int(nil), out...)
+	sort.Ints(o)
+	u := o[:0]
+	for _, v := range o {
+		if len(u) == 0 || v != u[len(u)-1] {
+			u = append(u, v)
+		}
+	}
 	keep := make([]int, 0, len(p.Vars))
+	j := 0
 	for _, v := range p.Vars {
-		drop := false
-		for _, o := range out {
-			if o == v {
-				drop = true
-				break
-			}
+		for j < len(u) && u[j] < v {
+			j++
 		}
-		if !drop {
-			keep = append(keep, v)
+		if j < len(u) && u[j] == v {
+			continue
 		}
+		keep = append(keep, v)
 	}
 	return p.Marginal(keep)
 }
@@ -131,6 +189,19 @@ func (p *Potential) Extend(vars, card []int) (*Potential, error) {
 // ExtendInto fills entries lo..hi-1 of dst with the aligned entries of p,
 // whose domain must be a subset of dst's.
 func (p *Potential) ExtendInto(dst *Potential, lo, hi int) error {
+	a, err := newAligner(dst.Vars, dst.Card, p.Vars, p.Card)
+	if err != nil {
+		return fmt.Errorf("extend: %w", err)
+	}
+	if err := checkRange(lo, hi, len(dst.Data)); err != nil {
+		return fmt.Errorf("extend: %w", err)
+	}
+	p.extendBlocked(dst, a, lo, hi)
+	return nil
+}
+
+// ExtendIntoScalar is the per-entry reference implementation of ExtendInto.
+func (p *Potential) ExtendIntoScalar(dst *Potential, lo, hi int) error {
 	a, err := newAligner(dst.Vars, dst.Card, p.Vars, p.Card)
 	if err != nil {
 		return fmt.Errorf("extend: %w", err)

@@ -278,6 +278,42 @@ func TestEvidenceErrors(t *testing.T) {
 	}
 }
 
+// TestReduceInvalidLeavesTableUntouched is the regression test for the
+// mutate-then-fail bug: Reduce validated observed states one variable at a
+// time, so a valid observation on an earlier variable was already absorbed
+// (entries zeroed) before a later out-of-range observation returned an
+// error, leaving the table partially reduced — and ReduceCount reported 0
+// zeroed entries despite the mutation. All states must now be validated up
+// front, making a failed Reduce a no-op.
+func TestReduceInvalidLeavesTableUntouched(t *testing.T) {
+	p := MustNew([]int{0, 1}, []int{2, 2})
+	copy(p.Data, []float64{1, 2, 3, 4})
+	before := append([]float64(nil), p.Data...)
+	// Variable 0's observation is valid, variable 1's is out of range. The
+	// old code zeroed variable 0's inconsistent entries before noticing.
+	err := p.Reduce(Evidence{0: 1, 1: 5})
+	if err == nil {
+		t.Fatal("Reduce accepted an out-of-range observation")
+	}
+	for i, v := range p.Data {
+		if v != before[i] {
+			t.Fatalf("failed Reduce mutated the table: entry %d = %v, want %v (table %v)", i, v, before[i], p.Data)
+		}
+	}
+	n, err := p.ReduceCount(Evidence{0: 1, 1: 5})
+	if err == nil {
+		t.Fatal("ReduceCount accepted an out-of-range observation")
+	}
+	if n != 0 {
+		t.Errorf("failed ReduceCount reported %d zeroed entries", n)
+	}
+	for i, v := range p.Data {
+		if v != before[i] {
+			t.Fatalf("failed ReduceCount mutated the table: entry %d = %v, want %v", i, v, before[i])
+		}
+	}
+}
+
 func TestReduceCount(t *testing.T) {
 	p := mustConst(t, []int{0, 1}, []int{2, 2}, 1)
 	n, err := p.ReduceCount(Evidence{0: 1})

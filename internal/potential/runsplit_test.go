@@ -1,0 +1,303 @@
+package potential
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Tests for the run decomposition: the plan's structural invariants, the
+// blocked kernels' bit-identity with the scalar reference path, and the
+// guarantee the scheduler's δ-snapping relies on — a range op split at
+// arbitrary points (including mid-run) composes to the whole-table result
+// bit for bit.
+
+// checkPlan brute-forces the plan's claim: within every aligned run the
+// subset index must be constant (contig == false) or advance by exactly one
+// per entry (contig == true), and runs must tile the table.
+func checkPlan(t *testing.T, supVars, supCard, subVars, subCard []int) {
+	t.Helper()
+	a, err := newAligner(supVars, supCard, subVars, subCard)
+	if err != nil {
+		t.Fatalf("newAligner(%v,%v): %v", supVars, subVars, err)
+	}
+	n := Size(supCard)
+	if a.runLen < 1 || n%a.runLen != 0 {
+		t.Fatalf("sup %v sub %v: runLen %d does not tile table of %d", supVars, subVars, a.runLen, n)
+	}
+	// Walk the whole table with the scalar odometer, recording subIdx.
+	subAt := make([]int, n)
+	a.seek(0)
+	for i := 0; i < n; i++ {
+		subAt[i] = a.subIdx
+		a.next()
+	}
+	for base := 0; base < n; base += a.runLen {
+		for k := 0; k < a.runLen; k++ {
+			want := subAt[base]
+			if a.contig {
+				want = subAt[base] + k
+			}
+			if subAt[base+k] != want {
+				t.Fatalf("sup %v/%v sub %v: run at %d, offset %d: subIdx %d, plan %d (runLen %d contig %v)",
+					supVars, supCard, subVars, base, k, subAt[base+k], want, a.runLen, a.contig)
+			}
+		}
+	}
+	// advanceRun must agree with seeking each run start.
+	a.seek(0)
+	for base := 0; base < n; base += a.runLen {
+		if a.subIdx != subAt[base] {
+			t.Fatalf("sup %v sub %v: advanceRun at %d gives subIdx %d, seek gives %d",
+				supVars, subVars, base, a.subIdx, subAt[base])
+		}
+		if base+a.runLen < n {
+			a.advanceRun()
+		}
+	}
+	// PartitionGrain: the constant-run length, or 1 for contiguous runs.
+	wantGrain := a.runLen
+	if a.contig {
+		wantGrain = 1
+	}
+	if g := PartitionGrain(supVars, supCard, subVars); g != wantGrain {
+		t.Fatalf("sup %v/%v sub %v: PartitionGrain %d, plan wants %d", supVars, supCard, subVars, g, wantGrain)
+	}
+}
+
+func TestRunPlanInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Directed shapes first: trailing absent, trailing shared, interleaved,
+	// equal domains, scalar subset, cardinality-1 dims.
+	cases := []struct{ supVars, supCard, subVars []int }{
+		{[]int{0, 1, 2}, []int{2, 3, 4}, []int{0}},          // trailing absent
+		{[]int{0, 1, 2}, []int{2, 3, 4}, []int{2}},          // leading absent, trailing shared
+		{[]int{0, 1, 2}, []int{2, 3, 4}, []int{1, 2}},       // dense suffix
+		{[]int{0, 1, 2}, []int{2, 3, 4}, []int{0, 2}},       // interleaved
+		{[]int{0, 1, 2}, []int{2, 3, 4}, []int{0, 1, 2}},    // equal domains
+		{[]int{0, 1, 2}, []int{2, 3, 4}, nil},               // scalar subset
+		{[]int{0, 1, 2, 3}, []int{2, 1, 3, 1}, []int{1, 3}}, // card-1 dims
+		{nil, nil, nil}, // scalar superset
+	}
+	for _, c := range cases {
+		subCard := make([]int, len(c.subVars))
+		for i, v := range c.subVars {
+			for j, sv := range c.supVars {
+				if sv == v {
+					subCard[i] = c.supCard[j]
+				}
+			}
+		}
+		checkPlan(t, c.supVars, c.supCard, c.subVars, subCard)
+	}
+	for i := 0; i < 300; i++ {
+		vars, card := randomDomain(rng, 6)
+		sv, sc := subDomain(rng, vars, card)
+		checkPlan(t, vars, card, sv, sc)
+	}
+}
+
+// splitPoints draws k random cut points in [lo, hi], unaligned to anything —
+// the resulting pieces deliberately start and end mid-run.
+func splitPoints(rng *rand.Rand, lo, hi, k int) []int {
+	cuts := []int{lo}
+	for i := 0; i < k; i++ {
+		if hi > lo {
+			cuts = append(cuts, lo+rng.Intn(hi-lo+1))
+		}
+	}
+	cuts = append(cuts, hi)
+	sort.Ints(cuts)
+	return cuts
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRangeSplitBitIdentical is the δ-snapping guard: every primitive's
+// range form, split at arbitrary (including mid-run) points and applied
+// piece by piece in order, must compose to the whole-table result
+// bit-identically. Marginalize pieces accumulate into the same destination
+// sequentially, matching the unpartitioned execution order.
+func TestRangeSplitBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 400; trial++ {
+		vars, card := randomDomain(rng, 6)
+		sv, sc := subDomain(rng, vars, card)
+		p := randomPotential(rng, vars, card)
+		q := randomPotential(rng, sv, sc)
+		if trial%5 == 0 {
+			// Exercise the 0/0 = 0 division path and max ties.
+			q.Data[rng.Intn(len(q.Data))] = 0
+			p.Data[rng.Intn(len(p.Data))] = 0
+		}
+		n := len(p.Data)
+		cuts := splitPoints(rng, 0, n, 1+rng.Intn(4))
+
+		type op struct {
+			name  string
+			whole func() []float64
+			split func() []float64
+		}
+		ops := []op{
+			{"multiply",
+				func() []float64 {
+					w := p.Clone()
+					if err := w.MulRange(q, 0, n); err != nil {
+						t.Fatal(err)
+					}
+					return w.Data
+				},
+				func() []float64 {
+					w := p.Clone()
+					for i := 1; i < len(cuts); i++ {
+						if err := w.MulRange(q, cuts[i-1], cuts[i]); err != nil {
+							t.Fatal(err)
+						}
+					}
+					return w.Data
+				}},
+			{"divide",
+				func() []float64 {
+					w := p.Clone()
+					if err := w.DivRange(q, 0, n); err != nil {
+						t.Fatal(err)
+					}
+					return w.Data
+				},
+				func() []float64 {
+					w := p.Clone()
+					for i := 1; i < len(cuts); i++ {
+						if err := w.DivRange(q, cuts[i-1], cuts[i]); err != nil {
+							t.Fatal(err)
+						}
+					}
+					return w.Data
+				}},
+			{"marginalize",
+				func() []float64 {
+					dst := q.CloneZero()
+					if err := p.MarginalInto(dst, 0, n); err != nil {
+						t.Fatal(err)
+					}
+					return dst.Data
+				},
+				func() []float64 {
+					dst := q.CloneZero()
+					for i := 1; i < len(cuts); i++ {
+						if err := p.MarginalInto(dst, cuts[i-1], cuts[i]); err != nil {
+							t.Fatal(err)
+						}
+					}
+					return dst.Data
+				}},
+			{"max-marginalize",
+				func() []float64 {
+					dst := q.CloneZero()
+					if err := p.MaxMarginalInto(dst, 0, n); err != nil {
+						t.Fatal(err)
+					}
+					return dst.Data
+				},
+				func() []float64 {
+					dst := q.CloneZero()
+					for i := 1; i < len(cuts); i++ {
+						if err := p.MaxMarginalInto(dst, cuts[i-1], cuts[i]); err != nil {
+							t.Fatal(err)
+						}
+					}
+					return dst.Data
+				}},
+			{"extend",
+				func() []float64 {
+					dst := p.CloneZero()
+					if err := q.ExtendInto(dst, 0, n); err != nil {
+						t.Fatal(err)
+					}
+					return dst.Data
+				},
+				func() []float64 {
+					dst := p.CloneZero()
+					for i := 1; i < len(cuts); i++ {
+						if err := q.ExtendInto(dst, cuts[i-1], cuts[i]); err != nil {
+							t.Fatal(err)
+						}
+					}
+					return dst.Data
+				}},
+		}
+		for _, o := range ops {
+			if w, s := o.whole(), o.split(); !bitsEqual(w, s) {
+				t.Fatalf("trial %d %s: split at %v diverges from whole (sup %v/%v sub %v)",
+					trial, o.name, cuts, vars, card, sv)
+			}
+		}
+	}
+}
+
+// TestBlockedMatchesScalarBitIdentical pins the blocked kernels to the
+// per-entry reference implementations over random subranges.
+func TestBlockedMatchesScalarBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 400; trial++ {
+		vars, card := randomDomain(rng, 6)
+		sv, sc := subDomain(rng, vars, card)
+		p := randomPotential(rng, vars, card)
+		q := randomPotential(rng, sv, sc)
+		if trial%4 == 0 {
+			q.Data[rng.Intn(len(q.Data))] = 0
+		}
+		n := len(p.Data)
+		lo := rng.Intn(n + 1)
+		hi := lo + rng.Intn(n-lo+1)
+
+		check := func(name string, blocked, scalar func() ([]float64, error)) {
+			b, errB := blocked()
+			s, errS := scalar()
+			if (errB == nil) != (errS == nil) {
+				t.Fatalf("trial %d %s: blocked err %v, scalar err %v", trial, name, errB, errS)
+			}
+			if errB == nil && !bitsEqual(b, s) {
+				t.Fatalf("trial %d %s: blocked diverges from scalar on [%d,%d) (sup %v/%v sub %v)",
+					trial, name, lo, hi, vars, card, sv)
+			}
+		}
+		check("multiply",
+			func() ([]float64, error) { w := p.Clone(); err := w.MulRange(q, lo, hi); return w.Data, err },
+			func() ([]float64, error) { w := p.Clone(); err := w.MulRangeScalar(q, lo, hi); return w.Data, err })
+		check("divide",
+			func() ([]float64, error) { w := p.Clone(); err := w.DivRange(q, lo, hi); return w.Data, err },
+			func() ([]float64, error) { w := p.Clone(); err := w.DivRangeScalar(q, lo, hi); return w.Data, err })
+		check("marginalize",
+			func() ([]float64, error) { d := q.CloneZero(); err := p.MarginalInto(d, lo, hi); return d.Data, err },
+			func() ([]float64, error) {
+				d := q.CloneZero()
+				err := p.MarginalIntoScalar(d, lo, hi)
+				return d.Data, err
+			})
+		check("max-marginalize",
+			func() ([]float64, error) { d := q.CloneZero(); err := p.MaxMarginalInto(d, lo, hi); return d.Data, err },
+			func() ([]float64, error) {
+				d := q.CloneZero()
+				err := p.MaxMarginalIntoScalar(d, lo, hi)
+				return d.Data, err
+			})
+		check("extend",
+			func() ([]float64, error) { d := p.CloneZero(); err := q.ExtendInto(d, lo, hi); return d.Data, err },
+			func() ([]float64, error) {
+				d := p.CloneZero()
+				err := q.ExtendIntoScalar(d, lo, hi)
+				return d.Data, err
+			})
+	}
+}

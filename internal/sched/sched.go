@@ -427,26 +427,26 @@ func (r *run) process(w int, it item) {
 	}
 }
 
-// partition splits task id into ⌈size/δ⌉ pieces (line 13): the first piece
-// runs inline, the rest are spread evenly over the local lists, and a
-// combiner item fires when the last piece finishes.
+// partition splits task id into pieces of a snapped step ≥ δ (line 13): the
+// first piece runs inline, the rest are spread evenly over the local lists,
+// and a combiner item fires when the last piece finishes.
 func (r *run) partition(w int, id, size int) {
 	tPart := time.Now()
-	δ := r.opts.Threshold
-	n := (size + δ - 1) / δ
+	step := snapStep(r.opts.Threshold, r.g.Tasks[id].Grain)
+	n := (size + step - 1) / step
 	comb := &combiner{task: id, pending: int32(n)}
 	atomic.AddInt64(&r.parted, 1)
 	r.gauges.worker(w).partitions.Add(1)
-	pieceW := int64(r.g.Tasks[id].Weight)/int64(n) + 1
 	var first item
 	for k := 0; k < n; k++ {
-		lo := k * δ
-		hi := lo + δ
+		lo := k * step
+		hi := lo + step
 		if hi > size {
 			hi = size
 		}
-		it := item{r: r, task: id, lo: lo, hi: hi, comb: comb, weight: pieceW,
-			buf: r.st.NewPartialBuffer(id)}
+		it := item{r: r, task: id, lo: lo, hi: hi, comb: comb,
+			weight: pieceWeight(r.g.Tasks[id].Weight, hi-lo, size),
+			buf:    r.st.NewPartialBuffer(id)}
 		if k == 0 {
 			first = it
 			continue
@@ -456,6 +456,36 @@ func (r *run) partition(w int, id, size int) {
 	}
 	r.metrics[w].Overhead += time.Since(tPart)
 	r.runPiece(w, first)
+}
+
+// cacheLineEntries is one 64-byte cache line of float64 table entries, the
+// minimum useful piece granularity: a split inside a line makes two workers
+// touch (and for Multiply/Divide, write) the same line.
+const cacheLineEntries = 8
+
+// snapStep rounds the partition threshold δ up to the piece length actually
+// used: a multiple of the task's kernel grain (so split points land on run
+// boundaries of the blocked kernels — each piece then pays one O(w) seek and
+// no two pieces reduce into the same destination cell) that also spans at
+// least one cache line. Tasks with sub-line grains keep run alignment — the
+// bumped grain is a multiple of the original — while tasks whose grain
+// already exceeds a line are left on pure run boundaries.
+func snapStep(δ, grain int) int {
+	g := grain
+	if g < 1 {
+		g = 1
+	}
+	if g < cacheLineEntries {
+		g *= (cacheLineEntries + g - 1) / g
+	}
+	return (δ + g - 1) / g * g
+}
+
+// pieceWeight prorates a task's weight over a piece's span, so the snapped
+// (and possibly short final) pieces load the W_i counters in proportion to
+// the work they actually carry.
+func pieceWeight(taskW float64, span, size int) int64 {
+	return int64(taskW*float64(span)/float64(size)) + 1
 }
 
 func (r *run) runPiece(w int, it item) {

@@ -377,3 +377,57 @@ func TestStealingEmptyAndErrors(t *testing.T) {
 		t.Error("accepted 0 workers")
 	}
 }
+
+// TestSnapStep pins the δ-snapping contract: the step is always a positive
+// multiple of the task's kernel grain (split points land on run boundaries),
+// spans at least one cache line, and never rounds δ below itself.
+func TestSnapStep(t *testing.T) {
+	cases := []struct {
+		δ, grain, want int
+	}{
+		{256, 1, 256},  // already line-aligned, contiguous kernel
+		{256, 0, 256},  // grain 0 = unknown, treated as 1
+		{250, 1, 256},  // bumped grain 8: round 250 up to next multiple
+		{1, 1, 8},      // tiny δ still spans a cache line
+		{1, 3, 9},      // sub-line grain 3 bumps to 9 (multiple of 3 ≥ 8)
+		{100, 3, 108},  // 12·9
+		{256, 64, 256}, // grain ≥ line: pure run boundaries
+		{100, 64, 128}, // round up to run boundary even past δ
+		{1, 1024, 1024},
+		{1025, 1024, 2048},
+	}
+	for _, c := range cases {
+		if got := snapStep(c.δ, c.grain); got != c.want {
+			t.Errorf("snapStep(%d, %d) = %d, want %d", c.δ, c.grain, got, c.want)
+		}
+	}
+	// Structural invariants over a sweep.
+	for δ := 1; δ <= 3000; δ += 7 {
+		for _, g := range []int{0, 1, 2, 3, 5, 8, 12, 64, 1000} {
+			s := snapStep(δ, g)
+			if s < δ {
+				t.Fatalf("snapStep(%d, %d) = %d below δ", δ, g, s)
+			}
+			if s < cacheLineEntries {
+				t.Fatalf("snapStep(%d, %d) = %d below a cache line", δ, g, s)
+			}
+			if eg := g; eg >= 1 && s%eg != 0 {
+				t.Fatalf("snapStep(%d, %d) = %d not a run-boundary multiple", δ, g, s)
+			}
+		}
+	}
+}
+
+// TestPieceWeight checks the proration: pieces carry weight proportional to
+// their span (plus the +1 floor that keeps zero-weight pieces countable).
+func TestPieceWeight(t *testing.T) {
+	if w := pieceWeight(1000, 50, 100); w != 501 {
+		t.Errorf("half-span piece weight %d, want 501", w)
+	}
+	if w := pieceWeight(1000, 100, 100); w != 1001 {
+		t.Errorf("full-span piece weight %d, want 1001", w)
+	}
+	if w := pieceWeight(3, 1, 1000); w < 1 {
+		t.Errorf("piece weight %d below 1", w)
+	}
+}

@@ -289,21 +289,21 @@ func (r *stealRun) process(w int, it item) {
 }
 
 func (r *stealRun) partition(w int, id, size int) {
-	δ := r.opts.Threshold
-	n := (size + δ - 1) / δ
+	step := snapStep(r.opts.Threshold, r.g.Tasks[id].Grain)
+	n := (size + step - 1) / step
 	comb := &combiner{task: id, pending: int32(n)}
 	atomic.AddInt64(&r.parted, 1)
 	r.gauges.worker(w).partitions.Add(1)
-	pieceW := int64(r.g.Tasks[id].Weight)/int64(n) + 1
 	var first item
 	for k := 0; k < n; k++ {
-		lo := k * δ
-		hi := lo + δ
+		lo := k * step
+		hi := lo + step
 		if hi > size {
 			hi = size
 		}
-		it := item{task: id, lo: lo, hi: hi, comb: comb, weight: pieceW,
-			buf: r.st.NewPartialBuffer(id)}
+		it := item{task: id, lo: lo, hi: hi, comb: comb,
+			weight: pieceWeight(r.g.Tasks[id].Weight, hi-lo, size),
+			buf:    r.st.NewPartialBuffer(id)}
 		if k == 0 {
 			first = it
 			continue

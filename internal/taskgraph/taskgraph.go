@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"evprop/internal/jtree"
+	"evprop/internal/potential"
 )
 
 // Kind identifies the node-level primitive a task performs.
@@ -84,8 +85,17 @@ type Task struct {
 	Source int // clique read by Marginalize / holding the message origin
 	Target int // clique written by Multiply / holding the message target
 	Weight float64
-	Succs  []int
-	NDeps  int // number of predecessors
+	// Grain is the preferred split alignment (in table entries) for the
+	// scheduler's δ-partitioning: the constant-run length of the task's
+	// kernel (potential.PartitionGrain), so split points land on run
+	// boundaries and no two pieces reduce into the same destination cell.
+	// 1 for purely contiguous kernels (Divide, Multiply, and Extend/
+	// Marginalize whose trailing variables are shared), where any split
+	// point costs the same. 0 on hand-built graphs means "unknown" and is
+	// treated as 1.
+	Grain int
+	Succs []int
+	NDeps int // number of predecessors
 }
 
 // Graph is the full task dependency graph for one junction tree.
@@ -113,10 +123,11 @@ func build(t *jtree.Tree, withDistribute bool) *Graph {
 	g := &Graph{Tree: t}
 	idx := make(map[int]taskIdx) // child clique id -> its edge's tasks
 
-	add := func(k Kind, d Direction, edge, source, target int, w float64) int {
+	add := func(k Kind, d Direction, edge, source, target int, w float64, grain int) int {
 		id := len(g.Tasks)
 		g.Tasks = append(g.Tasks, Task{
-			ID: id, Kind: k, Dir: d, Edge: edge, Source: source, Target: target, Weight: w,
+			ID: id, Kind: k, Dir: d, Edge: edge, Source: source, Target: target,
+			Weight: w, Grain: grain,
 		})
 		return id
 	}
@@ -135,18 +146,25 @@ func build(t *jtree.Tree, withDistribute bool) *Graph {
 		childSize := float64(t.Cliques[c].TableSize())
 		parentSize := float64(t.Cliques[p].TableSize())
 		sepSize := float64(t.Cliques[c].SepSize())
+		// Kernel grains: Marginalize and Extend range over a clique table
+		// aligned against the edge's separator, so their grain is the
+		// constant-run length of that (clique ⊇ separator) pair. Divide runs
+		// elementwise over the separator and Multiply multiplies a clique by
+		// a same-domain extension buffer — both purely contiguous, grain 1.
+		childGrain := potential.PartitionGrain(t.Cliques[c].Vars, t.Cliques[c].Card, t.Cliques[c].SepVars)
+		parentGrain := potential.PartitionGrain(t.Cliques[p].Vars, t.Cliques[p].Card, t.Cliques[c].SepVars)
 		ti := taskIdx{
-			cm: add(Marginalize, Collect, c, c, p, childSize),
-			cd: add(Divide, Collect, c, c, p, sepSize),
-			ce: add(Extend, Collect, c, c, p, parentSize),
-			cu: add(Multiply, Collect, c, c, p, parentSize),
+			cm: add(Marginalize, Collect, c, c, p, childSize, childGrain),
+			cd: add(Divide, Collect, c, c, p, sepSize, 1),
+			ce: add(Extend, Collect, c, c, p, parentSize, parentGrain),
+			cu: add(Multiply, Collect, c, c, p, parentSize, 1),
 			dm: -1, dd: -1, de: -1, du: -1,
 		}
 		if withDistribute {
-			ti.dm = add(Marginalize, Distribute, c, p, c, parentSize)
-			ti.dd = add(Divide, Distribute, c, p, c, sepSize)
-			ti.de = add(Extend, Distribute, c, p, c, childSize)
-			ti.du = add(Multiply, Distribute, c, p, c, childSize)
+			ti.dm = add(Marginalize, Distribute, c, p, c, parentSize, parentGrain)
+			ti.dd = add(Divide, Distribute, c, p, c, sepSize, 1)
+			ti.de = add(Extend, Distribute, c, p, c, childSize, childGrain)
+			ti.du = add(Multiply, Distribute, c, p, c, childSize, 1)
 		}
 		// Local chains: M -> D -> E -> U in both directions.
 		dep(ti.cm, ti.cd)

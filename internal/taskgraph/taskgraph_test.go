@@ -213,6 +213,63 @@ func TestWeights(t *testing.T) {
 	}
 }
 
+// TestGrains pins the split-alignment contract Build hands the scheduler:
+// Marginalize and Extend carry the constant-run length of their clique ⊇
+// separator alignment (recomputed here from the domains), while Divide and
+// Multiply are purely contiguous and carry grain 1. Built from skeleton
+// trees only — grains must not require materialized potentials.
+func TestGrains(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		tr, err := jtree.Random(jtree.RandomConfig{N: 30, Width: 5, States: 3, Degree: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := Build(tr)
+		for i := range g.Tasks {
+			task := &g.Tasks[i]
+			c := task.Edge
+			p := tr.Cliques[c].Parent
+			var want int
+			switch {
+			case task.Kind == Divide || task.Kind == Multiply:
+				want = 1
+			case (task.Kind == Marginalize) == (task.Dir == Collect):
+				// cm and de range over the child clique's table.
+				want = potential.PartitionGrain(tr.Cliques[c].Vars, tr.Cliques[c].Card, tr.Cliques[c].SepVars)
+			default:
+				// ce and dm range over the parent clique's table.
+				want = potential.PartitionGrain(tr.Cliques[p].Vars, tr.Cliques[p].Card, tr.Cliques[c].SepVars)
+			}
+			if task.Grain != want {
+				t.Errorf("seed %d task %s: grain %d, want %d", seed, task, task.Grain, want)
+			}
+			if task.Grain < 1 {
+				t.Errorf("seed %d task %s: non-positive grain %d", seed, task, task.Grain)
+			}
+		}
+	}
+	// Directed shape: in a chain tree the separator {i, i+1} is a *prefix*
+	// of the child clique {i, i+1, i+2}, so child-aligned tasks (cm, de)
+	// have one trailing variable absent — grain = its state count, 2 — while
+	// the separator is a *suffix* of the parent clique {i-1, i, i+1}, so
+	// parent-aligned tasks (ce, dm) are contiguous with grain 1.
+	g := Build(chainTree(t, 3))
+	for i := range g.Tasks {
+		task := &g.Tasks[i]
+		if task.Kind != Marginalize && task.Kind != Extend {
+			continue
+		}
+		childAligned := (task.Kind == Marginalize) == (task.Dir == Collect)
+		want := 1
+		if childAligned {
+			want = 2
+		}
+		if task.Grain != want {
+			t.Errorf("chain task %s: grain %d, want %d", task, task.Grain, want)
+		}
+	}
+}
+
 func TestSingleCliqueGraphIsEmpty(t *testing.T) {
 	tr := chainTree(t, 1)
 	g := Build(tr)
