@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck fmt-check bench bench-serving bench-kernels smoke-kernels fuzz-smoke trace smoke-evtop smoke-multimodel check
+.PHONY: build test race vet staticcheck fmt-check bench bench-serving bench-kernels smoke-kernels fuzz-smoke trace smoke-evtop smoke-multimodel smoke-replay check
 
 build:
 	$(GO) build ./...
@@ -108,8 +108,47 @@ smoke-multimodel:
 	if [ $$fail -ne 0 ]; then echo "smoke-multimodel: step $$fail failed"; exit 1; fi; \
 	echo "smoke-multimodel: ok"
 
+# Smoke-test the durable audit pipeline end to end: boot evserve with
+# -audit-dir, drive queries and an MPE, shut down cleanly, then replay the
+# recorded segments with evreplay — the chain must verify, a differential
+# replay against the same build must reproduce every answer bit for bit,
+# and a one-byte corruption must be detected.
+smoke-replay:
+	@$(GO) build -o /tmp/evserve-smoke ./cmd/evserve
+	@$(GO) build -o /tmp/evreplay-smoke ./cmd/evreplay
+	@dir=$$(mktemp -d); trap 'rm -rf '"$$dir" EXIT; \
+	/tmp/evserve-smoke -addr 127.0.0.1:18097 -audit-dir $$dir/audit -audit-batch 8 >/dev/null 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do \
+		if curl -sf http://127.0.0.1:18097/v1/readyz >/dev/null 2>&1; then break; fi; \
+		sleep 0.1; done; \
+	fail=0; \
+	for i in $$(seq 1 10); do \
+		curl -sf -X POST http://127.0.0.1:18097/v1/query \
+			-d '{"evidence":{"XRay":1},"query":["Lung"]}' >/dev/null || fail=1; \
+		curl -sf -X POST http://127.0.0.1:18097/v1/query \
+			-d "{\"evidence\":{\"Smoke\":$$((i % 2))}}" >/dev/null || fail=1; \
+	done; \
+	curl -sf -X POST http://127.0.0.1:18097/v1/mpe \
+		-d '{"evidence":{"XRay":1}}' >/dev/null || fail=2; \
+	curl -sf -X POST http://127.0.0.1:18097/v1/query \
+		-d '{"evidence":{"NoSuchVar":1}}' >/dev/null; \
+	curl -sf http://127.0.0.1:18097/v1/audit | grep -q '"enabled":true' || fail=3; \
+	kill $$pid; wait $$pid 2>/dev/null; \
+	/tmp/evreplay-smoke -dir $$dir/audit -mode verify >/dev/null || fail=4; \
+	/tmp/evreplay-smoke -dir $$dir/audit -mode diff -network asia >/dev/null || fail=5; \
+	seg=$$(ls $$dir/audit/*.seg | head -1); \
+	size=$$(wc -c < $$seg); \
+	off=$$((size / 2)); \
+	orig=$$(dd if=$$seg bs=1 skip=$$off count=1 2>/dev/null | od -An -tu1 | tr -d ' '); \
+	printf "$$(printf '\\%03o' $$(( (orig + 1) % 256 )))" \
+		| dd of=$$seg bs=1 seek=$$off conv=notrunc 2>/dev/null; \
+	if /tmp/evreplay-smoke -dir $$dir/audit -mode verify >/dev/null 2>&1; then fail=6; fi; \
+	if [ $$fail -ne 0 ]; then echo "smoke-replay: step $$fail failed"; exit 1; fi; \
+	echo "smoke-replay: ok"
+
 # The PR gate: formatting and static checks plus the full test suite under
 # the race detector (includes the concurrent-engine stress tests), the
-# evserve smoke tests (evtop dashboard + multi-model hot reload), and the
-# kernel bench harness smoke.
-check: fmt-check vet staticcheck race smoke-evtop smoke-multimodel smoke-kernels
+# evserve smoke tests (evtop dashboard + multi-model hot reload + durable
+# audit replay), and the kernel bench harness smoke.
+check: fmt-check vet staticcheck race smoke-evtop smoke-multimodel smoke-replay smoke-kernels

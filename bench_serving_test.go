@@ -1,9 +1,11 @@
 package evprop
 
 import (
+	"maps"
 	"sync"
 	"testing"
 
+	"evprop/internal/audit"
 	"evprop/internal/sched"
 	"evprop/internal/taskgraph"
 )
@@ -68,6 +70,53 @@ func BenchmarkConcurrentQueryNoRecorder(b *testing.B) {
 func BenchmarkConcurrentQueryPprofLabels(b *testing.B) {
 	eng, ev := servingEngineOpts(b, Options{Workers: 4, PprofLabels: true})
 	benchConcurrentQuery(b, eng, ev)
+}
+
+// BenchmarkConcurrentQueryAudited is BenchmarkConcurrentQuery with the full
+// durable-audit pipeline attached, as under evserve -audit-dir: the engine
+// records evidence maps, and every query additionally builds an audit
+// record (cloned evidence + the response's posteriors) and enqueues it on
+// the wait-free ring, with the drainer spilling Merkle-chained batches to
+// disk in the background. The delta against BenchmarkConcurrentQuery is the
+// audit pipeline's hot-path cost — budgeted at 1%.
+func BenchmarkConcurrentQueryAudited(b *testing.B) {
+	eng, ev := servingEngineOpts(b, Options{Workers: 4, RecordEvidence: true})
+	store, err := audit.OpenFileStore(b.TempDir(), audit.FileStoreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := audit.NewWriter(store, audit.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := eng.Propagate(ev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			post, err := res.Posteriors()
+			if err != nil {
+				b.Fatal(err)
+			}
+			pe := res.ProbabilityOfEvidence()
+			res.Close()
+			w.Enqueue(&audit.Record{
+				Kind:       audit.KindQuery,
+				Model:      "default",
+				Version:    1,
+				Evidence:   maps.Clone(ev),
+				PEvidence:  pe,
+				Posteriors: post,
+			})
+		}
+	})
 }
 
 // BenchmarkCachedQuery is BenchmarkConcurrentQuery with the shared-evidence

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"context"
+	"maps"
+	"net/http"
+	"time"
+
+	"evprop"
+	"evprop/internal/audit"
+	"evprop/internal/obs"
+	"evprop/internal/registry"
+)
+
+// Durable query auditing: with -audit-dir set, every completed query and
+// MPE request — answered or failed — is recorded with enough detail to
+// re-execute it (model, version, evidence, requested variables) and to
+// check the answer it got (P(e), posteriors, assignment). Records flow
+// through a wait-free ring into Merkle-chained batches on disk (see
+// internal/audit); the enqueue below is the only cost the serving hot
+// path pays, and under backpressure records are dropped and counted,
+// never blocked on.
+//
+// evreplay reads the resulting segments: -mode verify checks the chain,
+// -mode load re-drives the recorded traffic, -mode diff re-executes every
+// query and compares answers bit for bit.
+
+// auditQuery enqueues one completed (or failed) query. resp may be nil
+// when qerr is set. cached marks queries served without their own
+// propagation (result-cache hit, singleflight or batch-window rider).
+func (s *server) auditQuery(ctx context.Context, v *registry.Version, req queryRequest, resp *queryResponse, cached bool, elapsed time.Duration, qerr error) {
+	if s.aud == nil {
+		return
+	}
+	rec := s.newAuditRecord(ctx, audit.KindQuery, v, req.Evidence, elapsed, cached)
+	rec.Query = append([]string(nil), req.Query...)
+	if qerr != nil {
+		rec.Error = qerr.Error()
+	} else {
+		rec.PEvidence = resp.PEvidence
+		rec.Posteriors = resp.Posteriors
+	}
+	s.aud.Enqueue(rec)
+}
+
+// auditMPE enqueues one completed (or failed) MPE request.
+func (s *server) auditMPE(ctx context.Context, v *registry.Version, ev evprop.Evidence, assignment map[string]int, p float64, elapsed time.Duration, qerr error) {
+	if s.aud == nil {
+		return
+	}
+	rec := s.newAuditRecord(ctx, audit.KindMPE, v, ev, elapsed, false)
+	if qerr != nil {
+		rec.Error = qerr.Error()
+	} else {
+		rec.Assignment = assignment
+		rec.Probability = p
+	}
+	s.aud.Enqueue(rec)
+}
+
+// newAuditRecord fills the fields every audit record shares. The evidence
+// map is cloned — the writer owns the record after Enqueue, and request
+// maps must not be shared with the asynchronous encoder. Posteriors and
+// assignments are already fresh per-request maps, so the specific record
+// builders attach them as is.
+func (s *server) newAuditRecord(ctx context.Context, kind uint8, v *registry.Version, ev evprop.Evidence, elapsed time.Duration, cached bool) *audit.Record {
+	ri := reqInfoFrom(ctx)
+	return &audit.Record{
+		TimeUnixNano: time.Now().UnixNano(),
+		Kind:         kind,
+		ID:           evprop.QueryIDFrom(ctx),
+		Model:        ri.modelName(),
+		Version:      v.ID,
+		Cached:       cached,
+		ElapsedUsec:  float64(elapsed.Nanoseconds()) / 1e3,
+		Evidence:     maps.Clone(ev),
+	}
+}
+
+// auditStats is the audit section of /v1/stats and the GET /v1/audit body.
+type auditStats struct {
+	// Enabled is false when the server runs without -audit-dir; every other
+	// field is zero then.
+	Enabled bool `json:"enabled"`
+	// Dir is the segment directory.
+	Dir string `json:"dir,omitempty"`
+	audit.WriterStats
+	// Segments and Bytes describe the on-disk store.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+}
+
+func (s *server) auditStats() auditStats {
+	if s.aud == nil {
+		return auditStats{}
+	}
+	st := auditStats{Enabled: true, Dir: s.auditDir, WriterStats: s.aud.Stats()}
+	if s.audStore != nil {
+		fs := s.audStore.Status()
+		st.Segments, st.Bytes = fs.Segments, fs.Bytes
+	}
+	return st
+}
+
+// handleAudit serves GET /v1/audit: the audit pipeline's configuration,
+// counters and chain head. It answers with Enabled false (200) when
+// auditing is off, so probes need no special-casing.
+func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeErrorCode(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	s.writeJSON(w, s.auditStats())
+}
+
+// writeAuditMetrics renders the audit pipeline's Prometheus series. The
+// series exist (at zero) even with auditing off, so dashboards and alerts
+// can be authored before the flag is ever set.
+func (s *server) writeAuditMetrics(w http.ResponseWriter) {
+	st := s.auditStats()
+	obs.WriteHeader(w, "evprop_audit_enqueued_total", "Audit records enqueued for spilling.", "counter")
+	obs.WriteSample(w, "evprop_audit_enqueued_total", nil, float64(st.Enqueued))
+	obs.WriteHeader(w, "evprop_audit_dropped_total", "Audit records dropped under backpressure or failed appends.", "counter")
+	obs.WriteSample(w, "evprop_audit_dropped_total", nil, float64(st.Dropped))
+	obs.WriteHeader(w, "evprop_audit_spilled_total", "Audit records flushed into durable batches.", "counter")
+	obs.WriteSample(w, "evprop_audit_spilled_total", nil, float64(st.Spilled))
+	obs.WriteHeader(w, "evprop_audit_batches_total", "Audit batches appended to the store.", "counter")
+	obs.WriteSample(w, "evprop_audit_batches_total", nil, float64(st.Batches))
+	obs.WriteHeader(w, "evprop_audit_store_errors_total", "Failed audit store appends.", "counter")
+	obs.WriteSample(w, "evprop_audit_store_errors_total", nil, float64(st.StoreErrors))
+	obs.WriteHeader(w, "evprop_audit_flush_seconds_total", "Cumulative audit flush (store append) time.", "counter")
+	obs.WriteSample(w, "evprop_audit_flush_seconds_total", nil, st.FlushTotalUsec/1e6)
+	obs.WriteHeader(w, "evprop_audit_flush_max_seconds", "Slowest single audit flush.", "gauge")
+	obs.WriteSample(w, "evprop_audit_flush_max_seconds", nil, st.FlushMaxUsec/1e6)
+	obs.WriteHeader(w, "evprop_audit_segments", "Audit segment files on disk.", "gauge")
+	obs.WriteSample(w, "evprop_audit_segments", nil, float64(st.Segments))
+	obs.WriteHeader(w, "evprop_audit_segment_bytes", "Total audit log size on disk.", "gauge")
+	obs.WriteSample(w, "evprop_audit_segment_bytes", nil, float64(st.Bytes))
+}

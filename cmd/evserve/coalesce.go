@@ -81,8 +81,8 @@ func (s *server) coalescedQuery(ctx context.Context, model string, v *registry.V
 	key := coalesceKey{v: v, sig: sig}
 	co := s.co
 	co.mu.Lock()
-	g, ok := co.groups[key]
-	if !ok {
+	g, rider := co.groups[key]
+	if !rider {
 		g = &coalesceGroup{done: make(chan struct{})}
 		co.groups[key] = g
 		co.mu.Unlock()
@@ -98,16 +98,21 @@ func (s *server) coalescedQuery(ctx context.Context, model string, v *registry.V
 		return nil, ctx.Err()
 	}
 	if g.err != nil {
+		s.auditQuery(ctx, v, req, nil, rider, time.Since(start), g.err)
 		return nil, g.err
 	}
 	resp, err := projectQuery(v.Net, g, req)
 	if err != nil {
+		s.auditQuery(ctx, v, req, nil, rider, time.Since(start), err)
 		return nil, err
 	}
 	resp.Model, resp.Version = model, v.ID
 	elapsed := time.Since(start)
 	s.stats.observe(elapsed)
 	ms.latency.Observe(elapsed)
+	// Riders are audited Cached — they were answered by a window-mate's
+	// propagation, exactly like a cache hit.
+	s.auditQuery(ctx, v, req, resp, rider, elapsed, nil)
 	return resp, nil
 }
 

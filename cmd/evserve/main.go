@@ -38,8 +38,10 @@
 //	GET /v1/stream → Server-Sent Events, one stats+gauges snapshot/second (the feed evtop renders)
 //	GET /v1/healthz → liveness: build info, go version, uptime
 //	GET /v1/readyz  → readiness: 200 while serving, 503 once drain begins
+//	GET /v1/audit  → audit pipeline status: counters, chain head, segment totals
 //	GET /v1/debug/flightrecorder → recent query ring + slow-query captures;
-//	                ?model= selects a model, ?id=q-… filters to one query ID
+//	                ?model= selects a model, ?id=q-… filters to one query ID,
+//	                ?since=<seq>&limit=N pages oldest-first (next_since cursor)
 //
 // Errors are uniform: every failure answers
 // {"error": {"code": …, "message": …, "query_id": …}} with the status
@@ -52,6 +54,11 @@
 // /v1/batch sub-queries arriving within the window into one propagation.
 // -max-inflight bounds concurrently admitted propagating requests (429
 // beyond it).
+//
+// -audit-dir enables the durable query audit: every completed query and MPE
+// request is spilled asynchronously into Merkle-chained, tamper-evident
+// segment files (-audit-batch and -audit-rotate tune batching and rotation;
+// see internal/audit and cmd/evreplay).
 //
 // Every response carries an X-Query-ID header (minted per request, or echoed
 // from the client's own X-Query-ID when it is ≤64 bytes of [A-Za-z0-9._:-];
@@ -74,6 +81,7 @@ import (
 	"time"
 
 	"evprop"
+	"evprop/internal/audit"
 	"evprop/internal/buildinfo"
 	"evprop/internal/registry"
 )
@@ -98,6 +106,9 @@ func main() {
 		recorder  = flag.Int("recorder-size", 0, "flight-recorder ring capacity (0 = default)")
 		cacheSz   = flag.Int("cache-size", 1024, "per-model shared-evidence result cache entries (0 = disable caching)")
 		batchWin  = flag.Duration("batch-window", 0, "coalesce same-evidence /v1/batch sub-queries arriving within this window (0 = off)")
+		auditDir  = flag.String("audit-dir", "", "spill every query into Merkle-chained audit segments in this directory (empty = off)")
+		auditBat  = flag.Int("audit-batch", 0, "audit records per flushed batch (0 = default)")
+		auditRot  = flag.Int64("audit-rotate", 0, "rotate audit segments beyond this many bytes (0 = default)")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -121,8 +132,28 @@ func main() {
 		// Worker pprof labels are readable only through /debug/pprof/, so
 		// they ride the same flag and cost nothing when it is off.
 		PprofLabels: *pprofOn,
+		// Auditing implies full evidence capture in the flight recorder:
+		// the same queries are being persisted anyway, and replay tooling
+		// cross-references the two by evidence signature.
+		RecordEvidence: *auditDir != "",
 	}
 	srv := newMultiServer(opts)
+	if *auditDir != "" {
+		store, err := audit.OpenFileStore(*auditDir, audit.FileStoreOptions{MaxSegmentBytes: *auditRot})
+		if err != nil {
+			srv.close()
+			fmt.Fprintln(os.Stderr, "evserve:", err)
+			os.Exit(1)
+		}
+		srv.audStore = store
+		srv.aud, err = audit.NewWriter(store, audit.Config{BatchSize: *auditBat})
+		if err != nil {
+			srv.close()
+			fmt.Fprintln(os.Stderr, "evserve:", err)
+			os.Exit(1)
+		}
+		srv.auditDir = *auditDir
+	}
 	if *modelsDir != "" {
 		// Directory boot: one model per file, all compiled concurrently.
 		err = srv.reg.LoadDir(*modelsDir)
@@ -161,6 +192,13 @@ func main() {
 	err = serve(ctx, ln, srv, logger)
 	srv.beginDrain() // listener-failure path: Shutdown never ran
 	srv.close()
+	if srv.aud != nil {
+		// Drain and seal the audit log after the last request finished; a
+		// failed final flush is worth a log line but not a dirty exit.
+		if cerr := srv.aud.Close(); cerr != nil {
+			logger.Error("evserve: audit close", slog.String("err", cerr.Error()))
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evserve:", err)
 		os.Exit(1)

@@ -7,11 +7,13 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"evprop"
+	"evprop/internal/audit"
 	"evprop/internal/obs"
 	"evprop/internal/registry"
 )
@@ -58,6 +60,12 @@ type server struct {
 	// cacheOn mirrors the engines' cache configuration so the hot path can
 	// skip cache accounting without asking an engine each time.
 	cacheOn bool
+	// aud, when non-nil, receives one durable audit record per completed
+	// query/MPE (the -audit-dir pipeline; see audit.go). audStore is its
+	// file-segment backend and auditDir the configured directory.
+	aud      *audit.Writer
+	audStore *audit.FileStore
+	auditDir string
 	// sampler takes the 1 s snapshots behind /v1/stream; started is the
 	// uptime epoch reported by /v1/healthz and every snapshot.
 	sampler *obs.Sampler[streamSnapshot]
@@ -189,6 +197,7 @@ func (s *server) mux() *http.ServeMux {
 	// Introspection.
 	route("/v1/stats", "/v1/stats", s.handleStats)
 	route("/v1/metrics", "/v1/metrics", s.handleMetrics)
+	route("/v1/audit", "/v1/audit", s.handleAudit)
 	route("/v1/debug/flightrecorder", "/v1/debug/flightrecorder", s.handleFlightRecorder)
 	// The stream and the health probes stay outside instrument: probes fire
 	// every few seconds and a stream lives for minutes — folding either into
@@ -298,6 +307,7 @@ func (s *server) runQuery(ctx context.Context, v *registry.Version, ms *modelSta
 	ri.noteQuery(len(req.Evidence))
 	res, err := v.Engine.PropagateContext(ctx, req.Evidence)
 	if err != nil {
+		s.auditQuery(ctx, v, req, nil, false, time.Since(start), err)
 		return nil, err
 	}
 	defer res.Close()
@@ -309,6 +319,7 @@ func (s *server) runQuery(ctx context.Context, v *registry.Version, ms *modelSta
 	if resp.PEvidence > 0 {
 		post, err := res.Posteriors(req.Query...)
 		if err != nil {
+			s.auditQuery(ctx, v, req, nil, res.Cached(), time.Since(start), err)
 			return nil, err
 		}
 		resp.Posteriors = post
@@ -316,6 +327,7 @@ func (s *server) runQuery(ctx context.Context, v *registry.Version, ms *modelSta
 	elapsed := time.Since(start)
 	s.stats.observe(elapsed)
 	ms.latency.Observe(elapsed)
+	s.auditQuery(ctx, v, req, resp, res.Cached(), elapsed, nil)
 	return resp, nil
 }
 
@@ -455,6 +467,7 @@ func (s *server) handleMPE(w http.ResponseWriter, r *http.Request) {
 	ri.noteQuery(len(req.Evidence))
 	res, err := v.Engine.PropagateContext(r.Context(), req.Evidence)
 	if err != nil {
+		s.auditMPE(r.Context(), v, req.Evidence, nil, 0, time.Since(start), err)
 		s.writeError(w, r, err)
 		return
 	}
@@ -462,12 +475,14 @@ func (s *server) handleMPE(w http.ResponseWriter, r *http.Request) {
 	ri.noteRun(res.Metrics())
 	assignment, p, err := res.MPE()
 	if err != nil {
+		s.auditMPE(r.Context(), v, req.Evidence, nil, 0, time.Since(start), err)
 		s.writeError(w, r, err)
 		return
 	}
 	elapsed := time.Since(start)
 	s.stats.observe(elapsed)
 	ms.latency.Observe(elapsed)
+	s.auditMPE(r.Context(), v, req.Evidence, assignment, p, elapsed, nil)
 	s.writeJSON(w, mpeResponse{Assignment: assignment, Probability: p, Model: modelFor(r), Version: v.ID})
 }
 
@@ -534,6 +549,9 @@ type statsResponse struct {
 	// Models summarizes every registered model: lifecycle state, version,
 	// and per-model request counters.
 	Models []modelStatsSummary `json:"models"`
+	// Audit reports the durable query-audit pipeline (-audit-dir): spill,
+	// drop and flush counters plus on-disk segment totals.
+	Audit auditStats `json:"audit"`
 }
 
 // modelStatsSummary is one model's row in /v1/stats.
@@ -673,6 +691,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:             s.cacheStats(),
 		Gauges:            eng.SchedulerGauges(),
 		Models:            s.modelSummaries(),
+		Audit:             s.auditStats(),
 	}
 	if resp.Observed > 0 {
 		resp.AvgLatencyUsec = float64(h.Mean()) / 1e3
@@ -796,6 +815,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteSample(w, "evprop_flightrecorder_slow_total", nil, float64(fs.SlowCaptured))
 	obs.WriteHeader(w, "evprop_flightrecorder_slow_threshold_seconds", "Current slow-query capture threshold (0 while calibrating).", "gauge")
 	obs.WriteSample(w, "evprop_flightrecorder_slow_threshold_seconds", nil, fs.SlowThresholdUsec/1e6)
+	s.writeAuditMetrics(w)
 	s.writeGaugeMetrics(w)
 	s.writeModelMetrics(w)
 }
@@ -853,19 +873,48 @@ type flightRecorderResponse struct {
 	Recorder evprop.FlightRecorderStats `json:"recorder"`
 	Records  []evprop.FlightRecord      `json:"records"`
 	Slow     []evprop.SlowQueryCapture  `json:"slow"`
+	// NextSince is the pagination cursor: pass it back as ?since= to
+	// receive only records newer than this page. It repeats the request's
+	// since value when no records matched.
+	NextSince uint64 `json:"next_since"`
 }
 
 // handleFlightRecorder dumps a model's flight recorder (the recorder is
 // scoped per model version — `?model=` selects one, default "default").
 // `?id=q-…` filters both the ring and the slow captures to one query ID —
 // the lookup used to correlate an X-Query-ID response header or
-// access-log line with its scheduler run.
+// access-log line with its scheduler run. `?since=<seq>` returns only
+// records with a strictly greater sequence number and `&limit=N` caps the
+// page (oldest first); together with the response's next_since cursor a
+// poller tails the ring without re-reading records it has already seen.
+// Slow captures are not paginated — the slow ring is small and keyed by
+// its own capture order.
 func (s *server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeErrorCode(w, r, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
-	name := r.URL.Query().Get("model")
+	q := r.URL.Query()
+	var since uint64
+	haveSince := false
+	if raw := q.Get("since"); raw != "" {
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			s.writeErrorCode(w, r, http.StatusBadRequest, "bad_request", "since must be a non-negative integer")
+			return
+		}
+		since, haveSince = n, true
+	}
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			s.writeErrorCode(w, r, http.StatusBadRequest, "bad_request", "limit must be a non-negative integer")
+			return
+		}
+		limit = n
+	}
+	name := q.Get("model")
 	if name == "" {
 		name = defaultModel
 	}
@@ -875,12 +924,13 @@ func (s *server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := flightRecorderResponse{
-		Model:    name,
-		Recorder: v.Engine.FlightRecorderStats(),
-		Records:  v.Engine.RecentQueries(),
-		Slow:     v.Engine.SlowQueryCaptures(),
+		Model:     name,
+		Recorder:  v.Engine.FlightRecorderStats(),
+		Records:   v.Engine.RecentQueries(),
+		Slow:      v.Engine.SlowQueryCaptures(),
+		NextSince: since,
 	}
-	if id := r.URL.Query().Get("id"); id != "" {
+	if id := q.Get("id"); id != "" {
 		var recs []evprop.FlightRecord
 		for _, rec := range resp.Records {
 			if rec.ID == id {
@@ -894,6 +944,23 @@ func (s *server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		resp.Records, resp.Slow = recs, slow
+	}
+	if haveSince {
+		// Records arrive sorted by Seq; keep the strictly-newer suffix.
+		cut := len(resp.Records)
+		for i, rec := range resp.Records {
+			if rec.Seq > since {
+				cut = i
+				break
+			}
+		}
+		resp.Records = resp.Records[cut:]
+	}
+	if limit > 0 && len(resp.Records) > limit {
+		resp.Records = resp.Records[:limit]
+	}
+	if n := len(resp.Records); n > 0 {
+		resp.NextSince = resp.Records[n-1].Seq
 	}
 	s.writeJSON(w, resp)
 }

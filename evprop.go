@@ -199,6 +199,13 @@ type Options struct {
 	// endpoints, so enable this alongside them (evserve does when run with
 	// -pprof).
 	PprofLabels bool
+	// RecordEvidence retains each query's full evidence map in its flight
+	// record — in addition to the canonical evidence signature, which is
+	// always recorded — so recorded queries can be re-executed verbatim
+	// (durable audit replay; evserve enables this when run with
+	// -audit-dir). Off by default: the evidence map is the one
+	// flight-record field whose size the client controls.
+	RecordEvidence bool
 }
 
 // Engine answers posterior queries over a compiled network. An Engine is
@@ -502,6 +509,7 @@ func (n *Network) Compile(opts Options) (*Engine, error) {
 		Recorder:           recorder,
 		CacheSize:          opts.CacheSize,
 		PprofLabels:        opts.PprofLabels,
+		RecordEvidence:     opts.RecordEvidence,
 	})
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package evprop
 
 import (
 	"context"
+	"encoding/hex"
 	"time"
 
 	"evprop/internal/obs"
@@ -56,6 +57,13 @@ type FlightRecord struct {
 	// Cached marks queries served from the shared-evidence result cache
 	// (no scheduler ran for them).
 	Cached bool `json:"cached"`
+	// EvidenceSig is the canonical evidence signature (hex) of the query's
+	// inputs — the result-cache key, and the handle audit replay uses to
+	// correlate identical queries.
+	EvidenceSig string `json:"evidence_sig,omitempty"`
+	// Evidence is the query's full observed-variable map, present only on
+	// engines compiled with Options.RecordEvidence.
+	Evidence map[string]int `json:"evidence,omitempty"`
 }
 
 // TraceEvent is one executed scheduler item in a slow-query capture's
@@ -135,7 +143,7 @@ func (e *Engine) RecentQueries() []FlightRecord {
 	recs := fr.Snapshot()
 	out := make([]FlightRecord, len(recs))
 	for i := range recs {
-		out[i] = publicRecord(&recs[i])
+		out[i] = e.publicRecord(&recs[i])
 	}
 	return out
 }
@@ -152,7 +160,7 @@ func (e *Engine) SlowQueryCaptures() []SlowQueryCapture {
 	for i := range caps {
 		sc := &caps[i]
 		pc := SlowQueryCapture{
-			Record:        publicRecord(&sc.Record),
+			Record:        e.publicRecord(&sc.Record),
 			ThresholdUsec: usec(sc.Threshold),
 		}
 		if sc.Report != nil {
@@ -174,8 +182,11 @@ func (e *Engine) recorder() *obs.FlightRecorder {
 	return e.inner.Recorder()
 }
 
-func publicRecord(r *obs.QueryRecord) FlightRecord {
-	return FlightRecord{
+// publicRecord converts a recorder entry to the public shape, translating
+// internal variable ids back to their names (the recorder below the
+// network layer knows only ids).
+func (e *Engine) publicRecord(r *obs.QueryRecord) FlightRecord {
+	out := FlightRecord{
 		Seq:               r.Seq,
 		ID:                r.ID,
 		Time:              r.Time,
@@ -189,7 +200,15 @@ func publicRecord(r *obs.QueryRecord) FlightRecord {
 		Error:             r.Err,
 		Slow:              r.Slow,
 		Cached:            r.Cached,
+		EvidenceSig:       hex.EncodeToString([]byte(r.EvidenceSig)),
 	}
+	if len(r.Evidence) > 0 {
+		out.Evidence = make(map[string]int, len(r.Evidence))
+		for id, state := range r.Evidence {
+			out.Evidence[e.net.inner.Name(id)] = state
+		}
+	}
+	return out
 }
 
 func publicTrace(tr *sched.Trace) []TraceEvent {

@@ -197,3 +197,79 @@ func TestPprofLabelsOption(t *testing.T) {
 		eng.Close()
 	}
 }
+
+// TestFlightRecorderEvidenceCapture: every record carries the canonical
+// evidence signature; the full evidence map (translated back to variable
+// names) appears only on engines compiled with RecordEvidence — including
+// on cache-served records, which replay needs just as much as propagated
+// ones.
+func TestFlightRecorderEvidenceCapture(t *testing.T) {
+	eng, err := Asia().Compile(Options{Workers: 2, RecordEvidence: true, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < 2; i++ { // second run is a cache hit
+		res, err := eng.Propagate(Evidence{"XRay": 1, "Asia": 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Close()
+	}
+	res, err := eng.Propagate(Evidence{"XRay": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+
+	recs := eng.RecentQueries()
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want 3", len(recs))
+	}
+	if !recs[1].Cached || recs[2].Cached {
+		t.Fatalf("cached flags: %v %v", recs[1].Cached, recs[2].Cached)
+	}
+	for i, r := range recs {
+		if r.EvidenceSig == "" {
+			t.Errorf("record %d has no evidence signature", i)
+		}
+		if len(r.Evidence) == 0 {
+			t.Errorf("record %d has no evidence map", i)
+		}
+	}
+	if recs[0].EvidenceSig != recs[1].EvidenceSig {
+		t.Error("identical queries got different signatures")
+	}
+	if recs[2].EvidenceSig == recs[0].EvidenceSig {
+		t.Error("different queries share a signature")
+	}
+	want := map[string]int{"XRay": 1, "Asia": 0}
+	for k, v := range want {
+		if recs[0].Evidence[k] != v {
+			t.Errorf("evidence[%s] = %d, want %d", k, recs[0].Evidence[k], v)
+		}
+	}
+	if len(recs[0].Evidence) != len(want) {
+		t.Errorf("evidence %v, want %v", recs[0].Evidence, want)
+	}
+
+	// Without RecordEvidence the signature is still there but the map is
+	// not.
+	lean, err := Asia().Compile(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lean.Close()
+	res, err = lean.Propagate(Evidence{"XRay": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+	lr := lean.RecentQueries()
+	if len(lr) != 1 || lr[0].EvidenceSig == "" {
+		t.Fatalf("lean records: %+v", lr)
+	}
+	if lr[0].Evidence != nil {
+		t.Errorf("lean engine recorded evidence: %v", lr[0].Evidence)
+	}
+}

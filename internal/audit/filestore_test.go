@@ -1,0 +1,258 @@
+package audit
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func fileBatches(t *testing.T, dir string) []*Batch {
+	t.Helper()
+	batches, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return batches
+}
+
+func writeThrough(t *testing.T, dir string, cfg Config, fsOpts FileStoreOptions, ids ...string) {
+	t.Helper()
+	fs, err := OpenFileStore(dir, fsOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		w.Enqueue(&Record{ID: id, Model: "m"})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func idsOf(t *testing.T, batches []*Batch) []string {
+	t.Helper()
+	var out []string
+	for _, b := range batches {
+		recs, err := DecodeBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			out = append(out, r.ID)
+		}
+	}
+	return out
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeThrough(t, dir, Config{BatchSize: 3, FlushAge: time.Hour}, FileStoreOptions{}, "a", "b", "c", "d", "e", "f", "g")
+	batches := fileBatches(t, dir)
+	if err := VerifyChain(batches); err != nil {
+		t.Fatal(err)
+	}
+	got := idsOf(t, batches)
+	want := []string{"a", "b", "c", "d", "e", "f", "g"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFileStoreRotationBoundary: a tiny size bound must split batches
+// across segment files exactly at append boundaries, with the chain
+// verifying across the segment split and every batch recovered.
+func TestFileStoreRotationBoundary(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir, FileStoreOptions{MaxSegmentBytes: 1}) // rotate after every batch
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(fs, Config{BatchSize: 2, FlushAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		w.Enqueue(&Record{ID: string(rune('a' + i))})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := segmentNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 5 {
+		t.Fatalf("got %d segments (%v), want 5", len(names), names)
+	}
+	batches := fileBatches(t, dir)
+	if len(batches) != 5 {
+		t.Fatalf("got %d batches", len(batches))
+	}
+	if err := VerifyChain(batches); err != nil {
+		t.Fatal(err)
+	}
+	if got := idsOf(t, batches); len(got) != 10 {
+		t.Fatalf("recovered %d records", len(got))
+	}
+}
+
+// TestFileStoreResume: reopening a directory continues the chain — batch
+// sequences, record sequences and the prev-root all carry on, and the
+// combined log verifies end to end.
+func TestFileStoreResume(t *testing.T) {
+	dir := t.TempDir()
+	writeThrough(t, dir, Config{BatchSize: 2, FlushAge: time.Hour}, FileStoreOptions{}, "a", "b", "c", "d")
+	writeThrough(t, dir, Config{BatchSize: 2, FlushAge: time.Hour}, FileStoreOptions{}, "e", "f")
+	batches := fileBatches(t, dir)
+	if err := VerifyChain(batches); err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 3 {
+		t.Fatalf("got %d batches", len(batches))
+	}
+	for i, b := range batches {
+		if b.Seq != uint64(i) {
+			t.Fatalf("batch %d has seq %d", i, b.Seq)
+		}
+	}
+	ids := idsOf(t, batches)
+	if len(ids) != 6 || ids[4] != "e" || ids[5] != "f" {
+		t.Fatalf("ids: %v", ids)
+	}
+	last := batches[2]
+	recs, err := DecodeBatch(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Seq != 4 {
+		t.Fatalf("resumed record seq %d, want 4", recs[0].Seq)
+	}
+}
+
+// TestFileStoreCrashRecovery: a torn tail frame (crash mid-write) is
+// truncated on reopen; every batch whose append completed survives, and
+// the writer resumes cleanly after the truncation.
+func TestFileStoreCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	writeThrough(t, dir, Config{BatchSize: 2, FlushAge: time.Hour}, FileStoreOptions{}, "a", "b", "c", "d", "e", "f")
+	names, err := segmentNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, names[len(names)-1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last frame: keep its length prefix and half its body.
+	batches := fileBatches(t, dir)
+	if len(batches) != 3 {
+		t.Fatalf("setup: %d batches", len(batches))
+	}
+	lastFrame := len(encodeFrame(batches[2]))
+	if err := os.WriteFile(path, data[:len(data)-lastFrame/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err := OpenFileStore(dir, FileStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, nextBatch, nextRecord, err := fs.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nextBatch != 2 || nextRecord != 4 {
+		t.Fatalf("resume: nextBatch %d nextRecord %d", nextBatch, nextRecord)
+	}
+	w, err := NewWriter(fs, Config{BatchSize: 2, FlushAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Enqueue(&Record{ID: "g"})
+	w.Enqueue(&Record{ID: "h"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := fileBatches(t, dir)
+	if err := VerifyChain(recovered); err != nil {
+		t.Fatal(err)
+	}
+	ids := idsOf(t, recovered)
+	want := []string{"a", "b", "c", "d", "g", "h"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids: %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids: %v, want %v", ids, want)
+		}
+	}
+}
+
+// TestFileStoreTamper: flipping a single byte anywhere in a stored
+// record, root or prev-root must fail offline verification; flipping
+// framing bytes must fail the read or lose batches (never read back a
+// chain that claims the original, complete content).
+func TestFileStoreTamper(t *testing.T) {
+	dir := t.TempDir()
+	writeThrough(t, dir, Config{BatchSize: 2, FlushAge: time.Hour}, FileStoreOptions{}, "a", "b", "c", "d")
+	names, err := segmentNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, names[0])
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBatches := len(fileBatches(t, dir))
+	wantIDs := idsOf(t, fileBatches(t, dir))
+	detected := 0
+	for off := 0; off < len(orig); off++ {
+		mut := append([]byte(nil), orig...)
+		mut[off] ^= 0x01
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		batches, err := ReadDir(dir)
+		if err != nil {
+			detected++ // structural damage: read refuses
+			continue
+		}
+		if err := VerifyChain(batches); err != nil {
+			detected++ // content damage: chain refuses
+			continue
+		}
+		// The read succeeded and the chain verified: the only acceptable
+		// outcome is a shorter log (framing flip read as a torn tail —
+		// indistinguishable from a crash, and visibly missing batches).
+		if len(batches) >= wantBatches {
+			ids := idsOf(t, batches)
+			same := len(ids) == len(wantIDs)
+			for i := 0; same && i < len(ids); i++ {
+				same = ids[i] == wantIDs[i]
+			}
+			if same {
+				t.Fatalf("flip at offset %d fully undetected", off)
+			}
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no flip was detected by verification")
+	}
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package audit
+
+import "sync"
+
+// Store is where the writer appends flushed batches. Implementations own
+// durability; the writer owns batching, hashing and chaining. Append is
+// called from the writer's single drainer goroutine, never concurrently.
+type Store interface {
+	// Append persists one batch. An error is surfaced in the writer's
+	// stats and the batch is dropped (the chain skips nothing: the next
+	// flush reuses the same batch sequence and prev-root).
+	Append(b *Batch) error
+	// Close flushes and releases the store.
+	Close() error
+}
+
+// Resumer is the optional store capability of continuing an existing
+// chain: a writer over a Resumer picks up the previous run's last root
+// and sequence numbers instead of restarting from zero.
+type Resumer interface {
+	// Resume reports the chain state to continue from: the last persisted
+	// batch's root and the next batch and record sequence numbers (all
+	// zero for an empty store).
+	Resume() (prevRoot [HashSize]byte, nextBatch, nextRecord uint64, err error)
+}
+
+// MemStore retains batches in memory — the test backend, and the
+// benchmark backend when measuring writer overhead apart from disk.
+type MemStore struct {
+	mu      sync.Mutex
+	batches []*Batch
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Append implements Store.
+func (s *MemStore) Append(b *Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches = append(s.batches, b)
+	return nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// Batches snapshots the appended batches in order.
+func (s *MemStore) Batches() []*Batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Batch(nil), s.batches...)
+}

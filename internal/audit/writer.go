@@ -1,0 +1,346 @@
+package audit
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Writer drains audit records from a wait-free ring into Merkle-chained
+// batches on a Store.
+//
+// The contract mirrors the flight recorder's: Enqueue never blocks and
+// never takes a lock — one atomic fetch-add claims a slot, one atomic
+// pointer store publishes the record — so the serving hot path pays the
+// same ~0.1% budget whether the ring is empty or saturated. When
+// producers outrun the drainer the ring overwrites; the drainer detects
+// every overwritten slot by its sequence number and counts it in Dropped.
+// Losing records under backpressure is the designed failure mode; losing
+// them silently is not.
+//
+// One background goroutine drains the ring, accumulates a batch, and
+// flushes to the store when the batch fills (Config.BatchSize) or ages
+// out (Config.FlushAge). Each flush computes the batch's Merkle root over
+// the canonical record encodings and chains it to the previous root.
+type Writer struct {
+	store Store
+	cfg   Config
+
+	ring []atomic.Pointer[Record]
+	mask uint64
+	// head is the producers' ticket counter: record i of this process
+	// gets sequence seqBase+i. tail is owned by the drainer.
+	head    atomic.Uint64
+	seqBase uint64
+	tail    uint64
+
+	// Stats. dropped/batches/records/flushes/storeErrors and the flush
+	// latency pair are written by the drainer and read by Stats callers.
+	dropped      atomic.Uint64
+	batches      atomic.Uint64
+	records      atomic.Uint64
+	storeErrors  atomic.Uint64
+	flushNsTotal atomic.Int64
+	flushNsMax   atomic.Int64
+	lastErr      atomic.Pointer[string]
+	lastRoot     atomic.Pointer[[HashSize]byte]
+
+	// Drainer state.
+	batchSeq  uint64
+	prevRoot  [HashSize]byte
+	pending   []*Record
+	pendingAt time.Time // when pending[0] was drained
+	flushReq  chan chan struct{}
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce atomic.Bool
+}
+
+// Config tunes the writer. Zero values select the defaults.
+type Config struct {
+	// BatchSize flushes a batch once it holds this many records
+	// (default 64).
+	BatchSize int
+	// FlushAge flushes a partial batch once its oldest record has waited
+	// this long (default 1s), bounding how much a crash can lose.
+	FlushAge time.Duration
+	// RingSize is the enqueue ring capacity, rounded up to a power of two
+	// (default 4096). Producers more than RingSize records ahead of the
+	// drainer overwrite; overwritten records count as dropped.
+	RingSize int
+}
+
+const (
+	defaultBatchSize = 64
+	defaultFlushAge  = time.Second
+	defaultRingSize  = 4096
+)
+
+// NewWriter starts a writer over the store. If the store can Resume, the
+// writer continues the persisted chain: batch and record sequences and
+// the previous root carry on where the last run stopped.
+func NewWriter(store Store, cfg Config) (*Writer, error) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = defaultBatchSize
+	}
+	if cfg.FlushAge <= 0 {
+		cfg.FlushAge = defaultFlushAge
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = defaultRingSize
+	}
+	size := 1
+	for size < cfg.RingSize {
+		size <<= 1
+	}
+	w := &Writer{
+		store:    store,
+		cfg:      cfg,
+		ring:     make([]atomic.Pointer[Record], size),
+		mask:     uint64(size - 1),
+		flushReq: make(chan chan struct{}),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if r, ok := store.(Resumer); ok {
+		prevRoot, nextBatch, nextRecord, err := r.Resume()
+		if err != nil {
+			return nil, fmt.Errorf("audit: resume: %w", err)
+		}
+		w.prevRoot, w.batchSeq, w.seqBase = prevRoot, nextBatch, nextRecord
+		if nextBatch > 0 {
+			root := prevRoot
+			w.lastRoot.Store(&root)
+		}
+	}
+	go w.drainLoop()
+	return w, nil
+}
+
+// Enqueue publishes one record for spilling. It is wait-free and safe
+// from any number of goroutines: one fetch-add, one pointer store. The
+// writer owns the record afterwards; callers must not mutate it. Records
+// enqueued when producers are a full ring ahead of the drainer replace
+// older undrained records, which the drainer counts as dropped.
+func (w *Writer) Enqueue(r *Record) {
+	ticket := w.head.Add(1) - 1
+	r.Seq = w.seqBase + ticket
+	w.ring[ticket&w.mask].Store(r)
+}
+
+// Flush drains everything currently enqueued and flushes any pending
+// batch, blocking until the store append completes — the determinism
+// hook for tests and for scrape-consistent stats.
+func (w *Writer) Flush() {
+	ack := make(chan struct{})
+	select {
+	case w.flushReq <- ack:
+		<-ack
+	case <-w.done:
+	}
+}
+
+// Close drains outstanding records, flushes the final batch, and closes
+// the store. Records enqueued concurrently with Close may be dropped
+// (and counted); callers should stop producers first — evserve closes
+// the writer only after the HTTP server has drained.
+func (w *Writer) Close() error {
+	if w.closeOnce.Swap(true) {
+		<-w.done
+		return nil
+	}
+	close(w.stop)
+	<-w.done
+	return w.store.Close()
+}
+
+// WriterStats is a point-in-time snapshot of the writer's counters.
+type WriterStats struct {
+	// Enqueued counts records handed to Enqueue; Dropped the subset lost
+	// to ring overwrite backpressure (Spilled = Enqueued - Dropped -
+	// in-flight).
+	Enqueued uint64 `json:"enqueued"`
+	Dropped  uint64 `json:"dropped"`
+	// Spilled counts records flushed into batches, and Batches the
+	// batches appended to the store.
+	Spilled uint64 `json:"spilled"`
+	Batches uint64 `json:"batches"`
+	// StoreErrors counts failed appends (those batches are lost and their
+	// records counted dropped); LastError is the most recent failure.
+	StoreErrors uint64 `json:"store_errors"`
+	LastError   string `json:"last_error,omitempty"`
+	// FlushTotalUsec and FlushMaxUsec aggregate store-append latency.
+	FlushTotalUsec float64 `json:"flush_total_usec"`
+	FlushMaxUsec   float64 `json:"flush_max_usec"`
+	// LastRoot is the chain head — the most recently flushed batch's
+	// Merkle root, hex-encoded ("" before the first flush).
+	LastRoot string `json:"last_root,omitempty"`
+}
+
+// Stats snapshots the writer's counters. Safe concurrently with Enqueue
+// and the drainer.
+func (w *Writer) Stats() WriterStats {
+	st := WriterStats{
+		Enqueued:       w.head.Load(),
+		Dropped:        w.dropped.Load(),
+		Spilled:        w.records.Load(),
+		Batches:        w.batches.Load(),
+		StoreErrors:    w.storeErrors.Load(),
+		FlushTotalUsec: float64(w.flushNsTotal.Load()) / 1e3,
+		FlushMaxUsec:   float64(w.flushNsMax.Load()) / 1e3,
+	}
+	if p := w.lastErr.Load(); p != nil {
+		st.LastError = *p
+	}
+	if p := w.lastRoot.Load(); p != nil {
+		st.LastRoot = hex.EncodeToString(p[:])
+	}
+	return st
+}
+
+// drainLoop is the single consumer: poll the ring, batch, flush.
+func (w *Writer) drainLoop() {
+	defer close(w.done)
+	interval := w.cfg.FlushAge / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	if interval > 250*time.Millisecond {
+		interval = 250 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			w.drain()
+			if len(w.pending) > 0 && time.Since(w.pendingAt) >= w.cfg.FlushAge {
+				w.flush()
+			}
+		case ack := <-w.flushReq:
+			w.drain()
+			if len(w.pending) > 0 {
+				w.flush()
+			}
+			close(ack)
+		case <-w.stop:
+			w.finalDrain()
+			if len(w.pending) > 0 {
+				w.flush()
+			}
+			return
+		}
+	}
+}
+
+// drain consumes published records from tail toward head, stopping at
+// the first slot whose record has not been published yet (order is
+// preserved; the producer holding that ticket is mid-store). A slot
+// holding a *newer* sequence than expected means the expected record was
+// overwritten before it could be read: it is counted dropped and the
+// scan continues.
+func (w *Writer) drain() {
+	for {
+		head := w.head.Load()
+		if w.tail == head {
+			return
+		}
+		// Producers a full lap ahead have already overwritten everything
+		// below head-ring: fast-forward instead of inspecting doomed slots
+		// one by one.
+		if head-w.tail > uint64(len(w.ring)) {
+			skip := head - uint64(len(w.ring)) - w.tail
+			w.dropped.Add(skip)
+			w.tail += skip
+		}
+		r := w.ring[w.tail&w.mask].Load()
+		if r == nil {
+			return // slot never published
+		}
+		expect := w.seqBase + w.tail
+		switch {
+		case r.Seq < expect:
+			// A previous lap's record: this lap's producer claimed the
+			// ticket but has not stored yet. Wait for it.
+			return
+		case r.Seq > expect:
+			// Our record was overwritten by a later lap before we got here.
+			w.dropped.Add(1)
+			w.tail++
+			continue
+		}
+		if len(w.pending) == 0 {
+			w.pendingAt = time.Now()
+		}
+		w.pending = append(w.pending, r)
+		w.tail++
+		if len(w.pending) >= w.cfg.BatchSize {
+			w.flush()
+		}
+	}
+}
+
+// finalDrain is drain for shutdown: a slot that stays unpublished is a
+// producer that died between claiming a ticket and storing — after a
+// bounded wait the remaining claims are counted dropped rather than
+// stalling Close forever.
+func (w *Writer) finalDrain() {
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for {
+		w.drain()
+		head := w.head.Load()
+		if w.tail == head {
+			return
+		}
+		if time.Now().After(deadline) {
+			w.dropped.Add(head - w.tail)
+			w.tail = head
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// flush encodes the pending records, roots and chains the batch, and
+// appends it to the store. A failed append drops the batch and counts
+// its records: the next batch reuses this sequence number and prev-root,
+// keeping the persisted chain contiguous.
+func (w *Writer) flush() {
+	payloads := make([][]byte, len(w.pending))
+	for i, r := range w.pending {
+		payloads[i] = r.Encode()
+	}
+	b := &Batch{
+		Seq:          w.batchSeq,
+		TimeUnixNano: time.Now().UnixNano(),
+		FirstSeq:     w.pending[0].Seq,
+		LastSeq:      w.pending[len(w.pending)-1].Seq,
+		PrevRoot:     w.prevRoot,
+		Records:      payloads,
+	}
+	b.Root = BatchRoot(b)
+	root := b.Root
+	n := len(w.pending)
+	w.pending = w.pending[:0]
+	start := time.Now()
+	err := w.store.Append(b)
+	ns := time.Since(start).Nanoseconds()
+	w.flushNsTotal.Add(ns)
+	if ns > w.flushNsMax.Load() {
+		w.flushNsMax.Store(ns)
+	}
+	if err != nil {
+		w.storeErrors.Add(1)
+		w.dropped.Add(uint64(n))
+		msg := err.Error()
+		w.lastErr.Store(&msg)
+		return
+	}
+	w.prevRoot = root
+	w.batchSeq++
+	w.batches.Add(1)
+	w.records.Add(uint64(n))
+	rootCopy := root
+	w.lastRoot.Store(&rootCopy)
+}

@@ -1,0 +1,222 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWriterSpillsInOrder(t *testing.T) {
+	store := NewMemStore()
+	w, err := NewWriter(store, Config{BatchSize: 8, FlushAge: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		w.Enqueue(&Record{Model: "m", ID: fmt.Sprintf("q-%d", i)})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Enqueued != n || st.Dropped != 0 || st.Spilled != n {
+		t.Fatalf("stats: %+v", st)
+	}
+	batches := store.Batches()
+	if err := VerifyChain(batches); err != nil {
+		t.Fatal(err)
+	}
+	var seq uint64
+	for _, b := range batches {
+		recs, err := DecodeBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if r.Seq != seq {
+				t.Fatalf("record seq %d, want %d", r.Seq, seq)
+			}
+			seq++
+		}
+	}
+	if seq != n {
+		t.Fatalf("recovered %d records, want %d", seq, n)
+	}
+}
+
+// TestWriterConcurrentSpill is the -race spill-under-load test: many
+// producers hammer Enqueue while the drainer flushes. Every record must
+// be either spilled or counted dropped — none lost silently — and the
+// persisted chain must verify.
+func TestWriterConcurrentSpill(t *testing.T) {
+	store := NewMemStore()
+	w, err := NewWriter(store, Config{BatchSize: 32, FlushAge: time.Millisecond, RingSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 8
+	const perProducer = 2000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				w.Enqueue(&Record{Model: "m", Version: int64(p), PEvidence: float64(i)})
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Enqueued != producers*perProducer {
+		t.Fatalf("enqueued %d, want %d", st.Enqueued, producers*perProducer)
+	}
+	if st.Spilled+st.Dropped != st.Enqueued {
+		t.Fatalf("spilled %d + dropped %d != enqueued %d", st.Spilled, st.Dropped, st.Enqueued)
+	}
+	batches := store.Batches()
+	if err := VerifyChain(batches); err != nil {
+		t.Fatal(err)
+	}
+	var total, prevSeq uint64
+	first := true
+	for _, b := range batches {
+		recs, err := DecodeBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += uint64(len(recs))
+		for _, r := range recs {
+			if !first && r.Seq <= prevSeq {
+				t.Fatalf("record seq %d after %d: order violated", r.Seq, prevSeq)
+			}
+			prevSeq, first = r.Seq, false
+		}
+	}
+	if total != st.Spilled {
+		t.Fatalf("store holds %d records, stats say %d", total, st.Spilled)
+	}
+}
+
+// TestWriterBackpressureDrops: a ring much smaller than the burst, with
+// the drainer unable to keep up, must drop — and count every drop.
+func TestWriterBackpressureDrops(t *testing.T) {
+	store := &slowStore{MemStore: NewMemStore(), delay: 5 * time.Millisecond}
+	w, err := NewWriter(store, Config{BatchSize: 4, FlushAge: time.Millisecond, RingSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		w.Enqueue(&Record{ID: fmt.Sprintf("q-%d", i)})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("expected drops under backpressure")
+	}
+	if st.Spilled+st.Dropped != n {
+		t.Fatalf("spilled %d + dropped %d != %d", st.Spilled, st.Dropped, n)
+	}
+	if err := VerifyChain(store.Batches()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type slowStore struct {
+	*MemStore
+	delay time.Duration
+}
+
+func (s *slowStore) Append(b *Batch) error {
+	time.Sleep(s.delay)
+	return s.MemStore.Append(b)
+}
+
+// TestWriterFlushAge: a partial batch must flush once it ages out, not
+// wait for BatchSize.
+func TestWriterFlushAge(t *testing.T) {
+	store := NewMemStore()
+	w, err := NewWriter(store, Config{BatchSize: 1 << 20, FlushAge: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.Enqueue(&Record{ID: "lonely"})
+	deadline := time.Now().Add(2 * time.Second)
+	for len(store.Batches()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("aged batch never flushed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWriterStoreError: failed appends surface in stats, count their
+// records dropped, and keep the chain contiguous for later batches.
+func TestWriterStoreError(t *testing.T) {
+	store := &flakyStore{MemStore: NewMemStore(), failures: 1}
+	w, err := NewWriter(store, Config{BatchSize: 2, FlushAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Enqueue(&Record{ID: "a"})
+	w.Enqueue(&Record{ID: "b"})
+	w.Flush() // first batch: append fails
+	w.Enqueue(&Record{ID: "c"})
+	w.Enqueue(&Record{ID: "d"})
+	w.Flush() // second batch: append succeeds
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.StoreErrors != 1 || st.LastError == "" {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Dropped != 2 || st.Spilled != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	batches := store.Batches()
+	if len(batches) != 1 || batches[0].Seq != 0 {
+		t.Fatalf("batches: %+v", batches)
+	}
+	if err := VerifyChain(batches); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type flakyStore struct {
+	*MemStore
+	failures int
+}
+
+func (s *flakyStore) Append(b *Batch) error {
+	if s.failures > 0 {
+		s.failures--
+		return errors.New("disk on fire")
+	}
+	return s.MemStore.Append(b)
+}
+
+func TestWriterFlushIdleAndAfterClose(t *testing.T) {
+	w, err := NewWriter(NewMemStore(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Flush() // nothing pending: must not deadlock
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush() // after close: must not deadlock
+	if err := w.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+}

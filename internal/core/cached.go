@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"maps"
 	"time"
 
 	"evprop/internal/cache"
@@ -57,7 +58,7 @@ func (e *Engine) propagateCached(ctx context.Context, ev potential.Evidence, lik
 	start := time.Now()
 	sig := cache.Signature(byte(mode), ev, like)
 	if v, ok := e.cache.Get(sig); ok {
-		e.recordCached(ctx, mode.String(), len(ev), time.Since(start))
+		e.recordCached(ctx, mode.String(), sig, ev, time.Since(start))
 		return v.(*Result), true, nil
 	}
 	// The generation is read before the propagation starts: should an
@@ -78,7 +79,7 @@ func (e *Engine) propagateCached(ctx context.Context, ev potential.Evidence, lik
 	}
 	if shared {
 		e.collapsed.Add(1)
-		e.recordCached(ctx, mode.String(), len(ev), time.Since(start))
+		e.recordCached(ctx, mode.String(), sig, ev, time.Since(start))
 	}
 	return v.(*Result), shared, nil
 }
@@ -87,7 +88,7 @@ func (e *Engine) propagateCached(ctx context.Context, ev potential.Evidence, lik
 // recorder, marked Cached. No scheduler ran, so there are no metrics, the
 // latency (a lookup, or a singleflight wait) stays out of the adaptive
 // slow-threshold histogram, and the record can never be captured as slow.
-func (e *Engine) recordCached(ctx context.Context, mode string, evVars int, elapsed time.Duration) {
+func (e *Engine) recordCached(ctx context.Context, mode, sig string, ev potential.Evidence, elapsed time.Duration) {
 	rec := e.opts.Recorder
 	if rec == nil {
 		return
@@ -96,13 +97,18 @@ func (e *Engine) recordCached(ctx context.Context, mode string, evVars int, elap
 	if id == "" {
 		id = obs.NewQueryID()
 	}
-	rec.RecordRun(obs.RunInfo{
+	info := obs.RunInfo{
 		ID:           id,
 		Mode:         mode,
-		EvidenceVars: evVars,
+		EvidenceVars: len(ev),
 		Elapsed:      elapsed,
 		Cached:       true,
-	}, nil)
+		EvidenceSig:  sig,
+	}
+	if e.opts.RecordEvidence {
+		info.Evidence = maps.Clone(ev)
+	}
+	rec.RecordRun(info, nil)
 }
 
 // EvidenceSignature returns the sum-product cache key of an evidence

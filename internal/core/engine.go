@@ -16,6 +16,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"maps"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -109,6 +110,12 @@ type Options struct {
 	// per item costs a few percent of propagation throughput, so callers
 	// enable this only when those endpoints are exposed.
 	PprofLabels bool
+	// RecordEvidence retains each run's full evidence map in its flight
+	// record, in addition to the always-present canonical signature, so
+	// recorded queries are re-executable (audit replay). Off by default:
+	// the evidence map is the one flight-record field whose size the
+	// client controls.
+	RecordEvidence bool
 }
 
 // ErrReleased is returned by Result methods after Release recycled the
@@ -386,7 +393,7 @@ func (e *Engine) propagateFull(ctx context.Context, ev potential.Evidence, like 
 	start := time.Now()
 	m, err := e.runScheduler(ctx, id, st)
 	elapsed := time.Since(start)
-	e.recordRun(id, mode.String(), len(ev), elapsed, m, err)
+	e.recordRun(id, mode.String(), byte(mode), ev, like, elapsed, m, err)
 	if err != nil {
 		// The state may still be referenced by pool workers draining the
 		// failed run's queue — drop it to the GC instead of recycling.
@@ -415,7 +422,7 @@ func (e *Engine) queryID(ctx context.Context) string {
 // (rather than requested via Options.Trace) are stripped from the metrics
 // afterwards: slow runs' traces now belong to the recorder, fast runs'
 // traces are dead weight.
-func (e *Engine) recordRun(id, mode string, evVars int, elapsed time.Duration, m *sched.Metrics, runErr error) {
+func (e *Engine) recordRun(id, mode string, sigMode byte, ev potential.Evidence, like potential.Likelihood, elapsed time.Duration, m *sched.Metrics, runErr error) {
 	rec := e.opts.Recorder
 	if rec == nil {
 		return
@@ -428,13 +435,18 @@ func (e *Engine) recordRun(id, mode string, evVars int, elapsed time.Duration, m
 		// the rest to the GC with the run.
 		m = nil
 	}
-	rec.RecordRun(obs.RunInfo{
+	info := obs.RunInfo{
 		ID:           id,
 		Mode:         mode,
-		EvidenceVars: evVars,
+		EvidenceVars: len(ev),
 		Elapsed:      elapsed,
 		Err:          runErr,
-	}, m)
+		EvidenceSig:  cache.Signature(sigMode, ev, like),
+	}
+	if e.opts.RecordEvidence {
+		info.Evidence = maps.Clone(ev)
+	}
+	rec.RecordRun(info, m)
 	if m != nil && !e.opts.Trace {
 		// The trace existed only for the recorder. If the run was slow the
 		// recorder finalized and kept it; otherwise Release recycles its
@@ -556,7 +568,7 @@ func (e *Engine) CollectMarginalContext(ctx context.Context, ev potential.Eviden
 	id := e.queryID(ctx)
 	start := time.Now()
 	sm, err := e.runScheduler(ctx, id, st)
-	e.recordRun(id, "collect", len(ev), time.Since(start), sm, err)
+	e.recordRun(id, "collect", byte(taskgraph.SumProduct), ev, nil, time.Since(start), sm, err)
 	if err != nil {
 		return nil, err // state possibly still referenced; drop it
 	}

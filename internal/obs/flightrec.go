@@ -77,6 +77,14 @@ type QueryRecord struct {
 	// (a hit, or a singleflight waiter collapsed onto another caller's
 	// propagation): no scheduler ran for them.
 	Cached bool
+	// EvidenceSig is the canonical signature of the run's inputs (the
+	// result-cache key): the handle that correlates identical queries and
+	// lets audit replay match a record to its evidence configuration.
+	EvidenceSig string
+	// Evidence is the full observed-variable map (internal ids), retained
+	// only when the engine records evidence (audit mode) — it is the one
+	// field whose size the client controls.
+	Evidence map[int]int
 }
 
 // SlowCapture retains everything known about one slow propagation: the
@@ -120,6 +128,10 @@ type RunInfo struct {
 	// drag the adaptive slow threshold down to where every real
 	// propagation reads as slow — and are never captured as slow.
 	Cached bool
+	// EvidenceSig and Evidence land in the record verbatim; see
+	// QueryRecord. The recorder owns Evidence after RecordRun.
+	EvidenceSig string
+	Evidence    map[int]int
 }
 
 // SlowThreshold returns the capture threshold currently in force: the
@@ -148,6 +160,8 @@ func (fr *FlightRecorder) RecordRun(info RunInfo, m *sched.Metrics) (slow bool) 
 		EvidenceVars: info.EvidenceVars,
 		Elapsed:      info.Elapsed,
 		Cached:       info.Cached,
+		EvidenceSig:  info.EvidenceSig,
+		Evidence:     info.Evidence,
 	}
 	if info.Err != nil {
 		rec.Err = info.Err.Error()
