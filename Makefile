@@ -51,6 +51,7 @@ smoke-kernels:
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzEvidenceSignature -fuzztime 10s ./internal/cache
 	$(GO) test -run xxx -fuzz FuzzKernelBlockedVsScalar -fuzztime 10s ./internal/potential
+	$(GO) test -run xxx -fuzz FuzzLazyVsEager -fuzztime 10s .
 
 # Smoke-test the Chrome trace export: one traced propagation, written as
 # trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev).
@@ -112,7 +113,10 @@ smoke-multimodel:
 # -audit-dir, drive queries and an MPE, shut down cleanly, then replay the
 # recorded segments with evreplay — the chain must verify, a differential
 # replay against the same build must reproduce every answer bit for bit,
-# and a one-byte corruption must be detected.
+# and a one-byte corruption must be detected. The second leg repeats the
+# record→diff cycle with -lazy on both sides: lazy propagation is
+# deterministic for a given evidence set, so lazy-recorded answers replay
+# Float64bits-exact on a lazy engine.
 smoke-replay:
 	@$(GO) build -o /tmp/evserve-smoke ./cmd/evserve
 	@$(GO) build -o /tmp/evreplay-smoke ./cmd/evreplay
@@ -137,6 +141,22 @@ smoke-replay:
 	kill $$pid; wait $$pid 2>/dev/null; \
 	/tmp/evreplay-smoke -dir $$dir/audit -mode verify >/dev/null || fail=4; \
 	/tmp/evreplay-smoke -dir $$dir/audit -mode diff -network asia >/dev/null || fail=5; \
+	/tmp/evserve-smoke -lazy -addr 127.0.0.1:18096 -audit-dir $$dir/lazy -audit-batch 8 >/dev/null 2>&1 & \
+	lpid=$$!; \
+	for i in $$(seq 1 50); do \
+		if curl -sf http://127.0.0.1:18096/v1/readyz >/dev/null 2>&1; then break; fi; \
+		sleep 0.1; done; \
+	for i in $$(seq 1 10); do \
+		curl -sf -X POST http://127.0.0.1:18096/v1/query \
+			-d '{"evidence":{"XRay":1},"query":["Lung"]}' >/dev/null || fail=7; \
+		curl -sf -X POST http://127.0.0.1:18096/v1/query \
+			-d "{\"evidence\":{\"Smoke\":$$((i % 2))}}" >/dev/null || fail=7; \
+	done; \
+	curl -sf -X POST http://127.0.0.1:18096/v1/mpe \
+		-d '{"evidence":{"XRay":1}}' >/dev/null || fail=7; \
+	kill $$lpid; wait $$lpid 2>/dev/null; \
+	/tmp/evreplay-smoke -dir $$dir/lazy -mode verify >/dev/null || fail=8; \
+	/tmp/evreplay-smoke -dir $$dir/lazy -mode diff -network asia -lazy >/dev/null || fail=9; \
 	seg=$$(ls $$dir/audit/*.seg | head -1); \
 	size=$$(wc -c < $$seg); \
 	off=$$((size / 2)); \

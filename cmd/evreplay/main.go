@@ -53,6 +53,7 @@ func run(argv []string) int {
 		speed   = fs.Float64("speed", 0, "load pacing: 0 = flat out, 1 = recorded, N = N× faster")
 		conc    = fs.Int("concurrency", 8, "concurrent in-flight replays")
 		limit   = fs.Int("limit", 0, "replay at most this many records (0 = all)")
+		lazyOpt = fs.Bool("lazy", false, "in-process engine: zero-aware lazy propagation (match a server recorded with evserve -lazy)")
 	)
 	fs.Parse(argv) //nolint:errcheck // ExitOnError
 	if *dir == "" {
@@ -89,7 +90,7 @@ func run(argv []string) int {
 		return 2
 	}
 
-	tgt, closeTgt, err := buildTarget(*url, *network, *bifFile, *workers)
+	tgt, closeTgt, err := buildTarget(*url, *network, *bifFile, *workers, *lazyOpt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evreplay:", err)
 		return 2
@@ -119,7 +120,7 @@ func run(argv []string) int {
 
 // buildTarget constructs the replay target: a live server when -url is
 // set, otherwise an in-process engine from -network/-bif.
-func buildTarget(url, network, bifFile string, workers int) (target, func(), error) {
+func buildTarget(url, network, bifFile string, workers int, lazy bool) (target, func(), error) {
 	if url != "" {
 		if network != "" || bifFile != "" {
 			return nil, nil, fmt.Errorf("-url and -network/-bif are mutually exclusive")
@@ -130,7 +131,7 @@ func buildTarget(url, network, bifFile string, workers int) (target, func(), err
 	if err != nil {
 		return nil, nil, err
 	}
-	eng, err := net.Compile(evprop.Options{Workers: workers})
+	eng, err := net.Compile(evprop.Options{Workers: workers, Lazy: lazy})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -109,6 +109,7 @@ func main() {
 		auditDir  = flag.String("audit-dir", "", "spill every query into Merkle-chained audit segments in this directory (empty = off)")
 		auditBat  = flag.Int("audit-batch", 0, "audit records per flushed batch (0 = default)")
 		auditRot  = flag.Int64("audit-rotate", 0, "rotate audit segments beyond this many bytes (0 = default)")
+		lazyProp  = flag.Bool("lazy", false, "zero-aware lazy propagation: precalibrate each model once, then propagate only through the part of the tree each query's evidence disturbs")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -136,6 +137,7 @@ func main() {
 		// the same queries are being persisted anyway, and replay tooling
 		// cross-references the two by evidence signature.
 		RecordEvidence: *auditDir != "",
+		Lazy:           *lazyProp,
 	}
 	srv := newMultiServer(opts)
 	if *auditDir != "" {

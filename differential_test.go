@@ -133,6 +133,146 @@ func TestDifferentialCachedVsFreshVsOracle(t *testing.T) {
 	}
 }
 
+// TestDifferentialLazySeventhColumn is the lazy engine's column of the
+// differential harness: over the same seeded networks, schedulers and
+// evidence battery as TestDifferentialCachedVsFreshVsOracle, a lazily
+// propagating engine — pruned collect graphs, demand-driven distribution —
+// must agree with the brute-force oracle to float tolerance, both uncached
+// and through the shared-evidence cache, and a warm hit must remain
+// bit-identical to the cold result it pinned. The engines also prove the
+// pruning machinery was actually exercised: every non-empty evidence case
+// must skip at least one message.
+func TestDifferentialLazySeventhColumn(t *testing.T) {
+	const tol = 1e-9
+	cases := 0
+	for seed := int64(0); seed < 6; seed++ {
+		net := RandomNetwork(11, 2, 3, 1000+seed)
+		vars := net.Variables()
+		evs := diffEvidences(vars)
+		oracles := make([]map[string][]float64, len(evs))
+		for i, ev := range evs {
+			oracles[i] = map[string][]float64{}
+			for _, v := range vars {
+				if _, fixed := ev[v]; fixed {
+					continue
+				}
+				m, err := net.ExactMarginal(v, ev)
+				if err != nil {
+					t.Fatalf("seed %d ev %d: oracle %q: %v", seed, i, v, err)
+				}
+				oracles[i][v] = m
+			}
+		}
+		for _, schedName := range diffSchedulers {
+			plain, err := net.Compile(Options{Workers: 2, Scheduler: schedName, Lazy: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cachedEng, err := net.Compile(Options{Workers: 2, Scheduler: schedName, Lazy: true, CacheSize: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, ev := range evs {
+				what := fmt.Sprintf("lazy seed=%d sched=%s ev=%d", seed, schedName, i)
+				cases++
+				fresh, cached := allPosteriors(t, plain, ev, what+" fresh")
+				if cached {
+					t.Fatalf("%s: uncached engine reported a cache hit", what)
+				}
+				cold, cached := allPosteriors(t, cachedEng, ev, what+" cold")
+				if cached {
+					t.Fatalf("%s: first cached-engine query reported a hit", what)
+				}
+				warm, cached := allPosteriors(t, cachedEng, ev, what+" warm")
+				if !cached {
+					t.Fatalf("%s: repeat query missed the cache", what)
+				}
+				for v, oracle := range oracles[i] {
+					for s := range oracle {
+						if d := math.Abs(fresh[v][s] - oracle[s]); d > tol {
+							t.Errorf("%s: fresh %q[%d] off oracle by %g", what, v, s, d)
+						}
+						if d := math.Abs(cold[v][s] - oracle[s]); d > tol {
+							t.Errorf("%s: cold %q[%d] off oracle by %g", what, v, s, d)
+						}
+						if math.Float64bits(warm[v][s]) != math.Float64bits(cold[v][s]) {
+							t.Errorf("%s: warm %q[%d] = %v not bit-identical to cold %v",
+								what, v, s, warm[v][s], cold[v][s])
+						}
+					}
+				}
+			}
+			// Every configuration cost the cached engine exactly one
+			// propagation, same contract as the eager column.
+			if got := cachedEng.inner.Propagations(); got != int64(len(evs)) {
+				t.Errorf("lazy seed=%d sched=%s: cached engine ran %d propagations, want %d",
+					seed, schedName, got, len(evs))
+			}
+			plain.Close()
+			cachedEng.Close()
+		}
+	}
+	if cases < 200 {
+		t.Fatalf("lazy harness covered %d cases, want >= 200", cases)
+	}
+}
+
+// TestLazyPruningActuallyFires guards against the lazy engine silently
+// degenerating into the eager one: with partial evidence on a chain-heavy
+// random network, some messages must be skipped or blocked, and repeated
+// identical queries on the uncached engine must be bit-identical (the
+// deterministic-replay contract the audit tooling relies on).
+func TestLazyPruningActuallyFires(t *testing.T) {
+	net := RandomNetwork(11, 2, 3, 1003)
+	vars := net.Variables()
+	eng, err := net.Compile(Options{Workers: 2, Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ev := Evidence{vars[0]: 1}
+	res, err := eng.Propagate(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post1, err := res.Posteriors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, ok := res.PropagationStats()
+	res.Close()
+	if !ok {
+		t.Fatal("lazy engine returned no PropagationStats")
+	}
+	if stats.MessagesSkipped+stats.MessagesBlocked == 0 {
+		t.Fatalf("single-variable evidence pruned nothing: %+v", stats)
+	}
+	if stats.Flops >= stats.FlopsFull {
+		t.Fatalf("lazy flops %d not below eager %d", stats.Flops, stats.FlopsFull)
+	}
+	if stats.TasksRun+stats.TasksSkipped != 8*int64(len(eng.inner.Tree().Cliques)-1) {
+		t.Fatalf("task accounting inconsistent: %+v", stats)
+	}
+	// Replay determinism: a second cold propagation of the same evidence
+	// reproduces the posteriors bit for bit.
+	res2, err := eng.Propagate(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Close()
+	post2, err := res2.Posteriors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, p := range post1 {
+		for s := range p {
+			if math.Float64bits(post2[v][s]) != math.Float64bits(p[s]) {
+				t.Fatalf("repeat lazy propagation not bit-identical at %q[%d]", v, s)
+			}
+		}
+	}
+}
+
 func TestCacheInsertionOrderInvariance(t *testing.T) {
 	net := RandomNetwork(11, 2, 3, 42)
 	vars := net.Variables()

@@ -206,6 +206,17 @@ type Options struct {
 	// -audit-dir). Off by default: the evidence map is the one
 	// flight-record field whose size the client controls.
 	RecordEvidence bool
+	// Lazy switches the engine to zero-aware lazy propagation: the
+	// junction tree is calibrated once at compile time, each query then
+	// propagates only through the part of the tree its evidence actually
+	// disturbs (messages from undisturbed subtrees are skipped, messages
+	// across fully observed separators collapse to scalars, and table
+	// operations shrink to the non-zero block hard evidence leaves
+	// behind), and root-to-leaf distribution runs on demand per posterior
+	// read. Posteriors, P(e) and MPE agree with the eager engine to
+	// floating-point tolerance; QueryResult.PropagationStats exposes how
+	// much work was pruned. Off by default.
+	Lazy bool
 }
 
 // Engine answers posterior queries over a compiled network. An Engine is
@@ -510,6 +521,7 @@ func (n *Network) Compile(opts Options) (*Engine, error) {
 		CacheSize:          opts.CacheSize,
 		PprofLabels:        opts.PprofLabels,
 		RecordEvidence:     opts.RecordEvidence,
+		Lazy:               opts.Lazy,
 	})
 	if err != nil {
 		return nil, err

@@ -38,7 +38,7 @@ type Result struct {
 }
 
 // Serial executes the graph in topological order on the calling goroutine.
-func Serial(st *taskgraph.State) (*Result, error) {
+func Serial(st taskgraph.Executor) (*Result, error) {
 	start := time.Now()
 	if err := st.RunSerial(); err != nil {
 		return nil, err
@@ -50,7 +50,7 @@ func Serial(st *taskgraph.State) (*Result, error) {
 // statically chunked over p goroutines and a barrier separates levels,
 // mirroring an OpenMP parallel-for around each wavefront of ready cliques.
 // Tasks within one level are mutually unordered and therefore hazard-free.
-func LevelSync(st *taskgraph.State, p int) (*Result, error) {
+func LevelSync(st taskgraph.Executor, p int) (*Result, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("baseline: levelsync needs p >= 1, got %d", p)
 	}
@@ -104,7 +104,7 @@ func parallelChunks(p, n int, f func(i int) error) error {
 // primitive's index range is split across p goroutines spawned for that
 // primitive — the paper's data-parallel baseline, whose per-primitive
 // fork-join overhead limits its speedup.
-func DataParallel(st *taskgraph.State, p int) (*Result, error) {
+func DataParallel(st taskgraph.Executor, p int) (*Result, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("baseline: dataparallel needs p >= 1, got %d", p)
 	}
@@ -152,7 +152,7 @@ func DataParallel(st *taskgraph.State, p int) (*Result, error) {
 // that owns all dependency bookkeeping and p-1 workers that only execute —
 // the design the paper attributes to the Cell BE port and argues is wasteful
 // on small homogeneous multicores (one of p cores does no propagation work).
-func Centralized(st *taskgraph.State, p int) (*Result, error) {
+func Centralized(st taskgraph.Executor, p int) (*Result, error) {
 	if p < 2 {
 		return nil, fmt.Errorf("baseline: centralized needs p >= 2 (one coordinator + workers), got %d", p)
 	}

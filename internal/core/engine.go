@@ -25,6 +25,7 @@ import (
 	"evprop/internal/baseline"
 	"evprop/internal/cache"
 	"evprop/internal/jtree"
+	"evprop/internal/lazy"
 	"evprop/internal/obs"
 	"evprop/internal/potential"
 	"evprop/internal/sched"
@@ -116,6 +117,13 @@ type Options struct {
 	// the evidence map is the one flight-record field whose size the
 	// client controls.
 	RecordEvidence bool
+	// Lazy switches the engine to zero-aware lazy propagation (package
+	// lazy): the tree is precalibrated once, each query runs a pruned
+	// collect graph restricted to the cliques its evidence disturbs, and
+	// the distribute pass is materialized on demand per posterior query.
+	// Results are identical up to floating-point tolerance; flop, task and
+	// message counters (Result.LazyStats) expose the pruning.
+	Lazy bool
 }
 
 // ErrReleased is returned by Result methods after Release recycled the
@@ -139,6 +147,10 @@ type Engine struct {
 	// statePools recycles propagation states per semiring. States carry no
 	// evidence residue: Reset re-copies the tree potentials on reuse.
 	statePools [2]sync.Pool
+
+	// lazyProp owns the precalibrated tables and pruned-plan cache when
+	// Options.Lazy is set, nil otherwise.
+	lazyProp *lazy.Prop
 
 	// pool holds the persistent collaborative-scheduler workers, created
 	// lazily on first use so serial engines never spawn goroutines.
@@ -206,6 +218,13 @@ func NewEngine(t *jtree.Tree, opts Options) (*Engine, error) {
 	e.graph = taskgraph.Build(work)
 	if err := e.graph.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Lazy {
+		lp, err := lazy.New(e.tree, e.graph)
+		if err != nil {
+			return nil, err
+		}
+		e.lazyProp = lp
 	}
 	if opts.CacheSize > 0 {
 		e.cache = cache.NewLRU(opts.CacheSize)
@@ -312,8 +331,8 @@ func (e *Engine) putState(st *taskgraph.State) {
 // Result is one completed propagation.
 type Result struct {
 	eng   *Engine
-	state *taskgraph.State
-	pe    float64 // root-clique mass, cached so it survives Release
+	state propState
+	pe    float64 // evidence mass, cached so it survives Release
 	// Elapsed is the wall-clock propagation time (excluding evidence
 	// absorption and state allocation).
 	Elapsed time.Duration
@@ -376,22 +395,33 @@ func (e *Engine) propagateFull(ctx context.Context, ev potential.Evidence, like 
 			return nil, err
 		}
 	}
-	st, err := e.getState(mode)
-	if err != nil {
-		return nil, err
-	}
-	if err := st.AbsorbEvidence(ev); err != nil {
-		e.putState(st) // never ran; Reset restores the partial reduction
-		return nil, err
-	}
-	if err := st.AbsorbLikelihood(like); err != nil {
-		e.putState(st)
-		return nil, err
+	var st propState
+	var exec taskgraph.Executor
+	if e.lazyProp != nil {
+		lst, err := e.lazyProp.NewState(mode, ev, like)
+		if err != nil {
+			return nil, err
+		}
+		st, exec = lst, lst
+	} else {
+		est, err := e.getState(mode)
+		if err != nil {
+			return nil, err
+		}
+		if err := est.AbsorbEvidence(ev); err != nil {
+			e.putState(est) // never ran; Reset restores the partial reduction
+			return nil, err
+		}
+		if err := est.AbsorbLikelihood(like); err != nil {
+			e.putState(est)
+			return nil, err
+		}
+		st, exec = est, est
 	}
 	res := &Result{eng: e, state: st}
 	id := e.queryID(ctx)
 	start := time.Now()
-	m, err := e.runScheduler(ctx, id, st)
+	m, err := e.runScheduler(ctx, id, exec)
 	elapsed := time.Since(start)
 	e.recordRun(id, mode.String(), byte(mode), ev, like, elapsed, m, err)
 	if err != nil {
@@ -401,7 +431,7 @@ func (e *Engine) propagateFull(ctx context.Context, ev potential.Evidence, like 
 	}
 	res.Sched = m
 	res.Elapsed = elapsed
-	res.pe = st.Clique[st.Graph().Tree.Root].Sum()
+	res.pe = st.EvidenceMass()
 	return res, nil
 }
 
@@ -460,7 +490,7 @@ func (e *Engine) recordRun(id, mode string, sigMode byte, ev potential.Evidence,
 // returning collaborative-scheduler metrics when applicable. queryID, when
 // non-empty and Options.PprofLabels is on, tags the workers with pprof
 // labels for the duration of the run (the recorder uses the ID either way).
-func (e *Engine) runScheduler(ctx context.Context, queryID string, st *taskgraph.State) (*sched.Metrics, error) {
+func (e *Engine) runScheduler(ctx context.Context, queryID string, st taskgraph.Executor) (*sched.Metrics, error) {
 	e.propagations.Add(1)
 	if !e.opts.PprofLabels {
 		queryID = "" // sched uses the ID only for labels; drop it at zero cost
@@ -617,8 +647,10 @@ func (r *Result) Release() {
 	}
 	st := r.state
 	r.state = nil
-	if r.eng != nil {
-		r.eng.putState(st)
+	// Only eager states recycle through the pool; lazy states own
+	// query-specific overlay tables and go to the GC.
+	if est, ok := st.(*taskgraph.State); ok && r.eng != nil {
+		r.eng.putState(est)
 	}
 }
 
@@ -662,7 +694,11 @@ func (r *Result) JointMarginal(vars []int) (*potential.Potential, error) {
 		if !all {
 			continue
 		}
-		m, err := r.state.Clique[i].Marginal(vars)
+		cp, err := r.state.CliquePot(i)
+		if err != nil {
+			return nil, err
+		}
+		m, err := cp.Marginal(vars)
 		if err != nil {
 			return nil, err
 		}
@@ -680,9 +716,25 @@ func (r *Result) JointMarginal(vars []int) (*potential.Potential, error) {
 // Release.
 func (r *Result) ProbabilityOfEvidence() float64 { return r.pe }
 
-// State exposes the underlying propagation state for instrumentation. It
-// is nil after Release.
-func (r *Result) State() *taskgraph.State { return r.state }
+// State exposes the underlying eager propagation state for
+// instrumentation. It is nil after Release and nil for lazy results, whose
+// pruning counters are exposed through LazyStats instead.
+func (r *Result) State() *taskgraph.State {
+	st, _ := r.state.(*taskgraph.State)
+	return st
+}
+
+// LazyStats returns the pruning counters of a lazy propagation (messages
+// and tasks sent/blocked/skipped, flops vs the eager engine, materialized
+// table entries). ok is false for eager results and after Release. The
+// counters are live: posterior queries materialize distribute messages on
+// demand and advance them.
+func (r *Result) LazyStats() (lazy.Stats, bool) {
+	if st, ok := r.state.(*lazy.State); ok {
+		return st.Stats(), true
+	}
+	return lazy.Stats{}, false
+}
 
 // CheckCalibration verifies the Hugin invariant on the propagation result:
 // every pair of adjacent cliques must agree (within tol, after
@@ -693,17 +745,31 @@ func (r *Result) CheckCalibration(tol float64) error {
 	if r.state == nil {
 		return ErrReleased
 	}
+	// Lazy results defer distribute work; a whole-tree check needs all of
+	// it materialized. Normalization below cancels the per-table scalars
+	// of any blocked (elided) messages.
+	if err := r.state.Calibrate(); err != nil {
+		return err
+	}
 	tree := r.state.Graph().Tree
 	for c := range tree.Cliques {
 		p := tree.Cliques[c].Parent
 		if p < 0 {
 			continue
 		}
-		mc, err := r.state.Clique[c].Marginal(tree.Cliques[c].SepVars)
+		cc, err := r.state.CliquePot(c)
 		if err != nil {
 			return err
 		}
-		mp, err := r.state.Clique[p].Marginal(tree.Cliques[c].SepVars)
+		cp, err := r.state.CliquePot(p)
+		if err != nil {
+			return err
+		}
+		mc, err := cc.Marginal(tree.Cliques[c].SepVars)
+		if err != nil {
+			return err
+		}
+		mp, err := cp.Marginal(tree.Cliques[c].SepVars)
 		if err != nil {
 			return err
 		}
@@ -736,6 +802,13 @@ func (r *Result) MostProbableExplanation() (map[int]int, float64, error) {
 	if r.state.Mode() != taskgraph.MaxProduct {
 		return nil, 0, fmt.Errorf("core: MostProbableExplanation requires a PropagateMax result (state is %v)", r.state.Mode())
 	}
+	// The top-down walk reads every clique; materialize deferred
+	// distribute messages first. Argmax extraction is invariant to the
+	// positive per-table scalars of elided blocked messages; the absolute
+	// probability is repaired by MassScale (1 for eager states).
+	if err := r.state.Calibrate(); err != nil {
+		return nil, 0, err
+	}
 	tree := r.state.Graph().Tree
 	order, err := tree.TopoOrder()
 	if err != nil {
@@ -744,14 +817,17 @@ func (r *Result) MostProbableExplanation() (map[int]int, float64, error) {
 	assignment := map[int]int{}
 	prob := 0.0
 	for k, ci := range order {
-		pot := r.state.Clique[ci]
+		pot, err := r.state.CliquePot(ci)
+		if err != nil {
+			return nil, 0, err
+		}
 		idx, v, err := pot.ArgMaxConsistent(assignment)
 		if err != nil {
 			return nil, 0, err
 		}
 		if k == 0 {
-			prob = v
-			if v == 0 {
+			prob = v * r.state.MassScale()
+			if prob == 0 {
 				return nil, 0, fmt.Errorf("core: evidence has zero probability; no explanation exists")
 			}
 		}

@@ -33,6 +33,13 @@ func (r *Result) JointMarginalAny(vars []int) (*potential.Potential, error) {
 		return m, nil
 	}
 
+	// The Steiner fold reads cliques and separators across the subtree;
+	// materialize a lazy state's deferred distribute messages first. The
+	// per-table scalars of elided blocked messages compose into one global
+	// scalar over the fold, which the final Normalize removes.
+	if err := r.state.Calibrate(); err != nil {
+		return nil, err
+	}
 	tree := r.state.Graph().Tree
 	// Covering clique per variable.
 	covering := map[int]bool{}
@@ -83,13 +90,17 @@ func (r *Result) JointMarginalAny(vars []int) (*potential.Potential, error) {
 	sort.Slice(nodes, func(a, b int) bool { return tree.Depth(nodes[a]) > tree.Depth(nodes[b]) })
 
 	acc := map[int]*potential.Potential{}
-	get := func(ci int) *potential.Potential {
+	get := func(ci int) (*potential.Potential, error) {
 		if p, ok := acc[ci]; ok {
-			return p
+			return p, nil
 		}
-		p := r.state.Clique[ci].Clone()
+		cp, err := r.state.CliquePot(ci)
+		if err != nil {
+			return nil, err
+		}
+		p := cp.Clone()
 		acc[ci] = p
-		return p
+		return p, nil
 	}
 	querySet := map[int]bool{}
 	for _, v := range query {
@@ -101,7 +112,10 @@ func (r *Result) JointMarginalAny(vars []int) (*potential.Potential, error) {
 			break
 		}
 		p := tree.Cliques[ci].Parent
-		cur := get(ci)
+		cur, err := get(ci)
+		if err != nil {
+			return nil, err
+		}
 		// Keep the separator with the parent plus any query variables this
 		// branch carries; everything else marginalizes out now.
 		keep := append([]int(nil), tree.Cliques[ci].SepVars...)
@@ -117,16 +131,28 @@ func (r *Result) JointMarginalAny(vars []int) (*potential.Potential, error) {
 		}
 		// Divide out the separator so the edge's mass is not counted twice
 		// (P(A∪B) = ψA·ψB/ψS on a calibrated tree).
-		if err := msg.DivBy(r.state.Sep[ci]); err != nil {
+		sep, err := r.state.SepPot(ci)
+		if err != nil {
 			return nil, err
 		}
-		combined, err := potential.Product(get(p), msg)
+		if err := msg.DivBy(sep); err != nil {
+			return nil, err
+		}
+		parent, err := get(p)
+		if err != nil {
+			return nil, err
+		}
+		combined, err := potential.Product(parent, msg)
 		if err != nil {
 			return nil, err
 		}
 		acc[p] = combined
 	}
-	out, err := get(top).Marginal(query)
+	topPot, err := get(top)
+	if err != nil {
+		return nil, err
+	}
+	out, err := topPot.Marginal(query)
 	if err != nil {
 		return nil, err
 	}

@@ -249,7 +249,7 @@ func (p *Pool) Close() {
 
 // run is the per-propagation bookkeeping shared by the pool workers.
 type run struct {
-	st        *taskgraph.State
+	st        taskgraph.Executor
 	g         *taskgraph.Graph
 	opts      Options
 	ctx       context.Context
@@ -285,7 +285,7 @@ type run struct {
 // and trace until they hit the failed-run check, so on error the caller
 // must not read Metrics.Workers, and the returned Trace carries no events
 // (its buffers are abandoned to the GC rather than recycled).
-func (p *Pool) Run(st *taskgraph.State, opts Options) (*Metrics, error) {
+func (p *Pool) Run(st taskgraph.Executor, opts Options) (*Metrics, error) {
 	if p.closed.Load() {
 		return nil, fmt.Errorf("sched: pool is closed")
 	}
@@ -360,7 +360,7 @@ func (p *Pool) Run(st *taskgraph.State, opts Options) (*Metrics, error) {
 // Run executes the state's task graph with the collaborative scheduler on a
 // transient pool of opts.Workers goroutines, preserving the original
 // spawn-per-call behavior. Long-lived engines should hold a Pool instead.
-func Run(st *taskgraph.State, opts Options) (*Metrics, error) {
+func Run(st taskgraph.Executor, opts Options) (*Metrics, error) {
 	p, err := NewPool(opts.Workers)
 	if err != nil {
 		return nil, err

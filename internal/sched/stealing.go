@@ -21,7 +21,7 @@ import (
 // high core counts its scheduling overhead grows faster than the
 // per-list-locked Run — exactly the contention trade-off the paper
 // anticipates.
-func RunStealing(st *taskgraph.State, opts Options) (*Metrics, error) {
+func RunStealing(st taskgraph.Executor, opts Options) (*Metrics, error) {
 	if opts.Workers < 1 {
 		return nil, fmt.Errorf("sched: need at least 1 worker, got %d", opts.Workers)
 	}
@@ -91,7 +91,7 @@ func RunStealing(st *taskgraph.State, opts Options) (*Metrics, error) {
 }
 
 type stealRun struct {
-	st   *taskgraph.State
+	st   taskgraph.Executor
 	g    *taskgraph.Graph
 	opts Options
 

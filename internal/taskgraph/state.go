@@ -323,6 +323,46 @@ func (st *State) RunSerial() error {
 	return nil
 }
 
+// The calibration surface below lets engine code read a completed
+// propagation without knowing whether it was produced eagerly (this type)
+// or lazily (internal/lazy, which materializes tables on demand). On the
+// eager state every table already holds its final value, so these are
+// trivial accessors.
+
+// CliquePot returns clique ci's potential table after propagation.
+func (st *State) CliquePot(ci int) (*potential.Potential, error) {
+	if ci < 0 || ci >= len(st.Clique) {
+		return nil, fmt.Errorf("taskgraph: clique %d out of range", ci)
+	}
+	return st.Clique[ci], nil
+}
+
+// SepPot returns the stored separator potential of the edge above clique
+// ci (ci must not be the root).
+func (st *State) SepPot(ci int) (*potential.Potential, error) {
+	if ci < 0 || ci >= len(st.Sep) || st.Sep[ci] == nil {
+		return nil, fmt.Errorf("taskgraph: no separator above clique %d", ci)
+	}
+	return st.Sep[ci], nil
+}
+
+// EvidenceMass returns the total mass of the root clique after collect —
+// the unnormalized probability of the absorbed evidence.
+func (st *State) EvidenceMass() float64 {
+	return st.Clique[st.g.Tree.Root].Sum()
+}
+
+// MassScale is the factor absolute table values must be multiplied by to
+// recover true (unnormalized) probabilities. Eager propagation never skips
+// a message, so its tables are exact and the scale is 1. Lazy propagation
+// elides scalar-only messages and reports the product of the elided
+// scalars here.
+func (st *State) MassScale() float64 { return 1 }
+
+// Calibrate is a no-op on the eager state: a full two-pass propagation
+// leaves every clique and separator calibrated already.
+func (st *State) Calibrate() error { return nil }
+
 // Marginal extracts the normalized posterior of variable v from the state
 // after propagation, by marginalizing a clique that contains v.
 func (st *State) Marginal(v int) (*potential.Potential, error) {

@@ -1,0 +1,105 @@
+package evprop
+
+import (
+	"testing"
+)
+
+// Lazy-vs-eager serving benchmarks: the same 40-node network, queried for a
+// handful of target posteriors the way a point-query API is — the workload
+// lazy propagation exists for. "Sparse" observes 2 variables, "dense" 20 of
+// 40 (dense evidence shrinks tables but dirties most of the tree, so the
+// lazy win narrows to hull-shrunk kernels and blocked separators).
+
+func lazyBenchSetup(b *testing.B, lazy bool, denseEvidence bool) (*Engine, Evidence, []string) {
+	b.Helper()
+	net := RandomNetwork(40, 2, 3, 7)
+	eng, err := net.Compile(Options{Workers: 4, Lazy: lazy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close)
+	vars := net.Variables()
+	ev := Evidence{vars[3]: 1, vars[17]: 0}
+	if denseEvidence {
+		for i := 0; i < len(vars); i += 2 {
+			ev[vars[i]] = i % 2
+		}
+	}
+	var query []string
+	for _, v := range []string{vars[1], vars[20], vars[39]} {
+		if _, fixed := ev[v]; !fixed {
+			query = append(query, v)
+		}
+	}
+	return eng, ev, query
+}
+
+func benchTargetedQuery(b *testing.B, eng *Engine, ev Evidence, query []string) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Propagate(ev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.Posteriors(query...); err != nil {
+			b.Fatal(err)
+		}
+		res.Close()
+	}
+}
+
+// BenchmarkLazyQuery measures the lazy engine on sparse-evidence point
+// queries: pruned collect over the disturbed part of the precalibrated
+// tree, then demand-driven distribution down the three queried paths only.
+// BenchmarkEagerQuery is the identical workload on the eager engine.
+func BenchmarkLazyQuery(b *testing.B) {
+	eng, ev, query := lazyBenchSetup(b, true, false)
+	benchTargetedQuery(b, eng, ev, query)
+}
+
+func BenchmarkEagerQuery(b *testing.B) {
+	eng, ev, query := lazyBenchSetup(b, false, false)
+	benchTargetedQuery(b, eng, ev, query)
+}
+
+// BenchmarkLazyQueryDense observes half the variables; most cliques are
+// dirty, so pruning comes from evidence hulls and blocked separators rather
+// than skipped subtrees.
+func BenchmarkLazyQueryDense(b *testing.B) {
+	eng, ev, query := lazyBenchSetup(b, true, true)
+	benchTargetedQuery(b, eng, ev, query)
+}
+
+func BenchmarkEagerQueryDense(b *testing.B) {
+	eng, ev, query := lazyBenchSetup(b, false, true)
+	benchTargetedQuery(b, eng, ev, query)
+}
+
+// TestLazyBenchWorkloadsAgree pins the benchmark pair to the same answers,
+// so the ns/op comparison above is apples to apples.
+func TestLazyBenchWorkloadsAgree(t *testing.T) {
+	for _, dense := range []bool{false, true} {
+		var posts [2]map[string][]float64
+		for i, lazy := range []bool{false, true} {
+			b := &testing.B{}
+			eng, ev, query := lazyBenchSetup(b, lazy, dense)
+			res, err := eng.Propagate(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			posts[i], err = res.Posteriors(query...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.Close()
+		}
+		for v, p := range posts[0] {
+			for s := range p {
+				if d := p[s] - posts[1][v][s]; d > 1e-9 || d < -1e-9 {
+					t.Errorf("dense=%v: %q[%d] eager %v lazy %v (diff %g)",
+						dense, v, s, p[s], posts[1][v][s], d)
+				}
+			}
+		}
+	}
+}

@@ -356,3 +356,50 @@ func (r *QueryResult) MPE() (map[string]int, float64, error) {
 	}
 	return named, joint / pe, nil
 }
+
+// PropagationStats reports how much work the lazy engine pruned for this
+// query, measured against what an eager two-pass propagation over the same
+// tree would do. All zero (and ok false) on engines compiled without
+// Options.Lazy.
+type PropagationStats struct {
+	// MessagesSent, MessagesBlocked and MessagesSkipped partition the
+	// tree's 2×edges potential messages by fate: sent in full, collapsed
+	// to a scalar by a fully observed separator, or never sent at all
+	// (undisturbed subtree, or distribution not demanded by any query).
+	MessagesSent, MessagesBlocked, MessagesSkipped int64
+	// TasksRun and TasksSkipped count node-level primitives (marginalize,
+	// divide, extend, multiply) against the eager graph's 8 per edge.
+	TasksRun, TasksSkipped int64
+	// Flops counts potential-table entries processed; FlopsFull is the
+	// eager engine's per-query total on this tree.
+	Flops, FlopsFull int64
+	// MaterializedEntries counts table entries copied or allocated for
+	// this query; untouched regions of the precalibrated tree cost zero.
+	MaterializedEntries int64
+}
+
+// PropagationStats returns the lazy engine's pruning counters for this
+// result. The counters are live: posterior reads materialize deferred
+// root-to-leaf messages and advance them. ok is false on eager engines and
+// after Close.
+func (r *QueryResult) PropagationStats() (PropagationStats, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return PropagationStats{}, false
+	}
+	s, ok := r.res.LazyStats()
+	if !ok {
+		return PropagationStats{}, false
+	}
+	return PropagationStats{
+		MessagesSent:        s.MessagesSent,
+		MessagesBlocked:     s.MessagesBlocked,
+		MessagesSkipped:     s.MessagesSkipped,
+		TasksRun:            s.TasksRun,
+		TasksSkipped:        s.TasksSkipped,
+		Flops:               s.Flops,
+		FlopsFull:           s.FlopsFull,
+		MaterializedEntries: s.MaterializedEntries,
+	}, true
+}
