@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck fmt-check bench bench-serving bench-kernels smoke-kernels fuzz-smoke trace smoke-evtop smoke-multimodel smoke-replay check
+.PHONY: build test race vet staticcheck fmt-check bench bench-serving bench-kernels smoke-kernels fuzz-smoke trace smoke-evtop smoke-multimodel smoke-replay smoke-trace check
 
 build:
 	$(GO) build ./...
@@ -167,8 +167,29 @@ smoke-replay:
 	if [ $$fail -ne 0 ]; then echo "smoke-replay: step $$fail failed"; exit 1; fi; \
 	echo "smoke-replay: ok"
 
+# Smoke-test distributed tracing end to end: boot evserve with the batch
+# coalescer on, let evtrace mint a sampled W3C traceparent and drive three
+# identical queries through /v1/batch (identical evidence -> singleflight
+# riders), fetch the kept trace back over /v1/debug/trace, and assert the
+# span tree: the caller's trace ID and parent span survived, absorb ran
+# before propagate, every sub-query has its batch.item span, and at least
+# one coalesced rider linked into the leader's tree.
+smoke-trace:
+	@$(GO) build -o /tmp/evserve-smoke ./cmd/evserve
+	@$(GO) build -o /tmp/evtrace-smoke ./cmd/evtrace
+	@/tmp/evserve-smoke -addr 127.0.0.1:18095 -batch-window 20ms >/dev/null 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do \
+		if curl -sf http://127.0.0.1:18095/v1/readyz >/dev/null 2>&1; then break; fi; \
+		sleep 0.1; done; \
+	/tmp/evtrace-smoke -url http://127.0.0.1:18095 -drive 3 -assert; rc=$$?; \
+	kill $$pid; wait $$pid 2>/dev/null; \
+	if [ $$rc -ne 0 ]; then echo "smoke-trace: span-tree asserts failed"; exit 1; fi; \
+	echo "smoke-trace: ok"
+
 # The PR gate: formatting and static checks plus the full test suite under
 # the race detector (includes the concurrent-engine stress tests), the
 # evserve smoke tests (evtop dashboard + multi-model hot reload + durable
-# audit replay), and the kernel bench harness smoke.
-check: fmt-check vet staticcheck race smoke-evtop smoke-multimodel smoke-replay smoke-kernels
+# audit replay + traceparent propagation), and the kernel bench harness
+# smoke.
+check: fmt-check vet staticcheck race smoke-evtop smoke-multimodel smoke-replay smoke-trace smoke-kernels

@@ -1,11 +1,13 @@
 package evprop
 
 import (
+	"context"
 	"maps"
 	"sync"
 	"testing"
 
 	"evprop/internal/audit"
+	"evprop/internal/obs/trace"
 	"evprop/internal/sched"
 	"evprop/internal/taskgraph"
 )
@@ -61,6 +63,34 @@ func BenchmarkConcurrentQuery(b *testing.B) {
 func BenchmarkConcurrentQueryNoRecorder(b *testing.B) {
 	eng, ev := servingEngineOpts(b, Options{Workers: 4, DisableFlightRecorder: true})
 	benchConcurrentQuery(b, eng, ev)
+}
+
+// BenchmarkConcurrentQueryTraced is BenchmarkConcurrentQuery under the
+// server's default tracing configuration (-trace on, 1% head sampling):
+// every query runs inside a pooled span arena with pipeline-stage spans
+// (absorb, propagate, per-kind children), and tail sampling decides
+// retention at Finish. The delta against BenchmarkConcurrentQuery is the
+// tracing hot-path cost — the observability budget caps it at 1%.
+func BenchmarkConcurrentQueryTraced(b *testing.B) {
+	eng, ev := servingEngine(b)
+	tracer := &trace.Tracer{SampleRate: 0.01, Store: trace.NewStore(trace.DefaultStoreSize)}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		for pb.Next() {
+			arena, root := tracer.StartRequest("/v1/query", trace.SpanContext{})
+			res, err := eng.PropagateContext(trace.ContextWith(ctx, root), ev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.Posteriors(); err != nil {
+				b.Fatal(err)
+			}
+			res.Close()
+			root.End()
+			tracer.Finish(arena, root)
+		}
+	})
 }
 
 // BenchmarkConcurrentQueryPprofLabels is BenchmarkConcurrentQuery with the

@@ -71,6 +71,10 @@ type APIError struct {
 	// QueryID correlates the failure with the server's access log and
 	// flight recorder.
 	QueryID string
+	// TraceID is the failed request's distributed-trace ID (32 hex chars),
+	// fetchable via Client.Trace while tail sampling retains it. Empty when
+	// the server runs with tracing off.
+	TraceID string
 }
 
 func (e *APIError) Error() string {
@@ -104,6 +108,8 @@ var (
 	ErrOverloaded              error = errCode("overloaded")
 	ErrDeadlineExceeded        error = errCode("deadline_exceeded")
 	ErrBadRequest              error = errCode("bad_request")
+	ErrTraceNotFound           error = errCode("trace_not_found")
+	ErrTracingDisabled         error = errCode("tracing_disabled")
 )
 
 // envelope mirrors the server's uniform error body.
@@ -112,6 +118,7 @@ type envelope struct {
 		Code    string `json:"code"`
 		Message string `json:"message"`
 		QueryID string `json:"query_id"`
+		TraceID string `json:"trace_id"`
 	} `json:"error"`
 }
 
@@ -126,6 +133,7 @@ func decodeError(resp *http.Response) error {
 			Code:    env.Error.Code,
 			Message: env.Error.Message,
 			QueryID: env.Error.QueryID,
+			TraceID: env.Error.TraceID,
 		}
 	}
 	return &APIError{
@@ -138,6 +146,7 @@ func decodeError(resp *http.Response) error {
 // do runs one request and decodes a 2xx JSON body into out (skipped when
 // out is nil); non-2xx responses return *APIError.
 func (c *Client) do(req *http.Request, out any) error {
+	injectTraceparent(req.Context(), req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -383,6 +392,18 @@ type Stats struct {
 	Workers        int                `json:"workers"`
 	Scheduler      string             `json:"scheduler"`
 	Models         []ModelStatsInline `json:"models"`
+	Cache          CacheCounters      `json:"cache"`
+	Audit          AuditStatus        `json:"audit"`
+}
+
+// CacheCounters is the default model's result-cache block in Stats.
+type CacheCounters struct {
+	Enabled   bool  `json:"enabled"`
+	Capacity  int   `json:"capacity"`
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Collapsed int64 `json:"collapsed"`
 }
 
 // ModelStatsInline is one model's row inside Stats.Models.

@@ -29,6 +29,13 @@ type FlightRecord struct {
 	Error             string         `json:"error,omitempty"`
 	Slow              bool           `json:"slow"`
 	Cached            bool           `json:"cached"`
+	Lazy              bool           `json:"lazy,omitempty"`
+	LazyMsgSent       int64          `json:"lazy_msg_sent,omitempty"`
+	LazyMsgBlocked    int64          `json:"lazy_msg_blocked,omitempty"`
+	LazyMsgSkipped    int64          `json:"lazy_msg_skipped,omitempty"`
+	LazyFlops         int64          `json:"lazy_flops,omitempty"`
+	LazyFlopsFull     int64          `json:"lazy_flops_full,omitempty"`
+	LazyMaterialized  int64          `json:"lazy_materialized,omitempty"`
 	EvidenceSig       string         `json:"evidence_sig,omitempty"`
 	Evidence          map[string]int `json:"evidence,omitempty"`
 }

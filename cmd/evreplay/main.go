@@ -25,6 +25,12 @@
 // -network/-bif — the latter is how a recorded log is checked against a
 // new build without serving it.
 //
+// Against a live server, every replayed request carries a W3C traceparent
+// derived deterministically from the record's query ID (SHA-256), so
+// server-side traces and access logs correlate back to the audit log; in
+// diff mode the traceparent is flagged sampled, and each mismatch prints
+// the evtrace command that renders its kept span tree.
+//
 // Exit codes: 0 success, 1 diff mismatch, 2 verification or I/O failure.
 package main
 
@@ -90,7 +96,7 @@ func run(argv []string) int {
 		return 2
 	}
 
-	tgt, closeTgt, err := buildTarget(*url, *network, *bifFile, *workers, *lazyOpt)
+	tgt, closeTgt, err := buildTarget(*url, *network, *bifFile, *workers, *lazyOpt, *mode == "diff")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evreplay:", err)
 		return 2
@@ -113,19 +119,25 @@ func run(argv []string) int {
 	}
 	for _, m := range mismatches {
 		fmt.Fprintf(os.Stderr, "mismatch: record %d (%s %s): %s\n", m.rec.Seq, kindName(m.rec.Kind), m.rec.ID, m.reason)
+		if *url != "" {
+			// The replay ran under a trace ID derived from the record, flagged
+			// sampled in diff mode — the server kept its span tree.
+			fmt.Fprintf(os.Stderr, "  trace: evtrace -url %s -id %s\n", *url, recTraceparent(m.rec, false)[3:35])
+		}
 	}
 	fmt.Fprintf(os.Stderr, "diff: %d records, %d mismatches\n", len(recs), len(mismatches))
 	return 1
 }
 
 // buildTarget constructs the replay target: a live server when -url is
-// set, otherwise an in-process engine from -network/-bif.
-func buildTarget(url, network, bifFile string, workers int, lazy bool) (target, func(), error) {
+// set, otherwise an in-process engine from -network/-bif. sampled marks
+// replayed traces always-keep (diff mode: mismatches deserve a waterfall).
+func buildTarget(url, network, bifFile string, workers int, lazy, sampled bool) (target, func(), error) {
 	if url != "" {
 		if network != "" || bifFile != "" {
 			return nil, nil, fmt.Errorf("-url and -network/-bif are mutually exclusive")
 		}
-		return &httpTarget{c: evclient.New(url)}, func() {}, nil
+		return &httpTarget{c: evclient.New(url), sampled: sampled}, func() {}, nil
 	}
 	net, err := replayNetwork(network, bifFile)
 	if err != nil {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -75,9 +77,16 @@ type target interface {
 }
 
 // httpTarget replays against a live evserve, routing each record to the
-// model that answered it.
+// model that answered it. Every replayed request carries a traceparent
+// derived deterministically from the record's query ID, so the server-side
+// trace and access-log line of a replayed query are computable from the
+// audit record alone — a diff mismatch correlates straight to its trace.
 type httpTarget struct {
 	c *evclient.Client
+	// sampled sets the traceparent's sampled flag, forcing tail sampling to
+	// keep every replayed trace. Diff mode sets it (mismatches are worth a
+	// waterfall); load mode leaves the server's own sampling in charge.
+	sampled bool
 }
 
 func (t *httpTarget) model(rec *audit.Record) string {
@@ -87,8 +96,40 @@ func (t *httpTarget) model(rec *audit.Record) string {
 	return rec.Model
 }
 
+// recTraceparent derives the deterministic W3C traceparent for one record:
+// the trace ID is the first 16 bytes of SHA-256 over the recorded query
+// ID, the parent span ID the next 8. Replaying the same log twice emits
+// the same trace IDs.
+func recTraceparent(rec *audit.Record, sampled bool) string {
+	sum := sha256.Sum256([]byte("evreplay:" + rec.ID))
+	if isZero(sum[:16]) {
+		sum[0] = 1 // the all-zero trace ID is invalid per W3C spec
+	}
+	if isZero(sum[16:24]) {
+		sum[16] = 1
+	}
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + hex.EncodeToString(sum[:16]) + "-" + hex.EncodeToString(sum[16:24]) + "-" + flags
+}
+
+func isZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *httpTarget) trace(ctx context.Context, rec *audit.Record) context.Context {
+	return evclient.WithTraceparent(ctx, recTraceparent(rec, t.sampled))
+}
+
 func (t *httpTarget) query(ctx context.Context, rec *audit.Record) (*answer, error) {
-	resp, err := t.c.Query(ctx, t.model(rec), evclient.Evidence(rec.Evidence), rec.Query...)
+	resp, err := t.c.Query(t.trace(ctx, rec), t.model(rec), evclient.Evidence(rec.Evidence), rec.Query...)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +137,7 @@ func (t *httpTarget) query(ctx context.Context, rec *audit.Record) (*answer, err
 }
 
 func (t *httpTarget) mpe(ctx context.Context, rec *audit.Record) (*answer, error) {
-	resp, err := t.c.MPE(ctx, t.model(rec), evclient.Evidence(rec.Evidence))
+	resp, err := t.c.MPE(t.trace(ctx, rec), t.model(rec), evclient.Evidence(rec.Evidence))
 	if err != nil {
 		return nil, err
 	}

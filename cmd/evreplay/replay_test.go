@@ -11,6 +11,7 @@ import (
 
 	"evprop"
 	"evprop/internal/audit"
+	"evprop/internal/obs/trace"
 )
 
 func asiaEngine(t *testing.T) *evprop.Engine {
@@ -234,5 +235,35 @@ func TestLoadReplay(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
 		t.Errorf("paced replay finished in %v, expected pacing floor", elapsed)
+	}
+}
+
+// TestRecTraceparent: the derived traceparent is deterministic, valid W3C
+// (parses via the server's own parser), distinct per record, and carries
+// the sampled flag only when asked.
+func TestRecTraceparent(t *testing.T) {
+	a := &audit.Record{ID: "q-000001"}
+	b := &audit.Record{ID: "q-000002"}
+	tpA := recTraceparent(a, true)
+	if tpA != recTraceparent(a, true) {
+		t.Error("traceparent not deterministic")
+	}
+	if tpA == recTraceparent(b, true) {
+		t.Error("distinct records share a traceparent")
+	}
+	sc, ok := trace.ParseTraceparent(tpA)
+	if !ok || !sc.IsValid() {
+		t.Fatalf("derived traceparent %q does not parse", tpA)
+	}
+	if sc.Flags&trace.FlagSampled == 0 {
+		t.Error("diff-mode traceparent not flagged sampled")
+	}
+	sc, ok = trace.ParseTraceparent(recTraceparent(a, false))
+	if !ok || sc.Flags&trace.FlagSampled != 0 {
+		t.Error("load-mode traceparent should be unsampled")
+	}
+	// Same trace ID either way — the flag is the only difference.
+	if recTraceparent(a, true)[:36] != recTraceparent(a, false)[:36] {
+		t.Error("sampled flag changed the trace ID")
 	}
 }

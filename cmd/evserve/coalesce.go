@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"evprop"
+	"evprop/internal/obs/trace"
 	"evprop/internal/registry"
 )
 
@@ -58,9 +59,14 @@ func newCoalescer(window time.Duration) *coalescer {
 // any number of riders.
 type coalesceGroup struct {
 	done chan struct{}
-	pe   float64
-	post map[string][]float64
-	err  error
+	// leader is the leader sub-query's span (nil when tracing is off):
+	// riders link themselves under it, so the leader's trace shows every
+	// query its one propagation answered. Written before the group is
+	// published under co.mu, read by riders after that same lock.
+	leader *trace.Span
+	pe     float64
+	post   map[string][]float64
+	err    error
 }
 
 // coalescedQuery answers one batch sub-query through the coalescer. It
@@ -79,17 +85,27 @@ func (s *server) coalescedQuery(ctx context.Context, model string, v *registry.V
 		return nil, err
 	}
 	key := coalesceKey{v: v, sig: sig}
+	sp := trace.FromContext(ctx)
 	co := s.co
 	co.mu.Lock()
 	g, rider := co.groups[key]
 	if !rider {
-		g = &coalesceGroup{done: make(chan struct{})}
+		g = &coalesceGroup{done: make(chan struct{}), leader: sp}
 		co.groups[key] = g
 		co.mu.Unlock()
 		go s.runCoalesced(ctx, key, g, req.Evidence)
 	} else {
 		co.mu.Unlock()
 		co.coalesced.Add(1)
+		// Cross-link the two traces: the rider's span records that it rode,
+		// and the leader's trace gains a child naming the rider. The child
+		// start is seal-safe — a leader that already finished (client gone)
+		// simply yields no link.
+		sp.SetAttr(trace.Bool("coalesced", true))
+		if c := g.leader.StartChild("coalesced.rider",
+			trace.String("rider.trace_id", sp.TraceID().String())); c != nil {
+			c.End()
+		}
 	}
 	select {
 	case <-g.done:
@@ -108,8 +124,9 @@ func (s *server) coalescedQuery(ctx context.Context, model string, v *registry.V
 	}
 	resp.Model, resp.Version = model, v.ID
 	elapsed := time.Since(start)
-	s.stats.observe(elapsed)
-	ms.latency.Observe(elapsed)
+	tid := traceIDFrom(ctx)
+	s.stats.observe(elapsed, tid)
+	ms.latency.ObserveExemplar(elapsed, tid)
 	// Riders are audited Cached — they were answered by a window-mate's
 	// propagation, exactly like a cache hit.
 	s.auditQuery(ctx, v, req, resp, rider, elapsed, nil)

@@ -76,6 +76,9 @@ type errorBody struct {
 	// QueryID correlates the failure with the access log and the flight
 	// recorder; empty on routes outside the instrumented set.
 	QueryID string `json:"query_id,omitempty"`
+	// TraceID correlates the failure with its distributed trace
+	// (GET /v1/debug/trace?id=); empty when tracing is off.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // writeError answers a failed request from the typed error via the
@@ -92,14 +95,15 @@ func (s *server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 func (s *server) writeErrorCode(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
 	s.stats.errors.Add(1)
 	ri := reqInfoFrom(r.Context())
-	var id string
+	var id, traceID string
 	if ri != nil {
 		id = ri.queryID
+		traceID = ri.traceID
 		if ms := ri.stats(); ms != nil {
 			ms.errors.Add(1)
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Code: code, Message: msg, QueryID: id}})
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Code: code, Message: msg, QueryID: id, TraceID: traceID}})
 }

@@ -42,6 +42,15 @@
 //	GET /v1/debug/flightrecorder → recent query ring + slow-query captures;
 //	                ?model= selects a model, ?id=q-… filters to one query ID,
 //	                ?since=<seq>&limit=N pages oldest-first (next_since cursor)
+//	GET /v1/debug/trace → recently kept trace IDs; ?id=<32-hex> returns one
+//	                kept trace's span tree (see cmd/evtrace for a waterfall)
+//
+// Distributed tracing is on by default (-trace): every request runs under
+// a span arena, honors a caller's W3C traceparent/tracestate (the trace ID
+// survives end to end and is echoed as X-Trace-ID and in error envelopes),
+// and tail sampling keeps slow, failed and caller-flagged traces plus a
+// -trace-sample head-sampled remainder. -otlp-endpoint additionally pushes
+// kept traces as OTLP/JSON to a collector.
 //
 // Errors are uniform: every failure answers
 // {"error": {"code": …, "message": …, "query_id": …}} with the status
@@ -83,6 +92,7 @@ import (
 	"evprop"
 	"evprop/internal/audit"
 	"evprop/internal/buildinfo"
+	"evprop/internal/obs/trace"
 	"evprop/internal/registry"
 )
 
@@ -110,6 +120,9 @@ func main() {
 		auditBat  = flag.Int("audit-batch", 0, "audit records per flushed batch (0 = default)")
 		auditRot  = flag.Int64("audit-rotate", 0, "rotate audit segments beyond this many bytes (0 = default)")
 		lazyProp  = flag.Bool("lazy", false, "zero-aware lazy propagation: precalibrate each model once, then propagate only through the part of the tree each query's evidence disturbs")
+		traceOn   = flag.Bool("trace", true, "distributed tracing: per-request span trees with W3C traceparent propagation, tail-sampled into GET /v1/debug/trace")
+		traceRate = flag.Float64("trace-sample", 0.01, "head-sampling rate for traces not kept by tail rules (slow/error/caller-flagged are always kept)")
+		otlpEndp  = flag.String("otlp-endpoint", "", "push kept traces as OTLP/JSON to this collector URL (e.g. http://collector:4318/v1/traces; empty = no export)")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -177,6 +190,20 @@ func main() {
 	if *batchWin > 0 {
 		srv.co = newCoalescer(*batchWin)
 	}
+	if *traceOn {
+		srv.tracer = &trace.Tracer{
+			SampleRate: *traceRate,
+			Store:      trace.NewStore(trace.DefaultStoreSize),
+			// Tail sampling's "slow" rule piggybacks the flight recorder's
+			// adaptive 2×p99 threshold (or the -slow-threshold floor).
+			Slow: func() time.Duration {
+				return time.Duration(srv.defaultEngine().FlightRecorderStats().SlowThresholdUsec * 1e3)
+			},
+		}
+		if *otlpEndp != "" {
+			srv.tracer.Exporter = trace.NewExporter(*otlpEndp, "evserve")
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -194,6 +221,10 @@ func main() {
 	err = serve(ctx, ln, srv, logger)
 	srv.beginDrain() // listener-failure path: Shutdown never ran
 	srv.close()
+	if srv.tracer != nil {
+		// Flush whatever the OTLP exporter has queued (nil-safe).
+		srv.tracer.Exporter.Close()
+	}
 	if srv.aud != nil {
 		// Drain and seal the audit log after the last request finished; a
 		// failed final flush is worth a log line but not a dirty exit.

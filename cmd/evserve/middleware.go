@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"evprop"
+	"evprop/internal/obs/trace"
 )
 
 // Per-request observability: instrument wraps every handler so each request
@@ -25,7 +26,11 @@ import (
 // window. Fields are atomics because /v1/batch runs its sub-queries on
 // concurrent goroutines.
 type reqInfo struct {
-	queryID      string
+	queryID string
+	// traceID is the request's 32-hex distributed-trace ID, "" when tracing
+	// is off. Written once by instrument before the handler runs, so plain
+	// reads from handler goroutines are ordered.
+	traceID      string
 	evidenceVars atomic.Int64
 	propagations atomic.Int64
 	// overheadFrac and loadBalance hold the most recent propagation's
@@ -202,6 +207,25 @@ func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		ri := &reqInfo{queryID: id}
 		ctx := evprop.WithQueryID(r.Context(), id)
 		ctx = context.WithValue(ctx, reqInfoKey{}, ri)
+		// Open the request's trace: honor a caller-supplied W3C traceparent
+		// (same trace ID end to end, remote span as the root's parent), mint
+		// a fresh ID otherwise. The span rides the context into the engine;
+		// the keep decision is deferred to Finish (tail sampling).
+		var (
+			arena *trace.Trace
+			root  *trace.Span
+		)
+		if s.tracer != nil {
+			parent, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+			if parent.IsValid() {
+				parent.State = r.Header.Get("tracestate")
+			}
+			arena, root = s.tracer.StartRequest(endpoint, parent)
+			root.SetAttr(trace.String("http.method", r.Method), trace.String("query.id", id))
+			ctx = trace.ContextWith(ctx, root)
+			ri.traceID = root.TraceID().String()
+			w.Header().Set("X-Trace-ID", ri.traceID)
+		}
 		if s.timeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.timeout)
@@ -215,6 +239,14 @@ func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		if status == 0 {
 			status = http.StatusOK
 		}
+		if root != nil {
+			root.SetAttr(trace.Int("http.status", int64(status)))
+			if status >= 500 {
+				root.Fail(http.StatusText(status))
+			}
+			root.End()
+			s.tracer.Finish(arena, root)
+		}
 		s.window.Observe(latency, status >= 400, ri.lastLoadBalance())
 		s.window.ObserveCache(ri.cacheHits.Load(), ri.cacheLookups.Load())
 		if ms := ri.stats(); ms != nil {
@@ -223,6 +255,7 @@ func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		}
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.String("id", id),
+			slog.String("trace_id", ri.traceID),
 			slog.String("method", r.Method),
 			slog.String("endpoint", endpoint),
 			slog.String("model", ri.modelName()),

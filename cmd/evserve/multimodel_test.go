@@ -147,6 +147,9 @@ func TestErrorEnvelope(t *testing.T) {
 		if wantID && env.Error.QueryID == "" {
 			t.Error("missing query_id")
 		}
+		if wantID && len(env.Error.TraceID) != 32 {
+			t.Errorf("trace_id %q, want 32-hex (tracing is on in testServerFull)", env.Error.TraceID)
+		}
 	}
 
 	t.Run("model_not_found", func(t *testing.T) {

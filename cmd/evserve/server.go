@@ -15,6 +15,7 @@ import (
 	"evprop"
 	"evprop/internal/audit"
 	"evprop/internal/obs"
+	"evprop/internal/obs/trace"
 	"evprop/internal/registry"
 )
 
@@ -66,6 +67,10 @@ type server struct {
 	aud      *audit.Writer
 	audStore *audit.FileStore
 	auditDir string
+	// tracer owns distributed tracing (the -trace flags): per-request span
+	// arenas, tail sampling into the debug store, optional OTLP export. nil
+	// when tracing is off — every consumer nil-checks.
+	tracer *trace.Tracer
 	// sampler takes the 1 s snapshots behind /v1/stream; started is the
 	// uptime epoch reported by /v1/healthz and every snapshot.
 	sampler *obs.Sampler[streamSnapshot]
@@ -96,7 +101,19 @@ type serverStats struct {
 	latency obs.Histogram
 }
 
-func (st *serverStats) observe(d time.Duration) { st.latency.Observe(d) }
+func (st *serverStats) observe(d time.Duration, traceID string) {
+	st.latency.ObserveExemplar(d, traceID)
+}
+
+// traceIDFrom returns the hex trace ID of the request's active span, "" for
+// untraced requests. Latency observations pass it down so the histograms'
+// OpenMetrics exemplars link slow buckets to their traces.
+func traceIDFrom(ctx context.Context) string {
+	if id := trace.FromContext(ctx).TraceID(); id.IsValid() {
+		return id.String()
+	}
+	return ""
+}
 
 // modelStats is one model's slice of the serving counters: request counts
 // by kind, error count, latency histogram, and a 60 s traffic window.
@@ -199,6 +216,7 @@ func (s *server) mux() *http.ServeMux {
 	route("/v1/metrics", "/v1/metrics", s.handleMetrics)
 	route("/v1/audit", "/v1/audit", s.handleAudit)
 	route("/v1/debug/flightrecorder", "/v1/debug/flightrecorder", s.handleFlightRecorder)
+	route("/v1/debug/trace", "/v1/debug/trace", s.handleTrace)
 	// The stream and the health probes stay outside instrument: probes fire
 	// every few seconds and a stream lives for minutes — folding either into
 	// the QPS window or the access log would drown the real traffic signal.
@@ -325,8 +343,9 @@ func (s *server) runQuery(ctx context.Context, v *registry.Version, ms *modelSta
 		resp.Posteriors = post
 	}
 	elapsed := time.Since(start)
-	s.stats.observe(elapsed)
-	ms.latency.Observe(elapsed)
+	tid := traceIDFrom(ctx)
+	s.stats.observe(elapsed, tid)
+	ms.latency.ObserveExemplar(elapsed, tid)
 	s.auditQuery(ctx, v, req, resp, res.Cached(), elapsed, nil)
 	return resp, nil
 }
@@ -423,11 +442,20 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, q queryRequest) {
 			defer wg.Done()
-			resp, err := run(r.Context(), v, ms, q)
+			// Each sub-query runs under its own child span, so the trace
+			// shows the batch fanning out (and coalesced riders link to
+			// their leader's item; see coalesce.go).
+			isp := trace.FromContext(r.Context()).StartChild("batch.item",
+				trace.Int("batch.index", int64(i)))
+			ctx := trace.ContextWith(r.Context(), isp)
+			resp, err := run(ctx, v, ms, q)
 			if err != nil {
+				isp.Fail(err.Error())
+				isp.End()
 				results[i] = batchResult{Error: err.Error()}
 				return
 			}
+			isp.End()
 			results[i] = batchResult{PEvidence: resp.PEvidence, Posteriors: resp.Posteriors}
 		}(i, q)
 	}
@@ -480,8 +508,9 @@ func (s *server) handleMPE(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	elapsed := time.Since(start)
-	s.stats.observe(elapsed)
-	ms.latency.Observe(elapsed)
+	tid := traceIDFrom(r.Context())
+	s.stats.observe(elapsed, tid)
+	ms.latency.ObserveExemplar(elapsed, tid)
 	s.auditMPE(r.Context(), v, req.Evidence, assignment, p, elapsed, nil)
 	s.writeJSON(w, mpeResponse{Assignment: assignment, Probability: p, Model: modelFor(r), Version: v.ID})
 }
@@ -552,6 +581,9 @@ type statsResponse struct {
 	// Audit reports the durable query-audit pipeline (-audit-dir): spill,
 	// drop and flush counters plus on-disk segment totals.
 	Audit auditStats `json:"audit"`
+	// Trace reports the distributed-tracing pipeline: traced requests,
+	// tail-sampling keeps, store fill, and OTLP export counters.
+	Trace traceStatsSummary `json:"trace"`
 }
 
 // modelStatsSummary is one model's row in /v1/stats.
@@ -692,6 +724,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Gauges:            eng.SchedulerGauges(),
 		Models:            s.modelSummaries(),
 		Audit:             s.auditStats(),
+		Trace:             s.traceStats(),
 	}
 	if resp.Observed > 0 {
 		resp.AvgLatencyUsec = float64(h.Mean()) / 1e3
@@ -816,6 +849,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteHeader(w, "evprop_flightrecorder_slow_threshold_seconds", "Current slow-query capture threshold (0 while calibrating).", "gauge")
 	obs.WriteSample(w, "evprop_flightrecorder_slow_threshold_seconds", nil, fs.SlowThresholdUsec/1e6)
 	s.writeAuditMetrics(w)
+	s.writeTraceMetrics(w)
 	s.writeGaugeMetrics(w)
 	s.writeModelMetrics(w)
 }

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"evprop"
+	"evprop/internal/obs/trace"
 )
 
 func testServer(t *testing.T) *httptest.Server {
@@ -22,12 +23,15 @@ func testServer(t *testing.T) *httptest.Server {
 
 // testServerFull also hands back the server so tests can reach its engine,
 // window and logger. Access logs are discarded unless a test swaps srv.log.
+// Tracing runs keep-everything (production defaults to -trace on; the
+// sample rate only affects which traces tail sampling retains).
 func testServerFull(t *testing.T, opts evprop.Options) (*httptest.Server, *server) {
 	t.Helper()
 	srv, err := newServer(evprop.Asia(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
+	srv.tracer = &trace.Tracer{SampleRate: 1, Store: trace.NewStore(64)}
 	srv.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	ts := httptest.NewServer(srv.mux())
 	t.Cleanup(ts.Close)

@@ -56,6 +56,12 @@ func run(ctx context.Context, url string, once bool) error {
 	for {
 		err := c.Stream(ctx, func(s snapshot) bool {
 			m.observe(s)
+			// One stats poll per stream event (~1 Hz): the cache and audit
+			// counters the SSE snapshot does not carry. Failures keep the
+			// previous poll — the row goes stale, not blank.
+			if st, serr := c.Stats(ctx); serr == nil {
+				m.observeStats(st)
+			}
 			if once {
 				fmt.Print(m.frame())
 				return false

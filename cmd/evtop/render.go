@@ -28,7 +28,14 @@ type model struct {
 	// util is per-worker busy-time fraction over the last inter-snapshot
 	// interval, computed in observe.
 	util []float64
+	// stats is the latest /v1/stats poll (nil until the first succeeds): the
+	// lifetime cache counters and the audit pipeline's drop counters, which
+	// the SSE stream does not carry.
+	stats *evclient.Stats
 }
+
+// observeStats folds one /v1/stats poll into the model.
+func (m *model) observeStats(st *evclient.Stats) { m.stats = st }
 
 // observe folds one stream event into the model.
 func (m *model) observe(s snapshot) {
@@ -125,6 +132,42 @@ func fmtUptime(sec float64) string {
 	return fmt.Sprintf("%02d:%02d:%02d", h, int(d.Minutes())%60, int(d.Seconds())%60)
 }
 
+// statsLine renders the /v1/stats-sourced row: lifetime cache hit rate and
+// the audit pipeline's drop counters, so audit backpressure (records lost
+// to a slow disk) is visible live, not just in Prometheus.
+func (m *model) statsLine() string {
+	if m.stats == nil {
+		return ""
+	}
+	var b strings.Builder
+	cs := m.stats.Cache
+	if cs.Enabled {
+		rate := 0.0
+		if n := cs.Hits + cs.Misses; n > 0 {
+			rate = float64(cs.Hits) / float64(n)
+		}
+		fmt.Fprintf(&b, "cache %d/%d entries   life hit %5.1f%%   collapsed %d",
+			cs.Entries, cs.Capacity, rate*100, cs.Collapsed)
+	} else {
+		b.WriteString("cache off")
+	}
+	au := m.stats.Audit
+	if au.Enabled {
+		dropRate := 0.0
+		if au.Enqueued > 0 {
+			dropRate = float64(au.Dropped) / float64(au.Enqueued)
+		}
+		fmt.Fprintf(&b, "   audit enq %d drop %d (%.2f%%)", au.Enqueued, au.Dropped, dropRate*100)
+		if au.Dropped > 0 {
+			b.WriteString(" !")
+		}
+	} else {
+		b.WriteString("   audit off")
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
 // frame renders the whole dashboard as one string of \n-joined lines, no
 // ANSI control — positioning is the caller's concern, which keeps this pure
 // and directly testable.
@@ -146,6 +189,7 @@ func (m *model) frame() string {
 		s.ErrorRate*100, s.CacheHitRate*100, s.LoadBalance, s.Requests)
 	fmt.Fprintf(&b, "GL depth %d   active runs %d   propagations %d   errors %d\n",
 		s.Gauges.GlobalDepth, s.Gauges.ActiveRuns, s.Propagations, s.Errors)
+	b.WriteString(m.statsLine())
 	b.WriteString("\n")
 	if len(s.Gauges.Workers) == 0 {
 		b.WriteString("(no per-worker gauges)\n")

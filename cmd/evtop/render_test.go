@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"evprop"
+	evclient "evprop/client"
 )
 
 func testSnap(at time.Time, busy0, busy1 int64) snapshot {
@@ -69,6 +70,39 @@ func TestFrameEmptyAndDisconnected(t *testing.T) {
 	f := m.frame()
 	if !strings.Contains(f, "RECONNECTING") || !strings.Contains(f, "connection refused") {
 		t.Errorf("disconnected frame lacks status:\n%s", f)
+	}
+}
+
+// TestFrameStatsLine: the /v1/stats row shows the lifetime cache hit rate
+// and flags audit drops; without a poll the row is absent; with auditing
+// off it says so.
+func TestFrameStatsLine(t *testing.T) {
+	m := &model{url: "http://x:8080"}
+	m.observe(testSnap(time.Unix(1000, 0), 0, 0))
+	if f := m.frame(); strings.Contains(f, "cache off") || strings.Contains(f, "audit") {
+		t.Errorf("stats row rendered before any poll:\n%s", f)
+	}
+	st := &evclient.Stats{}
+	st.Cache.Enabled = true
+	st.Cache.Capacity = 64
+	st.Cache.Entries = 12
+	st.Cache.Hits = 90
+	st.Cache.Misses = 10
+	st.Audit.Enabled = true
+	st.Audit.Enqueued = 1000
+	st.Audit.Dropped = 3
+	m.observeStats(st)
+	f := m.frame()
+	for _, want := range []string{
+		"cache 12/64 entries", "life hit  90.0%", "audit enq 1000 drop 3 (0.30%) !",
+	} {
+		if !strings.Contains(f, want) {
+			t.Errorf("stats row missing %q:\n%s", want, f)
+		}
+	}
+	m.observeStats(&evclient.Stats{})
+	if f := m.frame(); !strings.Contains(f, "cache off") || !strings.Contains(f, "audit off") {
+		t.Errorf("disabled stats row:\n%s", f)
 	}
 }
 

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	evclient "evprop/client"
+)
+
+// barWidth is the waterfall column's width in cells.
+const barWidth = 32
+
+// waterfall renders a fetched trace as an indented span tree with one
+// time-positioned bar per span, scaled to the whole trace. Pure string in,
+// string out — directly testable, positioning is the terminal's concern.
+func waterfall(tr *evclient.TraceResponse, width int) string {
+	var b strings.Builder
+	flags := tr.Reason
+	if tr.Sampled {
+		flags += ", sampled"
+	}
+	fmt.Fprintf(&b, "trace %s  (%d spans, kept: %s)\n", tr.TraceID, len(tr.Spans), flags)
+	if tr.DroppedSpans > 0 {
+		fmt.Fprintf(&b, "  ! %d span(s) dropped to arena overflow\n", tr.DroppedSpans)
+	}
+	if len(tr.Spans) == 0 {
+		return b.String()
+	}
+
+	// Index the tree. A span whose parent is absent from the trace is a
+	// root (the remote caller's span, or the request root when untraced
+	// upstream).
+	byID := map[string]evclient.TraceSpan{}
+	children := map[string][]evclient.TraceSpan{}
+	for _, sp := range tr.Spans {
+		byID[sp.SpanID] = sp
+	}
+	var roots []evclient.TraceSpan
+	for _, sp := range tr.Spans {
+		if _, ok := byID[sp.ParentSpanID]; sp.ParentSpanID != "" && ok {
+			children[sp.ParentSpanID] = append(children[sp.ParentSpanID], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	byStart := func(s []evclient.TraceSpan) {
+		sort.SliceStable(s, func(i, j int) bool { return s[i].Start.Before(s[j].Start) })
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+
+	// The time axis spans the earliest start to the latest end.
+	t0 := roots[0].Start
+	var t1 time.Time
+	for _, sp := range tr.Spans {
+		if sp.Start.Before(t0) {
+			t0 = sp.Start
+		}
+		if end := spanEnd(sp); end.After(t1) {
+			t1 = end
+		}
+	}
+	total := t1.Sub(t0)
+	if total <= 0 {
+		total = time.Microsecond
+	}
+
+	// Name column width: longest indented name, capped.
+	nameW := 0
+	var measure func(sp evclient.TraceSpan, depth int)
+	measure = func(sp evclient.TraceSpan, depth int) {
+		if w := 2*depth + len(sp.Name); w > nameW {
+			nameW = w
+		}
+		for _, c := range children[sp.SpanID] {
+			measure(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		measure(r, 0)
+	}
+	if nameW > 40 {
+		nameW = 40
+	}
+
+	var render func(sp evclient.TraceSpan, depth int)
+	render = func(sp evclient.TraceSpan, depth int) {
+		name := strings.Repeat("  ", depth) + sp.Name
+		share := sp.DurationUsec / (float64(total.Nanoseconds()) / 1e3) * 100
+		fmt.Fprintf(&b, "%-*s %9s %5.1f%% ▕%s▏", nameW, name,
+			fmtUsec(sp.DurationUsec), share, bar(sp, t0, total, width))
+		if extra := spanExtras(sp); extra != "" {
+			b.WriteString(" " + extra)
+		}
+		b.WriteString("\n")
+		for _, c := range children[sp.SpanID] {
+			render(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 0)
+	}
+	return b.String()
+}
+
+func spanEnd(sp evclient.TraceSpan) time.Time {
+	return sp.Start.Add(time.Duration(sp.DurationUsec * 1e3))
+}
+
+// bar draws a span's interval on the shared time axis: spaces up to its
+// offset, blocks for its duration (at least one cell).
+func bar(sp evclient.TraceSpan, t0 time.Time, total time.Duration, width int) string {
+	off := int(float64(sp.Start.Sub(t0)) / float64(total) * float64(width))
+	n := int(sp.DurationUsec * 1e3 / float64(total) * float64(width))
+	if n < 1 {
+		n = 1
+	}
+	if off > width-1 {
+		off = width - 1
+	}
+	if off+n > width {
+		n = width - off
+	}
+	return strings.Repeat(" ", off) + strings.Repeat("█", n) + strings.Repeat(" ", width-off-n)
+}
+
+// spanExtras picks the attributes worth a waterfall cell: failure status,
+// cache verdicts, singleflight role, plan reuse, and the lazy engine's
+// pruning counters (with the pruned-work fraction computed inline).
+func spanExtras(sp evclient.TraceSpan) string {
+	var parts []string
+	if sp.Status != "" {
+		parts = append(parts, "FAIL("+sp.Status+")")
+	}
+	attrs := sp.Attrs
+	if v, ok := attrs["cache.hit"].(bool); ok {
+		parts = append(parts, fmt.Sprintf("cache.hit=%v", v))
+	}
+	for _, k := range []string{"role", "plan", "scheduler"} {
+		if v, ok := attrs[k].(string); ok {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	for _, k := range []string{"tasks", "workers", "evidence.vars", "batch.index", "http.status"} {
+		if v, ok := attrs[k].(float64); ok {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, int64(v)))
+		}
+	}
+	// Lazy pruning counters: sent/blocked/skipped plus the fraction of
+	// full-propagation flops the zero-aware plan avoided.
+	if sent, ok := attrs["lazy.msg_sent"].(float64); ok {
+		blocked, _ := attrs["lazy.msg_blocked"].(float64)
+		skipped, _ := attrs["lazy.msg_skipped"].(float64)
+		parts = append(parts, fmt.Sprintf("lazy sent/blocked/skipped=%d/%d/%d",
+			int64(sent), int64(blocked), int64(skipped)))
+		if full, ok := attrs["lazy.flops_full"].(float64); ok && full > 0 {
+			flops, _ := attrs["lazy.flops"].(float64)
+			parts = append(parts, fmt.Sprintf("pruned=%.0f%%", (1-flops/full)*100))
+		}
+	}
+	if v, ok := attrs["rider.trace_id"].(string); ok {
+		parts = append(parts, "rider="+v[:8]+"…")
+	}
+	return strings.Join(parts, " ")
+}
+
+// fmtUsec prints a µs duration with a sensible unit.
+func fmtUsec(usec float64) string {
+	switch {
+	case usec >= 1e6:
+		return fmt.Sprintf("%.2fs", usec/1e6)
+	case usec >= 1e3:
+		return fmt.Sprintf("%.2fms", usec/1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", usec)
+	}
+}
+
+func countSpans(tr *evclient.TraceResponse, name string) int {
+	n := 0
+	for _, sp := range tr.Spans {
+		if sp.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+func findSpan(tr *evclient.TraceResponse, name string) (evclient.TraceSpan, bool) {
+	for _, sp := range tr.Spans {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return evclient.TraceSpan{}, false
+}
+
+// assertTrace verifies the span-tree properties `make smoke-trace` relies
+// on for a -drive n batch: the caller's trace identity survived, the
+// caller's span parents the root, the pipeline stages are present in
+// order, every sub-query has its span, and (n>1) at least one coalesced
+// rider links into the leader's tree. Returns the violations, empty when
+// the tree checks out.
+func assertTrace(tr *evclient.TraceResponse, traceID, parentSpan string, n int) []string {
+	var problems []string
+	if tr.TraceID != traceID {
+		problems = append(problems, fmt.Sprintf("trace ID %s, want the minted %s", tr.TraceID, traceID))
+	}
+	if !tr.Sampled {
+		problems = append(problems, "caller's sampled flag was dropped")
+	}
+	// The batch root is route-named: /v1/batch on the default alias,
+	// /v1/models/{name}/batch on the model-scoped route evclient uses.
+	root, ok := findSpan(tr, "/v1/batch")
+	if !ok {
+		root, ok = findSpan(tr, "/v1/models/{name}/batch")
+	}
+	if !ok {
+		problems = append(problems, "no batch root span")
+	} else if root.ParentSpanID != parentSpan {
+		problems = append(problems, fmt.Sprintf("root parent %q, want the caller's span %q", root.ParentSpanID, parentSpan))
+	}
+	absorb, haveAbsorb := findSpan(tr, "absorb")
+	prop, haveProp := findSpan(tr, "propagate")
+	switch {
+	case !haveAbsorb:
+		problems = append(problems, "no absorb stage span")
+	case !haveProp:
+		problems = append(problems, "no propagate stage span")
+	case prop.Start.Before(absorb.Start):
+		problems = append(problems, "propagate started before absorb — stages out of order")
+	}
+	if items := countSpans(tr, "batch.item"); items != n {
+		problems = append(problems, fmt.Sprintf("%d batch.item spans, want %d", items, n))
+	}
+	if n > 1 && countSpans(tr, "coalesced.rider") == 0 {
+		problems = append(problems, "no coalesced.rider span — riders did not link into the leader's tree (is -batch-window set?)")
+	}
+	return problems
+}

@@ -57,6 +57,17 @@ type FlightRecord struct {
 	// Cached marks queries served from the shared-evidence result cache
 	// (no scheduler ran for them).
 	Cached bool `json:"cached"`
+	// Lazy marks runs executed by the zero-aware lazy engine; the pruning
+	// counters that follow explain where the run's work went (messages by
+	// fate, table entries processed vs one eager two-pass propagation), so
+	// a slow lazy query is explainable straight from the flight recorder.
+	Lazy             bool  `json:"lazy,omitempty"`
+	LazyMsgSent      int64 `json:"lazy_msg_sent,omitempty"`
+	LazyMsgBlocked   int64 `json:"lazy_msg_blocked,omitempty"`
+	LazyMsgSkipped   int64 `json:"lazy_msg_skipped,omitempty"`
+	LazyFlops        int64 `json:"lazy_flops,omitempty"`
+	LazyFlopsFull    int64 `json:"lazy_flops_full,omitempty"`
+	LazyMaterialized int64 `json:"lazy_materialized,omitempty"`
 	// EvidenceSig is the canonical evidence signature (hex) of the query's
 	// inputs — the result-cache key, and the handle audit replay uses to
 	// correlate identical queries.
@@ -200,6 +211,13 @@ func (e *Engine) publicRecord(r *obs.QueryRecord) FlightRecord {
 		Error:             r.Err,
 		Slow:              r.Slow,
 		Cached:            r.Cached,
+		Lazy:              r.Lazy,
+		LazyMsgSent:       r.LazyMsgSent,
+		LazyMsgBlocked:    r.LazyMsgBlocked,
+		LazyMsgSkipped:    r.LazyMsgSkipped,
+		LazyFlops:         r.LazyFlops,
+		LazyFlopsFull:     r.LazyFlopsFull,
+		LazyMaterialized:  r.LazyMaterialized,
 		EvidenceSig:       hex.EncodeToString([]byte(r.EvidenceSig)),
 	}
 	if len(r.Evidence) > 0 {

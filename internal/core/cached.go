@@ -7,6 +7,7 @@ import (
 
 	"evprop/internal/cache"
 	"evprop/internal/obs"
+	otrace "evprop/internal/obs/trace"
 	"evprop/internal/potential"
 	"evprop/internal/taskgraph"
 )
@@ -56,15 +57,22 @@ func (e *Engine) propagateCached(ctx context.Context, ev potential.Evidence, lik
 		ctx = context.Background()
 	}
 	start := time.Now()
+	sp := otrace.FromContext(ctx)
 	sig := cache.Signature(byte(mode), ev, like)
+	lsp := sp.StartChild("cache.lookup")
 	if v, ok := e.cache.Get(sig); ok {
+		lsp.SetAttr(otrace.Bool("cache.hit", true))
+		lsp.End()
 		e.recordCached(ctx, mode.String(), sig, ev, time.Since(start))
 		return v.(*Result), true, nil
 	}
+	lsp.SetAttr(otrace.Bool("cache.hit", false))
+	lsp.End()
 	// The generation is read before the propagation starts: should an
 	// InvalidateCache land while the run is in flight, the Add below is
 	// dropped and the (potentially stale) result is never cached.
 	gen := e.cache.Generation()
+	fsp := sp.StartChild("singleflight")
 	v, err, shared := e.flight.Do(ctx, sig, func(runCtx context.Context) (any, error) {
 		res, err := e.propagateFull(runCtx, ev, like, mode)
 		if err != nil {
@@ -74,6 +82,15 @@ func (e *Engine) propagateCached(ctx context.Context, ev potential.Evidence, lik
 		e.cache.Add(sig, res, gen)
 		return res, nil
 	})
+	if shared {
+		fsp.SetAttr(otrace.String("role", "waiter"))
+	} else {
+		fsp.SetAttr(otrace.String("role", "leader"))
+	}
+	if err != nil {
+		fsp.Fail(err.Error())
+	}
+	fsp.End()
 	if err != nil {
 		return nil, false, err
 	}

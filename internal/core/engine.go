@@ -27,6 +27,7 @@ import (
 	"evprop/internal/jtree"
 	"evprop/internal/lazy"
 	"evprop/internal/obs"
+	otrace "evprop/internal/obs/trace"
 	"evprop/internal/potential"
 	"evprop/internal/sched"
 	"evprop/internal/taskgraph"
@@ -395,35 +396,58 @@ func (e *Engine) propagateFull(ctx context.Context, ev potential.Evidence, like 
 			return nil, err
 		}
 	}
+	var sp *otrace.Span
+	if ctx != nil {
+		sp = otrace.FromContext(ctx)
+	}
 	var st propState
 	var exec taskgraph.Executor
+	asp := sp.StartChild("absorb", otrace.Int("evidence.vars", int64(len(ev))))
 	if e.lazyProp != nil {
 		lst, err := e.lazyProp.NewState(mode, ev, like)
 		if err != nil {
+			asp.Fail(err.Error())
+			asp.End()
 			return nil, err
+		}
+		if lst.PlanHit() {
+			asp.SetAttr(otrace.String("plan", "hit"))
+		} else {
+			asp.SetAttr(otrace.String("plan", "build"))
 		}
 		st, exec = lst, lst
 	} else {
 		est, err := e.getState(mode)
 		if err != nil {
+			asp.Fail(err.Error())
+			asp.End()
 			return nil, err
 		}
 		if err := est.AbsorbEvidence(ev); err != nil {
 			e.putState(est) // never ran; Reset restores the partial reduction
+			asp.Fail(err.Error())
+			asp.End()
 			return nil, err
 		}
 		if err := est.AbsorbLikelihood(like); err != nil {
 			e.putState(est)
+			asp.Fail(err.Error())
+			asp.End()
 			return nil, err
 		}
 		st, exec = est, est
 	}
+	asp.End()
 	res := &Result{eng: e, state: st}
 	id := e.queryID(ctx)
+	psp := sp.StartChild("propagate",
+		otrace.String("scheduler", e.opts.Scheduler.String()),
+		otrace.Int("workers", int64(e.opts.Workers)))
 	start := time.Now()
 	m, err := e.runScheduler(ctx, id, exec)
 	elapsed := time.Since(start)
-	e.recordRun(id, mode.String(), byte(mode), ev, like, elapsed, m, err)
+	e.finishRunSpan(psp, start, m, st, err)
+	e.recordRun(id, mode.String(), byte(mode), ev, like, elapsed, m, st, err)
 	if err != nil {
 		// The state may still be referenced by pool workers draining the
 		// failed run's queue — drop it to the GC instead of recycling.
@@ -433,6 +457,45 @@ func (e *Engine) propagateFull(ctx context.Context, ev potential.Evidence, like 
 	res.Elapsed = elapsed
 	res.pe = st.EvidenceMass()
 	return res, nil
+}
+
+// finishRunSpan closes a propagation's run span: scheduler metrics become
+// attributes plus coarse per-task-kind child spans folded from the
+// already-collected sched.Metrics (no extra hot-path clocking — the
+// children are synthesized after the run from per-kind busy totals), and
+// lazy pruning counters land as attributes when the lazy engine ran.
+func (e *Engine) finishRunSpan(psp *otrace.Span, start time.Time, m *sched.Metrics, st propState, runErr error) {
+	if psp == nil {
+		return
+	}
+	if runErr != nil {
+		psp.Fail(runErr.Error())
+	}
+	if m != nil {
+		psp.SetAttr(otrace.Int("tasks", int64(m.Tasks)))
+		var kinds [taskgraph.NumKinds]time.Duration
+		for _, wm := range m.Workers {
+			for k, d := range wm.KindBusy {
+				kinds[k] += d
+			}
+		}
+		for k, d := range kinds {
+			if d > 0 {
+				psp.ChildInterval("kind."+taskgraph.Kind(k).String(), start, d)
+			}
+		}
+	}
+	if lst, ok := st.(*lazy.State); ok && runErr == nil {
+		s := lst.Stats()
+		psp.SetAttr(
+			otrace.Int("lazy.msg_sent", s.MessagesSent),
+			otrace.Int("lazy.msg_blocked", s.MessagesBlocked),
+			otrace.Int("lazy.msg_skipped", s.MessagesSkipped),
+			otrace.Int("lazy.flops", s.Flops),
+			otrace.Int("lazy.flops_full", s.FlopsFull),
+		)
+	}
+	psp.End()
 }
 
 // queryID resolves the run's query ID before the scheduler starts, so the
@@ -452,7 +515,7 @@ func (e *Engine) queryID(ctx context.Context) string {
 // (rather than requested via Options.Trace) are stripped from the metrics
 // afterwards: slow runs' traces now belong to the recorder, fast runs'
 // traces are dead weight.
-func (e *Engine) recordRun(id, mode string, sigMode byte, ev potential.Evidence, like potential.Likelihood, elapsed time.Duration, m *sched.Metrics, runErr error) {
+func (e *Engine) recordRun(id, mode string, sigMode byte, ev potential.Evidence, like potential.Likelihood, elapsed time.Duration, m *sched.Metrics, st propState, runErr error) {
 	rec := e.opts.Recorder
 	if rec == nil {
 		return
@@ -475,6 +538,19 @@ func (e *Engine) recordRun(id, mode string, sigMode byte, ev potential.Evidence,
 	}
 	if e.opts.RecordEvidence {
 		info.Evidence = maps.Clone(ev)
+	}
+	// Lazy pruning counters make slow lazy queries explainable from the
+	// recorder alone: the record shows what the pruning did (or failed to
+	// prune) without needing a retained trace.
+	if lst, ok := st.(*lazy.State); ok && runErr == nil {
+		s := lst.Stats()
+		info.Lazy = true
+		info.LazyMsgSent = s.MessagesSent
+		info.LazyMsgBlocked = s.MessagesBlocked
+		info.LazyMsgSkipped = s.MessagesSkipped
+		info.LazyFlops = s.Flops
+		info.LazyFlopsFull = s.FlopsFull
+		info.LazyMaterialized = s.MaterializedEntries
 	}
 	rec.RecordRun(info, m)
 	if m != nil && !e.opts.Trace {
@@ -596,9 +672,16 @@ func (e *Engine) CollectMarginalContext(ctx context.Context, ev potential.Eviden
 		return nil, err
 	}
 	id := e.queryID(ctx)
+	var csp *otrace.Span
+	if ctx != nil {
+		csp = otrace.FromContext(ctx).StartChild("collect",
+			otrace.Int("target.var", int64(v)),
+			otrace.String("scheduler", e.opts.Scheduler.String()))
+	}
 	start := time.Now()
 	sm, err := e.runScheduler(ctx, id, st)
-	e.recordRun(id, "collect", byte(taskgraph.SumProduct), ev, nil, time.Since(start), sm, err)
+	e.finishRunSpan(csp, start, sm, st, err)
+	e.recordRun(id, "collect", byte(taskgraph.SumProduct), ev, nil, time.Since(start), sm, st, err)
 	if err != nil {
 		return nil, err // state possibly still referenced; drop it
 	}

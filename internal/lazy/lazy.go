@@ -130,13 +130,14 @@ func (p *Prop) ensureCal(mode taskgraph.Mode) error {
 }
 
 // planFor returns the cached pruned plan for the evidence configuration,
-// building it on first sight.
-func (p *Prop) planFor(ev potential.Evidence, like potential.Likelihood) *plan {
+// building it on first sight. hit reports whether the plan came from the
+// cache (the distinction tracing surfaces as the plan span's attribute).
+func (p *Prop) planFor(ev potential.Evidence, like potential.Likelihood) (_ *plan, hit bool) {
 	key := planKey(ev, like)
 	p.mu.Lock()
 	if pl, ok := p.plans[key]; ok {
 		p.mu.Unlock()
-		return pl
+		return pl, true
 	}
 	p.mu.Unlock()
 	pl := p.buildPlan(ev, like)
@@ -146,7 +147,7 @@ func (p *Prop) planFor(ev potential.Evidence, like potential.Likelihood) *plan {
 	}
 	p.plans[key] = pl
 	p.mu.Unlock()
-	return pl
+	return pl, false
 }
 
 // planKey canonicalizes an evidence configuration. Hard evidence is keyed

@@ -117,15 +117,18 @@ func TestLazyMatchesEagerSerial(t *testing.T) {
 func TestPlanCacheKeysOnObservedSet(t *testing.T) {
 	p, ids := asiaProp(t)
 	ev1 := potential.Evidence{ids["XRay"]: 1}
-	a := p.planFor(ev1, nil)
-	b := p.planFor(potential.Evidence{ids["XRay"]: 1}, nil)
-	if a != b {
+	a, hit := p.planFor(ev1, nil)
+	if hit {
+		t.Fatal("first sight of the evidence reported a plan-cache hit")
+	}
+	b, hit := p.planFor(potential.Evidence{ids["XRay"]: 1}, nil)
+	if a != b || !hit {
 		t.Fatal("identical evidence rebuilt the plan")
 	}
-	if c := p.planFor(potential.Evidence{ids["XRay"]: 0}, nil); c == a {
+	if c, _ := p.planFor(potential.Evidence{ids["XRay"]: 0}, nil); c == a {
 		t.Fatal("different observed value reused the plan")
 	}
-	if d := p.planFor(potential.Evidence{ids["Smoke"]: 1}, nil); d == a {
+	if d, _ := p.planFor(potential.Evidence{ids["Smoke"]: 1}, nil); d == a {
 		t.Fatal("different observed set reused the plan")
 	}
 }

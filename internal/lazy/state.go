@@ -46,6 +46,9 @@ type State struct {
 	plan *plan
 	mode taskgraph.Mode
 	cal  *calibration
+	// planHit records whether the pruned plan came from the plan cache
+	// (true) or was built for this query (false).
+	planHit bool
 
 	// cl/sep overlay the calibration tables: nil means "unchanged, read
 	// the shared precalibrated table". sepNew and temp are the per-edge
@@ -87,12 +90,13 @@ func (p *Prop) NewState(mode taskgraph.Mode, ev potential.Evidence, like potenti
 	if err := p.ensureCal(mode); err != nil {
 		return nil, err
 	}
-	pl := p.planFor(ev, like)
+	pl, hit := p.planFor(ev, like)
 	n := p.tree.N()
 	st := &State{
 		prop:     p,
 		plan:     pl,
 		mode:     mode,
+		planHit:  hit,
 		cal:      p.cal[mode],
 		cl:       make([]*potential.Potential, n),
 		sep:      make([]*potential.Potential, n),
@@ -556,6 +560,10 @@ func (st *State) distributeLocked(c int) error {
 	st.tasksRun.Add(4)
 	return nil
 }
+
+// PlanHit reports whether this query's pruned plan came from the plan
+// cache rather than being built from scratch.
+func (st *State) PlanHit() bool { return st.planHit }
 
 // Stats snapshots the pruning counters. Undemanded distribute messages
 // count as skipped: they were never sent.

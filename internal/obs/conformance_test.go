@@ -88,6 +88,37 @@ func TestEmptyHistogramConformance(t *testing.T) {
 	}
 }
 
+// TestHistogramExemplarConformance: a traced observation surfaces as an
+// OpenMetrics exemplar trailer on its bucket line, and the rendering still
+// lints clean (the linter validates the trailer grammar too).
+func TestHistogramExemplarConformance(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(10 * time.Microsecond)                                        // untraced: no exemplar
+	h.ObserveExemplar(time.Millisecond, "4bf92f3577b34da6a3ce929d0e0e4736") // traced
+	h.ObserveExemplar(20*time.Millisecond, "")                              // empty ID: plain observe
+	var b strings.Builder
+	h.WritePrometheus(&b, "ex_seconds", "Exemplar test.")
+	out := b.String()
+	if problems := LintExposition(strings.NewReader(out)); len(problems) != 0 {
+		t.Fatalf("conformance problems:\n%s\nin:\n%s", strings.Join(problems, "\n"), out)
+	}
+	if !strings.Contains(out, `# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.001 `) {
+		t.Errorf("missing exemplar trailer in:\n%s", out)
+	}
+	// Exactly one bucket carries an exemplar: the traced observation's.
+	if got := strings.Count(out, "# {trace_id="); got != 1 {
+		t.Errorf("%d exemplar trailers, want 1:\n%s", got, out)
+	}
+	// BucketExemplar returns the stored observation for the right bucket.
+	ex := h.BucketExemplar(histBucketOf(int64(time.Millisecond)))
+	if ex == nil || ex.Value != 0.001 {
+		t.Errorf("BucketExemplar = %+v", ex)
+	}
+	if h.BucketExemplar(-1) != nil || h.BucketExemplar(histBuckets+1) != nil {
+		t.Error("out-of-range BucketExemplar should be nil")
+	}
+}
+
 // TestAggregateSnapshotConformance lints the scheduler metric family block.
 func TestAggregateSnapshotConformance(t *testing.T) {
 	var agg Aggregate
@@ -150,6 +181,41 @@ func TestLintExpositionCatches(t *testing.T) {
 			"unterminated label",
 			"# HELP x about x\n# TYPE x counter\nx{a=\"b} 1\n",
 			"unterminated",
+		},
+		{
+			"exemplar on a counter",
+			"# HELP x about x\n# TYPE x counter\nx 1 # {trace_id=\"4bf92f3577b34da6a3ce929d0e0e4736\"} 1 1.0\n",
+			"allowed only on histogram _bucket",
+		},
+		{
+			"exemplar on histogram _sum",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1 # {trace_id=\"4bf92f3577b34da6a3ce929d0e0e4736\"} 1 1.0\nh_count 1\n",
+			"allowed only on histogram _bucket",
+		},
+		{
+			"exemplar trace_id not hex",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {trace_id=\"XYZ\"} 1 1.0\nh_sum 1\nh_count 1\n",
+			"not 32 lowercase hex",
+		},
+		{
+			"exemplar without label set",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # 0.5\nh_sum 1\nh_count 1\n",
+			"no label set",
+		},
+		{
+			"exemplar with bad value",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {trace_id=\"4bf92f3577b34da6a3ce929d0e0e4736\"} oops 1.0\nh_sum 1\nh_count 1\n",
+			"bad value",
+		},
+		{
+			"exemplar with bad timestamp",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {trace_id=\"4bf92f3577b34da6a3ce929d0e0e4736\"} 1 later\nh_sum 1\nh_count 1\n",
+			"bad timestamp",
+		},
+		{
+			"exemplar with extra fields",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {trace_id=\"4bf92f3577b34da6a3ce929d0e0e4736\"} 1 1.0 extra\nh_sum 1\nh_count 1\n",
+			"want `value [timestamp]`",
 		},
 	}
 	for _, c := range cases {

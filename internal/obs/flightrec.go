@@ -77,6 +77,18 @@ type QueryRecord struct {
 	// (a hit, or a singleflight waiter collapsed onto another caller's
 	// propagation): no scheduler ran for them.
 	Cached bool
+	// Lazy marks runs executed by the zero-aware lazy engine; the pruning
+	// counters below then explain where the propagation's work went
+	// (lazy.Stats semantics: messages by fate, flops vs one eager
+	// two-pass), so a slow lazy query is explainable straight from the
+	// recorder without a trace.
+	Lazy             bool
+	LazyMsgSent      int64
+	LazyMsgBlocked   int64
+	LazyMsgSkipped   int64
+	LazyFlops        int64
+	LazyFlopsFull    int64
+	LazyMaterialized int64
 	// EvidenceSig is the canonical signature of the run's inputs (the
 	// result-cache key): the handle that correlates identical queries and
 	// lets audit replay match a record to its evidence configuration.
@@ -132,6 +144,15 @@ type RunInfo struct {
 	// QueryRecord. The recorder owns Evidence after RecordRun.
 	EvidenceSig string
 	Evidence    map[int]int
+	// Lazy pruning counters, copied into the record verbatim; Lazy false
+	// leaves them zero (eager run). See QueryRecord.
+	Lazy             bool
+	LazyMsgSent      int64
+	LazyMsgBlocked   int64
+	LazyMsgSkipped   int64
+	LazyFlops        int64
+	LazyFlopsFull    int64
+	LazyMaterialized int64
 }
 
 // SlowThreshold returns the capture threshold currently in force: the
@@ -162,6 +183,15 @@ func (fr *FlightRecorder) RecordRun(info RunInfo, m *sched.Metrics) (slow bool) 
 		Cached:       info.Cached,
 		EvidenceSig:  info.EvidenceSig,
 		Evidence:     info.Evidence,
+	}
+	if info.Lazy {
+		rec.Lazy = true
+		rec.LazyMsgSent = info.LazyMsgSent
+		rec.LazyMsgBlocked = info.LazyMsgBlocked
+		rec.LazyMsgSkipped = info.LazyMsgSkipped
+		rec.LazyFlops = info.LazyFlops
+		rec.LazyFlopsFull = info.LazyFlopsFull
+		rec.LazyMaterialized = info.LazyMaterialized
 	}
 	if info.Err != nil {
 		rec.Err = info.Err.Error()

@@ -26,6 +26,19 @@ type Histogram struct {
 	counts [histBuckets + 1]atomic.Int64
 	sum    atomic.Int64 // ns
 	max    atomic.Int64 // ns
+	// exemplars holds each bucket's most recent traced observation
+	// (OpenMetrics exemplar semantics): last write wins, so a scrape links
+	// every populated latency bucket to a representative trace.
+	exemplars [histBuckets + 1]atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observation to the distributed trace that produced
+// it, rendered as the OpenMetrics `# {trace_id="…"} value timestamp`
+// trailer on histogram bucket lines.
+type Exemplar struct {
+	TraceID string
+	Value   float64 // the observation, in seconds
+	Ts      time.Time
 }
 
 // histBucketOf returns the bucket index for a latency in nanoseconds.
@@ -64,6 +77,34 @@ func (h *Histogram) Observe(d time.Duration) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one latency and, when traceID is non-empty,
+// retains it as the bucket's exemplar. The traced-request path uses this;
+// untraced requests fall back to Observe and never disturb exemplars.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID string) {
+	h.Observe(d)
+	if traceID == "" {
+		return
+	}
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.exemplars[histBucketOf(ns)].Store(&Exemplar{
+		TraceID: traceID,
+		Value:   float64(ns) / 1e9,
+		Ts:      time.Now(),
+	})
+}
+
+// BucketExemplar returns bucket i's exemplar, nil when that bucket has
+// seen no traced observation.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i > histBuckets {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the number of observations.

@@ -43,9 +43,28 @@ func escapeLabel(v string) string {
 // WriteSample emits one sample line. Labels are rendered in sorted key
 // order so the output is deterministic (golden-testable).
 func WriteSample(w io.Writer, name string, labels map[string]string, value float64) {
-	if len(labels) == 0 {
-		fmt.Fprintf(w, "%s %s\n", name, formatValue(value))
+	fmt.Fprintf(w, "%s %s\n", seriesRef(name, labels), formatValue(value))
+}
+
+// WriteSampleExemplar emits one sample line with an OpenMetrics exemplar
+// trailer, `… # {trace_id="…"} value timestamp`, linking the series to the
+// distributed trace that produced a representative observation. A nil
+// exemplar degrades to a plain sample line.
+func WriteSampleExemplar(w io.Writer, name string, labels map[string]string, value float64, ex *Exemplar) {
+	if ex == nil {
+		WriteSample(w, name, labels, value)
 		return
+	}
+	fmt.Fprintf(w, "%s %s # {trace_id=\"%s\"} %s %s\n",
+		seriesRef(name, labels), formatValue(value),
+		escapeLabel(ex.TraceID), formatValue(ex.Value),
+		strconv.FormatFloat(float64(ex.Ts.UnixNano())/1e9, 'f', 3, 64))
+}
+
+// seriesRef renders `name{labels}` with labels in sorted key order.
+func seriesRef(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
 	}
 	keys := make([]string, 0, len(labels))
 	for k := range labels {
@@ -53,22 +72,27 @@ func WriteSample(w io.Writer, name string, labels map[string]string, value float
 	}
 	sort.Strings(keys)
 	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
 	for i, k := range keys {
 		if i > 0 {
 			b.WriteByte(',')
 		}
 		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabel(labels[k]))
 	}
-	fmt.Fprintf(w, "%s{%s} %s\n", name, b.String(), formatValue(value))
+	b.WriteByte('}')
+	return b.String()
 }
 
 // WritePrometheus emits the histogram as a Prometheus histogram metric:
-// cumulative le buckets in seconds, plus _sum and _count.
+// cumulative le buckets in seconds, plus _sum and _count. Buckets with a
+// traced observation carry its exemplar, so a dashboard's slow-bucket
+// click-through lands on the matching trace.
 func (h *Histogram) WritePrometheus(w io.Writer, name, help string) {
 	WriteHeader(w, name, help, "histogram")
 	bounds, cumulative := h.Buckets()
 	for i, b := range bounds {
-		WriteSample(w, name+"_bucket", map[string]string{"le": formatValue(b)}, float64(cumulative[i]))
+		WriteSampleExemplar(w, name+"_bucket", map[string]string{"le": formatValue(b)}, float64(cumulative[i]), h.BucketExemplar(i))
 	}
 	WriteSample(w, name+"_sum", nil, h.Sum().Seconds())
 	WriteSample(w, name+"_count", nil, float64(h.Count()))

@@ -18,11 +18,14 @@ import (
 //   - every histogram family ends its buckets with le="+Inf", the +Inf
 //     cumulative count equals the family's _count, a _sum is present, and
 //     cumulative bucket counts are non-decreasing in le order;
-//   - every line parses (UTF-8 text, name{labels} value).
+//   - every line parses (UTF-8 text, name{labels} value);
+//   - every OpenMetrics exemplar trailer (`# {trace_id="…"} value [ts]`)
+//     sits on a histogram _bucket line, its label set and value parse, and
+//     a trace_id label is 32 lowercase hex chars.
 //
 // It returns a list of human-readable problems, empty when the payload
-// conforms. It is a test helper, not a full scrape parser: exemplars,
-// timestamps and OpenMetrics extensions are out of scope.
+// conforms. It is a test helper, not a full scrape parser: timestamps and
+// other OpenMetrics extensions are out of scope.
 func LintExposition(r io.Reader) []string {
 	var problems []string
 	helps := map[string]bool{}
@@ -77,12 +80,24 @@ func LintExposition(r io.Reader) []string {
 		if strings.HasPrefix(line, "#") {
 			continue // comment
 		}
-		name, labels, value, err := parseSampleLine(line)
+		sample, exemplar := line, ""
+		if i := strings.Index(line, " # "); i >= 0 {
+			sample, exemplar = line[:i], line[i+3:]
+		}
+		name, labels, value, err := parseSampleLine(sample)
 		if err != nil {
 			problems = append(problems, fmt.Sprintf("line %d: %v", lineNo, err))
 			continue
 		}
 		fam := family(name)
+		if exemplar != "" {
+			if types[fam] != "histogram" || !strings.HasSuffix(name, "_bucket") {
+				problems = append(problems, fmt.Sprintf("line %d: exemplar on %s, allowed only on histogram _bucket series", lineNo, name))
+			}
+			if p := lintExemplar(exemplar); p != "" {
+				problems = append(problems, fmt.Sprintf("line %d: %s", lineNo, p))
+			}
+		}
 		if !sampled[fam] {
 			sampled[fam] = true
 			if !helps[fam] {
@@ -180,49 +195,9 @@ func parseSampleLine(line string) (name string, labels map[string]string, value 
 		return "", nil, 0, fmt.Errorf("empty metric name in %q", line)
 	}
 	if strings.HasPrefix(rest, "{") {
-		labels = map[string]string{}
-		rest = rest[1:]
-		for {
-			rest = strings.TrimLeft(rest, ",")
-			if strings.HasPrefix(rest, "}") {
-				rest = rest[1:]
-				break
-			}
-			eq := strings.Index(rest, "=")
-			if eq < 0 || !strings.HasPrefix(rest[eq+1:], `"`) {
-				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
-			}
-			key := rest[:eq]
-			rest = rest[eq+2:]
-			var b strings.Builder
-			closed := false
-			for i := 0; i < len(rest); i++ {
-				c := rest[i]
-				if c == '\\' && i+1 < len(rest) {
-					i++
-					switch rest[i] {
-					case 'n':
-						b.WriteByte('\n')
-					case '\\':
-						b.WriteByte('\\')
-					case '"':
-						b.WriteByte('"')
-					default:
-						return "", nil, 0, fmt.Errorf("bad escape \\%c in %q", rest[i], line)
-					}
-					continue
-				}
-				if c == '"' {
-					rest = rest[i+1:]
-					closed = true
-					break
-				}
-				b.WriteByte(c)
-			}
-			if !closed {
-				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
-			}
-			labels[key] = b.String()
+		labels, rest, err = parseLabelSet(rest)
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("%v in %q", err, line)
 		}
 	}
 	rest = strings.TrimSpace(rest)
@@ -236,4 +211,94 @@ func parseSampleLine(line string) (name string, labels map[string]string, value 
 		return "", nil, 0, fmt.Errorf("bad value %q in %q", rest, line)
 	}
 	return name, labels, v, nil
+}
+
+// parseLabelSet parses a leading `{k="v",...}` group, returning the labels
+// and whatever follows the closing brace.
+func parseLabelSet(s string) (labels map[string]string, rest string, err error) {
+	labels = map[string]string{}
+	rest = s[1:]
+	for {
+		rest = strings.TrimLeft(rest, ",")
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 || !strings.HasPrefix(rest[eq+1:], `"`) {
+			return nil, "", fmt.Errorf("malformed label")
+		}
+		key := rest[:eq]
+		rest = rest[eq+2:]
+		var b strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c", rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			b.WriteByte(c)
+		}
+		if !closed {
+			return nil, "", fmt.Errorf("unterminated label value")
+		}
+		labels[key] = b.String()
+	}
+}
+
+// lintExemplar validates the part of a sample line after "# ": an
+// OpenMetrics exemplar, `{label="v",...} value [timestamp]`.
+func lintExemplar(s string) string {
+	if !strings.HasPrefix(s, "{") {
+		return fmt.Sprintf("exemplar %q: no label set", s)
+	}
+	labels, rest, err := parseLabelSet(s)
+	if err != nil {
+		return fmt.Sprintf("exemplar %q: %v", s, err)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Sprintf("exemplar %q: want `value [timestamp]` after the label set, got %d fields", s, len(fields))
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Sprintf("exemplar %q: bad value %q", s, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Sprintf("exemplar %q: bad timestamp %q", s, fields[1])
+		}
+	}
+	if tid, ok := labels["trace_id"]; ok && !isHexTraceID(tid) {
+		return fmt.Sprintf("exemplar trace_id %q is not 32 lowercase hex chars", tid)
+	}
+	return ""
+}
+
+// isHexTraceID reports whether s is a 32-char lowercase-hex W3C trace ID.
+func isHexTraceID(s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,354 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// OTLP/JSON-over-HTTP export: kept traces are marshaled into the
+// OpenTelemetry OTLP JSON shape (resourceSpans → scopeSpans → spans) by
+// hand — no SDK dependency — and POSTed to a collector's /v1/traces
+// endpoint from a single background goroutine with bounded queueing,
+// retry with exponential backoff, and explicit drop counters. The hot
+// path pays one non-blocking channel send per kept trace.
+
+// otlp wire structs (the JSON field names are fixed by the OTLP spec;
+// nanosecond timestamps are strings per protobuf-JSON int64 encoding).
+type otlpExportRequest struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpAttr `json:"attributes"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID      string      `json:"traceId"`
+	SpanID       string      `json:"spanId"`
+	ParentSpanID string      `json:"parentSpanId,omitempty"`
+	Name         string      `json:"name"`
+	Kind         int         `json:"kind"`
+	Start        string      `json:"startTimeUnixNano"`
+	End          string      `json:"endTimeUnixNano"`
+	Attributes   []otlpAttr  `json:"attributes,omitempty"`
+	Status       *otlpStatus `json:"status,omitempty"`
+}
+
+type otlpAttr struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpValue struct {
+	Str    *string  `json:"stringValue,omitempty"`
+	Int    *string  `json:"intValue,omitempty"` // int64 as string, per spec
+	Double *float64 `json:"doubleValue,omitempty"`
+	Bool   *bool    `json:"boolValue,omitempty"`
+}
+
+type otlpStatus struct {
+	Code    int    `json:"code"` // 2 = STATUS_CODE_ERROR
+	Message string `json:"message,omitempty"`
+}
+
+const (
+	otlpKindServer   = 2
+	otlpKindInternal = 1
+	otlpStatusError  = 2
+)
+
+func otlpAttrOf(a Attr) otlpAttr {
+	v := otlpValue{}
+	switch a.Kind {
+	case AttrString:
+		v.Str = &a.Str
+	case AttrInt:
+		s := strconv.FormatInt(a.Int, 10)
+		v.Int = &s
+	case AttrFloat:
+		v.Double = &a.F64
+	case AttrBool:
+		v.Bool = &a.Bool
+	}
+	return otlpAttr{Key: a.Key, Value: v}
+}
+
+// MarshalOTLP renders traces as one OTLP/JSON ExportTraceServiceRequest.
+// The first span of each trace (the root, by construction) is marked
+// SPAN_KIND_SERVER; all others SPAN_KIND_INTERNAL.
+func MarshalOTLP(service string, traces []*TraceData) ([]byte, error) {
+	scope := otlpScopeSpans{Scope: otlpScope{Name: "evprop"}}
+	for _, td := range traces {
+		tid := td.TraceID.String()
+		for i, sd := range td.Spans {
+			sp := otlpSpan{
+				TraceID: tid,
+				SpanID:  sd.SpanID.String(),
+				Name:    sd.Name,
+				Kind:    otlpKindInternal,
+				Start:   strconv.FormatInt(sd.Start.UnixNano(), 10),
+				End:     strconv.FormatInt(sd.Start.Add(sd.Duration).UnixNano(), 10),
+			}
+			if i == 0 {
+				sp.Kind = otlpKindServer
+			}
+			if sd.Parent.IsValid() {
+				sp.ParentSpanID = sd.Parent.String()
+			}
+			for _, a := range sd.Attrs {
+				sp.Attributes = append(sp.Attributes, otlpAttrOf(a))
+			}
+			if sd.Status != "" {
+				sp.Status = &otlpStatus{Code: otlpStatusError, Message: sd.Status}
+			}
+			scope.Spans = append(scope.Spans, sp)
+		}
+	}
+	req := otlpExportRequest{ResourceSpans: []otlpResourceSpans{{
+		Resource: otlpResource{Attributes: []otlpAttr{
+			otlpAttrOf(String("service.name", service)),
+		}},
+		ScopeSpans: []otlpScopeSpans{scope},
+	}}}
+	return json.Marshal(req)
+}
+
+// Exporter pushes kept traces to an OTLP/HTTP collector in the
+// background. Enqueue never blocks: a full queue increments the drop
+// counter instead of stalling the request path.
+type Exporter struct {
+	endpoint string
+	service  string
+	client   *http.Client
+	queue    chan *TraceData
+	done     chan struct{}
+
+	// Retry policy: attempts POSTs per batch with exponential backoff
+	// starting at backoff.
+	attempts int
+	backoff  time.Duration
+
+	exported atomic.Int64 // spans successfully exported
+	dropped  atomic.Int64 // spans dropped (full queue or exhausted retries)
+	retries  atomic.Int64 // POSTs retried
+}
+
+// ExporterStats is a snapshot of the exporter's counters.
+type ExporterStats struct {
+	Endpoint string `json:"endpoint"`
+	Exported int64  `json:"exported_spans"`
+	Dropped  int64  `json:"dropped_spans"`
+	Retries  int64  `json:"retries"`
+}
+
+// NewExporter starts a background exporter POSTing OTLP/JSON to endpoint
+// (a full URL, e.g. http://collector:4318/v1/traces). service names the
+// resource; "" defaults to "evserve".
+func NewExporter(endpoint, service string) *Exporter {
+	if service == "" {
+		service = "evserve"
+	}
+	e := &Exporter{
+		endpoint: endpoint,
+		service:  service,
+		client:   &http.Client{Timeout: 5 * time.Second},
+		queue:    make(chan *TraceData, 256),
+		done:     make(chan struct{}),
+		attempts: 3,
+		backoff:  100 * time.Millisecond,
+	}
+	go e.run()
+	return e
+}
+
+// Enqueue offers a kept trace for export without blocking.
+func (e *Exporter) Enqueue(td *TraceData) {
+	if e == nil {
+		return
+	}
+	select {
+	case e.queue <- td:
+	default:
+		e.dropped.Add(int64(len(td.Spans)))
+	}
+}
+
+// Stats snapshots the exporter's counters.
+func (e *Exporter) Stats() ExporterStats {
+	if e == nil {
+		return ExporterStats{}
+	}
+	return ExporterStats{
+		Endpoint: e.endpoint,
+		Exported: e.exported.Load(),
+		Dropped:  e.dropped.Load(),
+		Retries:  e.retries.Load(),
+	}
+}
+
+// Close stops the exporter after flushing whatever is already queued.
+func (e *Exporter) Close() {
+	if e == nil {
+		return
+	}
+	close(e.queue)
+	select {
+	case <-e.done:
+	case <-time.After(3 * time.Second):
+	}
+}
+
+// run drains the queue, batching adjacent traces into one POST.
+func (e *Exporter) run() {
+	defer close(e.done)
+	for td, ok := <-e.queue; ok; {
+		batch := []*TraceData{td}
+	gather:
+		for len(batch) < 32 {
+			select {
+			case next, more := <-e.queue:
+				if !more {
+					e.send(batch)
+					return
+				}
+				batch = append(batch, next)
+			default:
+				break gather
+			}
+		}
+		e.send(batch)
+		td, ok = <-e.queue
+	}
+}
+
+func (e *Exporter) send(batch []*TraceData) {
+	spans := 0
+	for _, td := range batch {
+		spans += len(td.Spans)
+	}
+	body, err := MarshalOTLP(e.service, batch)
+	if err != nil {
+		e.dropped.Add(int64(spans))
+		return
+	}
+	delay := e.backoff
+	for attempt := 0; attempt < e.attempts; attempt++ {
+		if attempt > 0 {
+			e.retries.Add(1)
+			time.Sleep(delay)
+			delay *= 2
+		}
+		resp, err := e.client.Post(e.endpoint, "application/json", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		resp.Body.Close()
+		// Retry only transient server-side failures.
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			continue
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			e.exported.Add(int64(spans))
+			return
+		}
+		break // 4xx: our payload's fault, retrying won't help
+	}
+	e.dropped.Add(int64(spans))
+}
+
+// LintOTLP validates an OTLP/JSON payload against the span-field rules a
+// collector enforces, promlint-style: returns human-readable problems,
+// empty when conformant. Checked per span: 32-hex lowercase traceId,
+// 16-hex lowercase spanId (≠ all zeros), parentSpanId absent or 16-hex,
+// non-empty name, numeric string nanosecond timestamps with end ≥ start,
+// and attribute values carrying exactly one typed field.
+func LintOTLP(payload []byte) []string {
+	var req otlpExportRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return []string{fmt.Sprintf("payload does not parse as OTLP/JSON: %v", err)}
+	}
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	if len(req.ResourceSpans) == 0 {
+		addf("no resourceSpans")
+	}
+	for ri, rs := range req.ResourceSpans {
+		for si, ss := range rs.ScopeSpans {
+			for pi, sp := range ss.Spans {
+				at := fmt.Sprintf("resourceSpans[%d].scopeSpans[%d].spans[%d]", ri, si, pi)
+				if !validHexID(sp.TraceID, 32) {
+					addf("%s: traceId %q is not 32 lowercase hex chars", at, sp.TraceID)
+				}
+				if !validHexID(sp.SpanID, 16) {
+					addf("%s: spanId %q is not 16 lowercase hex chars", at, sp.SpanID)
+				}
+				if sp.ParentSpanID != "" && !validHexID(sp.ParentSpanID, 16) {
+					addf("%s: parentSpanId %q is not 16 lowercase hex chars", at, sp.ParentSpanID)
+				}
+				if sp.Name == "" {
+					addf("%s: empty span name", at)
+				}
+				start, err1 := strconv.ParseInt(sp.Start, 10, 64)
+				end, err2 := strconv.ParseInt(sp.End, 10, 64)
+				if err1 != nil || err2 != nil {
+					addf("%s: timestamps %q/%q are not int64 strings", at, sp.Start, sp.End)
+				} else if end < start {
+					addf("%s: endTimeUnixNano %d before startTimeUnixNano %d", at, end, start)
+				}
+				for ai, a := range sp.Attributes {
+					if a.Key == "" {
+						addf("%s.attributes[%d]: empty key", at, ai)
+					}
+					n := 0
+					for _, set := range []bool{a.Value.Str != nil, a.Value.Int != nil, a.Value.Double != nil, a.Value.Bool != nil} {
+						if set {
+							n++
+						}
+					}
+					if n != 1 {
+						addf("%s.attributes[%d] (%s): %d value fields set, want exactly 1", at, ai, a.Key, n)
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+func validHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	zero := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}

@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func sampleTraceData() *TraceData {
+	id := NewTraceID()
+	root := spanID(id, 0)
+	child := spanID(id, 1)
+	now := time.Now()
+	return &TraceData{
+		TraceID: id,
+		Reason:  "flagged",
+		Spans: []SpanData{
+			{SpanID: root, Name: "request", Start: now, Duration: time.Millisecond,
+				Attrs: []Attr{String("query.id", "q-1"), Int("http.status", 200)}},
+			{SpanID: child, Parent: root, Name: "propagate", Start: now, Duration: 500 * time.Microsecond,
+				Attrs:  []Attr{Float("load.balance", 1.02), Bool("cache.hit", false)},
+				Status: "context canceled"},
+		},
+	}
+}
+
+// TestMarshalOTLPConformance: the payload we export must pass our own
+// span-field lint — the OTLP analog of the Prometheus exposition
+// conformance tests.
+func TestMarshalOTLPConformance(t *testing.T) {
+	body, err := MarshalOTLP("evserve", []*TraceData{sampleTraceData(), sampleTraceData()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := LintOTLP(body); len(problems) != 0 {
+		t.Fatalf("conformance problems:\n%s\nin:\n%s", strings.Join(problems, "\n"), body)
+	}
+	// Spot-check wire shape details the lint can't express.
+	var req otlpExportRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		t.Fatal(err)
+	}
+	spans := req.ResourceSpans[0].ScopeSpans[0].Spans
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	if spans[0].Kind != otlpKindServer || spans[1].Kind != otlpKindInternal {
+		t.Error("root/child span kinds wrong")
+	}
+	if spans[1].Status == nil || spans[1].Status.Code != otlpStatusError {
+		t.Error("errored span lacks error status")
+	}
+	if spans[0].ParentSpanID != "" {
+		t.Error("root span has a parentSpanId")
+	}
+	res := req.ResourceSpans[0].Resource.Attributes
+	if len(res) != 1 || res[0].Key != "service.name" || *res[0].Value.Str != "evserve" {
+		t.Errorf("resource attributes = %+v", res)
+	}
+}
+
+// TestLintOTLPCatches: the linter must flag each defect class it exists
+// for.
+func TestLintOTLPCatches(t *testing.T) {
+	cases := []struct {
+		name, payload, want string
+	}{
+		{"garbage", `{]`, "does not parse"},
+		{"empty", `{}`, "no resourceSpans"},
+		{
+			"bad trace id",
+			`{"resourceSpans":[{"resource":{"attributes":[]},"scopeSpans":[{"scope":{"name":"x"},"spans":[{"traceId":"XYZ","spanId":"00f067aa0ba902b7","name":"s","kind":1,"startTimeUnixNano":"1","endTimeUnixNano":"2"}]}]}]}`,
+			"traceId",
+		},
+		{
+			"zero span id",
+			`{"resourceSpans":[{"resource":{"attributes":[]},"scopeSpans":[{"scope":{"name":"x"},"spans":[{"traceId":"4bf92f3577b34da6a3ce929d0e0e4736","spanId":"0000000000000000","name":"s","kind":1,"startTimeUnixNano":"1","endTimeUnixNano":"2"}]}]}]}`,
+			"spanId",
+		},
+		{
+			"empty name",
+			`{"resourceSpans":[{"resource":{"attributes":[]},"scopeSpans":[{"scope":{"name":"x"},"spans":[{"traceId":"4bf92f3577b34da6a3ce929d0e0e4736","spanId":"00f067aa0ba902b7","name":"","kind":1,"startTimeUnixNano":"1","endTimeUnixNano":"2"}]}]}]}`,
+			"empty span name",
+		},
+		{
+			"end before start",
+			`{"resourceSpans":[{"resource":{"attributes":[]},"scopeSpans":[{"scope":{"name":"x"},"spans":[{"traceId":"4bf92f3577b34da6a3ce929d0e0e4736","spanId":"00f067aa0ba902b7","name":"s","kind":1,"startTimeUnixNano":"5","endTimeUnixNano":"2"}]}]}]}`,
+			"before start",
+		},
+		{
+			"two value fields",
+			`{"resourceSpans":[{"resource":{"attributes":[]},"scopeSpans":[{"scope":{"name":"x"},"spans":[{"traceId":"4bf92f3577b34da6a3ce929d0e0e4736","spanId":"00f067aa0ba902b7","name":"s","kind":1,"startTimeUnixNano":"1","endTimeUnixNano":"2","attributes":[{"key":"k","value":{"stringValue":"a","intValue":"1"}}]}]}]}]}`,
+			"value fields",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			problems := LintOTLP([]byte(c.payload))
+			for _, p := range problems {
+				if strings.Contains(p, c.want) {
+					return
+				}
+			}
+			t.Errorf("problems %v do not mention %q", problems, c.want)
+		})
+	}
+}
+
+// TestExporterDelivers: an end-to-end push to a fake collector, with the
+// payload re-validated by the lint on arrival.
+func TestExporterDelivers(t *testing.T) {
+	got := make(chan []byte, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Content-Type") != "application/json" {
+			t.Errorf("content type %q", r.Header.Get("Content-Type"))
+		}
+		body := make([]byte, r.ContentLength)
+		r.Body.Read(body)
+		select {
+		case got <- body:
+		default:
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	e := NewExporter(srv.URL, "test")
+	e.Enqueue(sampleTraceData())
+	select {
+	case body := <-got:
+		if problems := LintOTLP(body); len(problems) != 0 {
+			t.Errorf("delivered payload fails lint: %v", problems)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("collector never received the push")
+	}
+	e.Close()
+	if s := e.Stats(); s.Exported != 2 || s.Dropped != 0 {
+		t.Errorf("stats = %+v, want 2 exported", s)
+	}
+}
+
+// TestExporterRetriesThenDrops: transient 5xx responses are retried with
+// backoff; exhausted retries count the spans as dropped.
+func TestExporterRetriesThenDrops(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	e := NewExporter(srv.URL, "test")
+	e.backoff = time.Millisecond
+	e.Enqueue(sampleTraceData())
+	e.Close()
+	if n := hits.Load(); n != 3 {
+		t.Errorf("collector hit %d times, want 3 (initial + 2 retries)", n)
+	}
+	s := e.Stats()
+	if s.Dropped != 2 || s.Exported != 0 || s.Retries != 2 {
+		t.Errorf("stats = %+v, want 2 dropped spans after 2 retries", s)
+	}
+}
+
+// TestExporterRecoversMidRetry: a 500 followed by a 200 exports cleanly.
+func TestExporterRecoversMidRetry(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	e := NewExporter(srv.URL, "test")
+	e.backoff = time.Millisecond
+	e.Enqueue(sampleTraceData())
+	e.Close()
+	s := e.Stats()
+	if s.Exported != 2 || s.Dropped != 0 || s.Retries != 1 {
+		t.Errorf("stats = %+v, want 2 exported after 1 retry", s)
+	}
+}
+
+// TestExporterQueueFullDrops: Enqueue never blocks; overflow is counted.
+func TestExporterQueueFullDrops(t *testing.T) {
+	e := &Exporter{queue: make(chan *TraceData, 1)}
+	e.Enqueue(sampleTraceData())
+	e.Enqueue(sampleTraceData()) // queue full, nobody draining
+	if d := e.Stats().Dropped; d != 2 {
+		t.Errorf("dropped = %d, want 2 (one trace of 2 spans)", d)
+	}
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanData is one finished span in a kept trace's snapshot.
+type SpanData struct {
+	SpanID   SpanID
+	Parent   SpanID
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Status   string // non-empty = error message
+	Attrs    []Attr
+}
+
+// TraceData is one kept trace: the sampling verdict plus every committed
+// span, in slot (creation) order.
+type TraceData struct {
+	TraceID TraceID
+	Flags   byte
+	State   string
+	// Reason records why tail sampling kept the trace: "flagged", "error",
+	// "slow" or "head".
+	Reason  string
+	Dropped int64 // spans lost to arena overflow
+	Spans   []SpanData
+}
+
+// Store is the bounded in-memory trace store behind
+// GET /v1/debug/trace?id=: a map with FIFO eviction once capacity is
+// reached. Safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	cap   int
+	byID  map[TraceID]*TraceData
+	order []TraceID // insertion ring, oldest first
+	head  int
+}
+
+// DefaultStoreSize is the store capacity when 0 is configured.
+const DefaultStoreSize = 256
+
+// NewStore returns a store retaining up to capacity traces (0 selects
+// DefaultStoreSize).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultStoreSize
+	}
+	return &Store{
+		cap:  capacity,
+		byID: make(map[TraceID]*TraceData, capacity),
+	}
+}
+
+// Put retains a trace, evicting the oldest when full. A re-put of an
+// existing ID replaces it in place.
+func (s *Store) Put(td *TraceData) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[td.TraceID]; ok {
+		s.byID[td.TraceID] = td
+		return
+	}
+	if len(s.byID) >= s.cap {
+		old := s.order[s.head]
+		s.order[s.head] = td.TraceID
+		s.head = (s.head + 1) % len(s.order)
+		delete(s.byID, old)
+	} else {
+		s.order = append(s.order, td.TraceID)
+	}
+	s.byID[td.TraceID] = td
+}
+
+// Get returns the trace with the given ID, nil when not retained.
+func (s *Store) Get(id TraceID) *TraceData {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}
+
+// Len returns the current number of retained traces.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}
+
+// Recent returns up to n retained trace IDs, newest first.
+func (s *Store) Recent(n int) []TraceID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 || n > len(s.order) {
+		n = len(s.order)
+	}
+	out := make([]TraceID, 0, n)
+	// order is a ring: newest is just before head once the ring wrapped,
+	// at the end otherwise.
+	total := len(s.order)
+	for i := 0; i < total && len(out) < n; i++ {
+		idx := (s.head - 1 - i + 2*total) % total
+		id := s.order[idx]
+		if _, ok := s.byID[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}

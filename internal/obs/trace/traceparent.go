@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"encoding/hex"
+	"strings"
+)
+
+// W3C Trace Context interop: the traceparent header is
+// "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>"; tracestate is
+// an opaque vendor list this package passes through untouched.
+
+// Traceparent formats the context as a version-00 traceparent header
+// value, "" when the context is invalid.
+func (sc SpanContext) Traceparent() string {
+	if !sc.IsValid() {
+		return ""
+	}
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], sc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], sc.SpanID[:])
+	b[52] = '-'
+	hex.Encode(b[53:55], []byte{sc.Flags})
+	return string(b[:])
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// version except ff (per spec, unknown versions parse as version 00 when
+// the tail is at least as long), rejects all-zero IDs, and returns ok
+// false on malformed input.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	s = strings.TrimSpace(s)
+	if len(s) < 55 {
+		return SpanContext{}, false
+	}
+	if !isHex(s[0:2]) || s[0:2] == "ff" {
+		return SpanContext{}, false
+	}
+	if s[0:2] == "00" && len(s) != 55 {
+		return SpanContext{}, false
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return SpanContext{}, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if _, err := hex.Decode(sc.TraceID[:], []byte(s[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(s[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	var fb [1]byte
+	if _, err := hex.Decode(fb[:], []byte(s[53:55])); err != nil {
+		return SpanContext{}, false
+	}
+	if isUpper(s[3:35]) || isUpper(s[36:52]) || isUpper(s[53:55]) {
+		return SpanContext{}, false // spec requires lowercase hex
+	}
+	sc.Flags = fb[0]
+	if !sc.IsValid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+func isUpper(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'F' {
+			return true
+		}
+	}
+	return false
+}
